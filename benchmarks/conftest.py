@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark prints the rows/series of the paper figure it reproduces,
+bypassing pytest's capture so the tables land in the console / tee'd log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capfd):
+    """Print a result table directly to the terminal."""
+
+    def _report(text: str) -> None:
+        with capfd.disabled():
+            print("\n" + text + "\n")
+
+    return _report

@@ -1,0 +1,32 @@
+"""Ablation: continuous-engine checkpoint interval vs recovery cost.
+
+§2.2: on failure, continuous-operator systems roll every node back to the
+last consistent checkpoint and replay.  The replay backlog — and hence the
+latency spike and the number of disrupted windows — scales with the
+checkpoint interval.  Micro-batch parallel recovery re-executes only the
+lost tasks, so Drizzle's spike is interval-independent.
+"""
+
+from repro.bench.figures import ablation_checkpoint_interval
+from repro.bench.reporting import render_table
+
+
+def test_ablation_checkpoint_interval(benchmark, report):
+    rows = benchmark.pedantic(ablation_checkpoint_interval, rounds=1, iterations=1)
+    table = render_table(
+        ["ckpt_interval_s", "flink_spike_s", "flink_windows_disrupted",
+         "drizzle_spike_s"],
+        [
+            [r["checkpoint_interval_s"], r["flink_spike_s"],
+             r["flink_windows_disrupted"], r["drizzle_spike_s"]]
+            for r in rows
+        ],
+        title="Ablation: aligned-checkpoint interval vs rollback recovery "
+              "cost (failure at t=240s, Yahoo @20M ev/s)",
+    )
+    report(table)
+    spikes = [r["flink_spike_s"] for r in rows]
+    assert spikes == sorted(spikes)  # longer interval -> bigger spike
+    assert spikes[-1] > spikes[0] + 10
+    # Drizzle's recovery is checkpoint-interval independent and far lower.
+    assert all(r["drizzle_spike_s"] < 3.0 for r in rows)

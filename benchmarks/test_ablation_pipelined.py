@@ -1,0 +1,47 @@
+"""§3.6 ablation: pipelined scheduling vs group scheduling.
+
+The rejected design overlaps scheduling of batch i+1 with execution of
+batch i, giving b·max(t_exec, t_sched).  The paper found it "insufficient
+for larger cluster sizes, where t_sched can be greater than t_exec" —
+group scheduling keeps winning because it shrinks t_sched itself.
+"""
+
+from functools import partial
+
+from repro.bench.figures import ablation_pipelined
+from repro.bench.reporting import render_table
+
+
+def test_ablation_pipelined_light_compute(benchmark, report):
+    rows = benchmark.pedantic(ablation_pipelined, rounds=1, iterations=1)
+    table = render_table(
+        ["machines", "spark_ms", "pipelined_ms", "drizzle_g100_ms"],
+        [[r["machines"], r["spark_ms"], r["pipelined_ms"], r["drizzle_g100_ms"]]
+         for r in rows],
+        title="Ablation (§3.6): pipelined scheduling, ~1ms tasks "
+              "(paper: pipelining is bounded by t_sched at scale)",
+    )
+    report(table)
+    at128 = rows[-1]
+    # At 128 machines scheduling dominates: pipelining ~= Spark, while
+    # group scheduling is an order of magnitude faster.
+    assert at128["pipelined_ms"] > 0.8 * at128["spark_ms"] * 0.9
+    assert at128["pipelined_ms"] > 10 * at128["drizzle_g100_ms"]
+
+
+def test_ablation_pipelined_heavy_compute(benchmark, report):
+    rows = benchmark.pedantic(
+        partial(ablation_pipelined, task_compute_s=0.25), rounds=1, iterations=1
+    )
+    table = render_table(
+        ["machines", "spark_ms", "pipelined_ms", "drizzle_g100_ms"],
+        [[r["machines"], r["spark_ms"], r["pipelined_ms"], r["drizzle_g100_ms"]]
+         for r in rows],
+        title="Ablation (§3.6): pipelined scheduling, 250ms tasks "
+              "(compute-dominated: pipelining hides scheduling fully)",
+    )
+    report(table)
+    at128 = rows[-1]
+    # With t_exec >> t_sched pipelining works: per-batch ~= exec time.
+    assert at128["pipelined_ms"] < 1.1 * 250 + 10
+    assert at128["pipelined_ms"] < at128["spark_ms"]

@@ -1,0 +1,29 @@
+"""Figure 4(a): single-stage weak scaling, 100 micro-batches, 4-128
+machines — Spark vs Drizzle with group sizes 25/50/100.
+
+Paper anchors: Spark ≈195 ms per micro-batch at 128 machines; Drizzle with
+group 100 <5 ms; overall speedups 7-46x growing with cluster size.
+"""
+
+from repro.bench.figures import fig4a_group_scheduling
+from repro.bench.reporting import render_table
+
+
+def test_fig4a_group_scheduling(benchmark, report):
+    rows = benchmark.pedantic(fig4a_group_scheduling, rounds=1, iterations=1)
+    table = render_table(
+        ["machines", "spark_ms", "drizzle_g25_ms", "drizzle_g50_ms",
+         "drizzle_g100_ms", "speedup_g100"],
+        [
+            [r["machines"], r["spark_ms"], r["drizzle_g25_ms"],
+             r["drizzle_g50_ms"], r["drizzle_g100_ms"], r["speedup_g100"]]
+            for r in rows
+        ],
+        title="Figure 4(a): time per micro-batch, single-stage weak scaling "
+              "(paper: Spark ~195ms @128, Drizzle g=100 <5ms, speedup 7-46x)",
+    )
+    report(table)
+    at128 = rows[-1]
+    assert at128["spark_ms"] > 150
+    assert at128["drizzle_g100_ms"] < 6
+    assert at128["speedup_g100"] > 30

@@ -1,0 +1,30 @@
+"""Figure 4(b): per-task time breakdown (scheduler delay / task transfer /
+compute) for the single-stage micro-benchmark at 128 machines.
+
+Paper: Spark's per-task time is dominated by scheduling and task transfer;
+Drizzle amortizes both with group scheduling, leaving compute dominant.
+"""
+
+from repro.bench.figures import fig4b_breakdown
+from repro.bench.reporting import render_table
+
+
+def test_fig4b_breakdown(benchmark, report):
+    rows = benchmark.pedantic(fig4b_breakdown, rounds=1, iterations=1)
+    table = render_table(
+        ["system", "scheduler_delay_ms", "task_transfer_ms", "compute_ms"],
+        [
+            [r["system"], r["scheduler_delay_ms"], r["task_transfer_ms"], r["compute_ms"]]
+            for r in rows
+        ],
+        title="Figure 4(b): per-task breakdown @128 machines "
+              "(paper: Drizzle lowers scheduling + transfer below compute)",
+    )
+    report(table)
+    by_system = {r["system"]: r for r in rows}
+    spark = by_system["Spark"]
+    drizzle = by_system["Drizzle, Group=100"]
+    # Spark: coordination dominates compute per task.
+    assert spark["scheduler_delay_ms"] + spark["task_transfer_ms"] > spark["compute_ms"] / 3
+    # Drizzle: compute dominates.
+    assert drizzle["scheduler_delay_ms"] + drizzle["task_transfer_ms"] < drizzle["compute_ms"]

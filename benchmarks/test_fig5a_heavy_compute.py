@@ -1,0 +1,30 @@
+"""Figure 5(a): the same weak-scaling sweep with 100x more data per task.
+
+Paper: "using a group size of 25 captures most of the benefits and as the
+running time is dominated by computation we see no additional benefits
+from larger group sizes."
+"""
+
+from repro.bench.figures import fig5a_heavy_compute
+from repro.bench.reporting import render_table
+
+
+def test_fig5a_heavy_compute(benchmark, report):
+    rows = benchmark.pedantic(fig5a_heavy_compute, rounds=1, iterations=1)
+    table = render_table(
+        ["machines", "spark_ms", "drizzle_g25_ms", "drizzle_g50_ms",
+         "drizzle_g100_ms", "g25_vs_g100_gap_ms"],
+        [
+            [r["machines"], r["spark_ms"], r["drizzle_g25_ms"],
+             r["drizzle_g50_ms"], r["drizzle_g100_ms"], r["g25_vs_g100_gap_ms"]]
+            for r in rows
+        ],
+        title="Figure 5(a): time per iteration with 100x data "
+              "(paper: g=25 captures most benefit; compute dominates)",
+    )
+    report(table)
+    at128 = rows[-1]
+    # Diminishing returns beyond group size 25 (<10% gap).
+    assert at128["g25_vs_g100_gap_ms"] / at128["drizzle_g100_ms"] < 0.10
+    # Drizzle still beats Spark (coordination removed).
+    assert at128["drizzle_g25_ms"] < at128["spark_ms"]

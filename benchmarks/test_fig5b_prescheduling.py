@@ -1,0 +1,31 @@
+"""Figure 5(b): two-stage micro-batches (shuffle, 16 reducers): Spark vs
+pre-scheduling only vs pre-scheduling + group scheduling (10 / 100).
+
+Paper anchors: Drizzle achieves 2.7-5.5x speedup over Spark across cluster
+sizes; pre-scheduling ALONE saves only ~20 ms at 128 machines (the group
+is what amortizes scheduling); Drizzle two-stage batch ≈45 ms @128.
+"""
+
+from repro.bench.figures import fig5b_prescheduling
+from repro.bench.reporting import render_table
+
+
+def test_fig5b_prescheduling(benchmark, report):
+    rows = benchmark.pedantic(fig5b_prescheduling, rounds=1, iterations=1)
+    table = render_table(
+        ["machines", "spark_ms", "only_pre_ms", "pre_g10_ms", "pre_g100_ms",
+         "speedup_g100"],
+        [
+            [r["machines"], r["spark_ms"], r["only_pre_ms"], r["pre_g10_ms"],
+             r["pre_g100_ms"], r["speedup_g100"]]
+            for r in rows
+        ],
+        title="Figure 5(b): two-stage (shuffle) micro-batch times "
+              "(paper: 2.7-5.5x vs Spark; pre-sched alone saves ~20ms @128; "
+              "Drizzle ~45ms @128)",
+    )
+    report(table)
+    at128 = rows[-1]
+    assert 15 <= at128["spark_ms"] - at128["only_pre_ms"] <= 30
+    assert 35 <= at128["pre_g100_ms"] <= 60
+    assert 2.0 <= at128["speedup_g100"] <= 6.5

@@ -1,0 +1,28 @@
+"""Figure 6(a): Yahoo Streaming Benchmark event-latency CDF at 20M
+events/s on 128 machines, groupby (unoptimized) data plane.
+
+Paper: Drizzle median ≈350 ms, matching Flink; ≈3.6x lower than Spark.
+"""
+
+from functools import partial
+
+from repro.bench.figures import yahoo_latency_cdf
+from repro.bench.reporting import render_cdf
+from repro.common.stats import percentile
+
+
+def test_fig6a_yahoo_latency_cdf(benchmark, report):
+    series = benchmark.pedantic(
+        partial(yahoo_latency_cdf, optimized=False), rounds=1, iterations=1
+    )
+    report(
+        render_cdf(
+            series,
+            title="Figure 6(a): Yahoo benchmark latency CDF, 20M ev/s, no "
+                  "optimization (paper: Drizzle ~350ms ~= Flink, ~3.6x < Spark)",
+        )
+    )
+    med = {k: percentile(v, 50) for k, v in series.items()}
+    assert 2.5 < med["spark"] / med["drizzle"] < 6.0
+    assert 0.5 < med["drizzle"] / med["flink"] < 2.0
+    assert med["drizzle"] < 1.0

@@ -1,0 +1,28 @@
+"""§3.4 efficacy: the AIMD group-size tuner against a changing cluster.
+
+The trace runs three phases — 16 machines, then 128, then back to 16 —
+with fixed per-batch execution time.  The tuner must grow the group when
+coordination cost rises (big cluster) and shrink it when coordination gets
+cheap again, keeping the smoothed overhead inside its bounds.
+"""
+
+from repro.bench.figures import group_tuning_trace
+from repro.bench.reporting import render_table
+
+
+def test_group_size_tuning(benchmark, report):
+    rows = benchmark.pedantic(group_tuning_trace, rounds=1, iterations=1)
+    sampled = rows[::10] + [rows[79], rows[159], rows[239]]
+    sampled.sort(key=lambda r: r["step"])
+    table = render_table(
+        ["step", "machines", "group_size", "smoothed_overhead", "action"],
+        [[r["step"], r["machines"], r["group_size"], r["overhead"], r["action"]]
+         for r in sampled],
+        title="Group-size auto-tuning trace (AIMD, bounds [0.05, 0.20])",
+    )
+    report(table)
+    phase_ends = (rows[79], rows[159], rows[239])
+    assert phase_ends[1]["group_size"] > phase_ends[0]["group_size"]
+    assert phase_ends[2]["group_size"] < phase_ends[1]["group_size"]
+    for row in phase_ends:
+        assert row["overhead"] < 0.30  # settled near/inside the band

@@ -1,0 +1,64 @@
+"""Simulator cross-validation: the closed-form micro-benchmark model vs
+the task-granularity discrete-event simulation, side by side.
+
+Two independent implementations of the same cost model must agree where
+their assumptions coincide (serial batches); the one documented divergence
+— batches pipelining across slots *within* a group — only makes grouped
+shuffle batches faster, never slower.
+"""
+
+from repro.bench.reporting import render_table
+from repro.sim.microbench import MicroBenchConfig, run_microbenchmark
+from repro.sim.tasksim import simulate_microbenchmark_events
+
+CASES = [
+    ("spark", 1, 0),
+    ("spark", 1, 16),
+    ("only-pre", 1, 16),
+    ("drizzle", 25, 0),
+    ("drizzle", 100, 0),
+    ("drizzle", 100, 16),
+]
+
+
+def run_validation():
+    rows = []
+    for mode, group, reds in CASES:
+        for machines in (4, 128):
+            cfg = MicroBenchConfig(
+                mode=mode, machines=machines, group_size=group, num_reducers=reds
+            )
+            analytic = run_microbenchmark(cfg).time_per_batch_s * 1e3
+            event = simulate_microbenchmark_events(cfg).time_per_batch_s * 1e3
+            rows.append(
+                {
+                    "mode": mode,
+                    "group": group,
+                    "reducers": reds,
+                    "machines": machines,
+                    "analytic_ms": analytic,
+                    "event_ms": event,
+                    "ratio": event / analytic,
+                }
+            )
+    return rows
+
+
+def test_tasksim_cross_validation(benchmark, report):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+    table = render_table(
+        ["mode", "group", "reducers", "machines", "analytic_ms", "event_ms", "ratio"],
+        [
+            [r["mode"], r["group"], r["reducers"], r["machines"],
+             r["analytic_ms"], r["event_ms"], r["ratio"]]
+            for r in rows
+        ],
+        title="Closed-form vs event-driven micro-benchmark times "
+              "(ratio ~1 except grouped shuffles, which pipeline)",
+    )
+    report(table)
+    for r in rows:
+        if r["group"] == 1 or r["reducers"] == 0:
+            assert 0.8 <= r["ratio"] <= 1.05, r
+        else:
+            assert r["ratio"] <= 1.0, r  # pipelining: faster, never slower

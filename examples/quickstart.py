@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: streaming word count with Drizzle-style group scheduling.
+
+Runs a real in-process cluster (3 workers x 2 slots), streams words
+through micro-batches in groups of 3, maintains running counts in a
+checkpointed state store, and demonstrates exactly-once recovery by
+deliberately corrupting the state and replaying from the last checkpoint.
+
+    python examples/quickstart.py
+"""
+
+from repro.common.config import EngineConf, SchedulingMode
+from repro.engine.cluster import LocalCluster
+from repro.streaming.context import StreamingContext
+from repro.streaming.sinks import IdempotentSink
+from repro.streaming.sources import LogSource, RecordLog
+
+
+def main() -> None:
+    conf = EngineConf(
+        num_workers=3,
+        slots_per_worker=2,
+        scheduling_mode=SchedulingMode.DRIZZLE,
+        group_size=3,  # schedule 3 micro-batches per coordination round
+    )
+    with LocalCluster(conf) as cluster:
+        log = RecordLog(num_partitions=4)
+        ctx = StreamingContext(cluster, LogSource(log), batch_interval_s=0.1)
+
+        counts = ctx.state_store("word_counts")
+        sink = IdempotentSink()
+
+        # Per-batch: tokenize -> (word, 1) -> reduce (with map-side
+        # combining, §3.5); then merge into the running state.
+        stream = (
+            ctx.stream()
+            .flat_map(str.split)
+            .map(lambda word: (word, 1))
+            .reduce_by_key(lambda a, b: a + b, num_partitions=3)
+        )
+        stream.update_state(counts, merge=lambda a, b: a + b)
+        stream.sink_to(sink)
+
+        sentences = [
+            "the quick brown fox jumps over the lazy dog",
+            "the dog barks",
+            "a quick dog",
+        ]
+        for round_index in range(3):
+            log.append_round_robin(sentences)
+            ctx.run_batches(3)  # one group; checkpoint at the boundary
+
+        print("word counts after 9 micro-batches:")
+        for word, count in sorted(counts.items()):
+            print(f"  {word:6s} {count}")
+
+        # --- recovery demo -------------------------------------------
+        before = dict(counts.items())
+        counts.restore({"CORRUPTED": 1})  # simulate losing the state
+        replayed = ctx.restore_and_replay()
+        after = dict(counts.items())
+        print(f"\nrecovered from checkpoint, replayed {replayed} batches")
+        print("state identical after recovery:", after == before)
+        print("sink committed batches:", sink.committed_batches())
+        print("duplicate commits suppressed:", sink.duplicate_commits)
+
+        # Coordination amortization at a glance:
+        snap = cluster.metrics.counters_snapshot()
+        print(f"\ndriver launch RPCs: {snap.get('count.launch_rpcs', 0):.0f} "
+              f"(vs one per task per stage without group scheduling)")
+
+
+if __name__ == "__main__":
+    main()

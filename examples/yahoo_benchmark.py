@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""The Yahoo Streaming Benchmark (§5.3) end to end, three ways.
+
+1. Micro-batch engine, *unoptimized* (groupby) data plane — the Figure 6
+   configuration;
+2. Micro-batch engine, *optimized* (reduceby with map-side combining,
+   §3.5/§5.4) — the Figure 8 configuration;
+3. The continuous-operator engine (Flink-style) with an event-time window
+   operator.
+
+All three compute per-(campaign, 10s-window) view counts over the same
+generated ad-event log and must agree exactly.  Finally, the cluster
+simulator projects the latency comparison to 128 machines at 20M events/s
+— the scale the paper ran at.
+
+    python examples/yahoo_benchmark.py
+"""
+
+from repro.bench.figures import yahoo_latency_cdf
+from repro.bench.reporting import render_cdf
+from repro.common.config import EngineConf, SchedulingMode
+from repro.engine.cluster import LocalCluster
+from repro.streaming.context import StreamingContext
+from repro.streaming.sinks import IdempotentSink
+from repro.streaming.sources import FixedBatchSource, RecordLog
+from repro.workloads.yahoo import (
+    YahooWorkload,
+    attach_microbatch_query,
+    build_continuous_job,
+)
+
+NUM_EVENTS = 2000
+TIME_SPAN_S = 40.0
+WINDOW_S = 10.0
+
+
+def run_microbatch(workload, events, optimized):
+    batches = [events[0:500], events[500:1000], events[1000:1500], events[1500:2000]]
+    conf = EngineConf(
+        num_workers=3,
+        slots_per_worker=2,
+        scheduling_mode=SchedulingMode.DRIZZLE,
+        group_size=2,
+        map_side_combine=optimized,
+    )
+    with LocalCluster(conf) as cluster:
+        ctx = StreamingContext(cluster, FixedBatchSource(batches, 4), 0.1)
+        store = ctx.state_store("windows")
+        sink = IdempotentSink()
+        attach_microbatch_query(
+            ctx, workload, store, sink, window_s=WINDOW_S, optimized=optimized
+        )
+        ctx.run_batches(len(batches))
+        return dict(store.items())
+
+
+def run_continuous(workload, events):
+    log = RecordLog(2)
+    log.append_round_robin(events)
+    sink = IdempotentSink()
+    job = build_continuous_job(log, workload, sink, window_s=WINDOW_S)
+    job.start()
+    job.close_input_and_wait(timeout=30)
+    return {(k, w): c for (k, w, c) in sink.all_records()}
+
+
+def main() -> None:
+    workload = YahooWorkload(num_campaigns=10, ads_per_campaign=3, seed=42)
+    events = workload.generate(NUM_EVENTS, TIME_SPAN_S)
+    reference = workload.expected_counts(events, WINDOW_S)
+
+    unoptimized = run_microbatch(workload, events, optimized=False)
+    optimized = run_microbatch(workload, events, optimized=True)
+    continuous = run_continuous(workload, events)
+
+    print(f"events: {NUM_EVENTS}, windows: {sorted({w for (_c, w) in reference})}")
+    print("micro-batch groupby  == reference:", unoptimized == reference)
+    print("micro-batch reduceby == reference:", optimized == reference)
+    print("continuous (Flink)   == reference:", continuous == reference)
+
+    top = sorted(reference.items(), key=lambda kv: -kv[1])[:5]
+    print("\ntop (campaign, window) view counts:")
+    for (campaign, window), count in top:
+        print(f"  {campaign:12s} window {window}: {count}")
+
+    print("\nProjecting to 128 machines / 20M events/s with the simulator")
+    print("(this is the Figure 6(a) experiment; takes a few seconds)...")
+    series = yahoo_latency_cdf(optimized=False, duration_s=120)
+    print(render_cdf(series, title="Simulated event-latency CDF, unoptimized"))
+
+
+if __name__ == "__main__":
+    main()

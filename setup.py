@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (offline environment lacks the
+``wheel`` package required for PEP 660 editable wheels)."""
+
+from setuptools import setup
+
+setup()

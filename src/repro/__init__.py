@@ -1,0 +1,26 @@
+"""repro — a from-scratch reproduction of *Drizzle: Fast and Adaptable
+Stream Processing at Scale* (SOSP 2017).
+
+Layers (bottom-up):
+
+* :mod:`repro.dag` — dataset DAG, stage planner, shuffle specs, combiners.
+* :mod:`repro.engine` — real threaded BSP engine (the "Spark" substrate)
+  with Drizzle's group scheduling and pre-scheduling built in.
+* :mod:`repro.core` — the paper's contribution as pure policy: group
+  planning, pre-scheduling dependency tables, the AIMD group-size tuner.
+* :mod:`repro.streaming` — micro-batch streaming (DStreams, state,
+  checkpoints, exactly-once sinks) on top of the engine.
+* :mod:`repro.continuous` — a continuous-operator engine (the "Flink"
+  baseline) with aligned snapshots and restart-based recovery.
+* :mod:`repro.sim` — a discrete-event cluster simulator used to reproduce
+  the paper's 128-machine experiments.
+* :mod:`repro.workloads` — Yahoo streaming benchmark, video analytics,
+  micro-benchmarks, and the Table-2 query corpus.
+* :mod:`repro.bench` — one experiment definition per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.common.config import EngineConf, SchedulingMode, TunerConf
+
+__all__ = ["EngineConf", "SchedulingMode", "TunerConf", "__version__"]

@@ -1,0 +1,37 @@
+"""Benchmark harness: experiment definitions + plain-text reporting."""
+
+from repro.bench.figures import (
+    FaultToleranceResult,
+    ablation_pipelined,
+    ablation_treereduce,
+    fig4a_group_scheduling,
+    fig4b_breakdown,
+    fig5a_heavy_compute,
+    fig5b_prescheduling,
+    fig7_fault_tolerance,
+    fig9_workload_comparison,
+    group_tuning_trace,
+    table2_query_analysis,
+    throughput_vs_latency,
+    yahoo_latency_cdf,
+)
+from repro.bench.reporting import latency_summary_row, render_cdf, render_table
+
+__all__ = [
+    "FaultToleranceResult",
+    "ablation_pipelined",
+    "ablation_treereduce",
+    "fig4a_group_scheduling",
+    "fig4b_breakdown",
+    "fig5a_heavy_compute",
+    "fig5b_prescheduling",
+    "fig7_fault_tolerance",
+    "fig9_workload_comparison",
+    "group_tuning_trace",
+    "table2_query_analysis",
+    "throughput_vs_latency",
+    "yahoo_latency_cdf",
+    "latency_summary_row",
+    "render_cdf",
+    "render_table",
+]

@@ -1,0 +1,72 @@
+"""Plain-text table/CDF rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report, so a run's stdout can be compared against the paper directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.stats import percentile
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Fixed-width aligned table."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def latency_summary_row(name: str, latencies_s: Sequence[float]) -> List:
+    ms = [x * 1e3 for x in latencies_s]
+    return [
+        name,
+        percentile(ms, 50),
+        percentile(ms, 5),
+        percentile(ms, 95),
+        percentile(ms, 99),
+        max(ms),
+    ]
+
+
+def render_cdf(
+    series: Dict[str, Sequence[float]],
+    unit_scale: float = 1e3,
+    unit: str = "ms",
+    points: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99),
+    title: str = "",
+) -> str:
+    """Render CDFs as a percentile table (one column per series)."""
+    headers = ["pct"] + list(series)
+    rows: List[List] = []
+    for p in points:
+        row: List = [f"p{int(p * 100)}"]
+        for name in series:
+            values = [v * unit_scale for v in series[name]]
+            row.append(percentile(values, p * 100))
+        rows.append(row)
+    label = f"{title} (latency in {unit})" if title else f"(latency in {unit})"
+    return render_table(headers, rows, title=label)

@@ -1,0 +1,42 @@
+"""Shared infrastructure: clocks, config, metrics, stats, errors."""
+
+from repro.common.clock import Clock, ManualClock, WallClock
+from repro.common.config import EngineConf, SchedulingMode, TunerConf
+from repro.common.errors import (
+    CheckpointError,
+    ConfigError,
+    FetchFailed,
+    PlanError,
+    RecoverableError,
+    ReproError,
+    SimulationError,
+    StreamingError,
+    TaskError,
+    WorkerLost,
+)
+from repro.common.metrics import MetricsRegistry
+from repro.common.stats import ExponentialAverage, Summary, cdf_points, percentile
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "WallClock",
+    "EngineConf",
+    "SchedulingMode",
+    "TunerConf",
+    "CheckpointError",
+    "ConfigError",
+    "FetchFailed",
+    "PlanError",
+    "RecoverableError",
+    "ReproError",
+    "SimulationError",
+    "StreamingError",
+    "TaskError",
+    "WorkerLost",
+    "MetricsRegistry",
+    "ExponentialAverage",
+    "Summary",
+    "cdf_points",
+    "percentile",
+]

@@ -1,0 +1,69 @@
+"""Clock abstractions.
+
+Every component that needs the current time takes a :class:`Clock` so that
+tests and the discrete-event simulator can control time deterministically.
+Times are floats in seconds, matching ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface: a monotonically non-decreasing source of time."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time, backed by ``time.monotonic``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """A clock advanced explicitly by the test or simulator.
+
+    ``sleep`` blocks the calling thread until another thread advances the
+    clock far enough, which lets threaded components (e.g. the streaming
+    job generator) be driven deterministically from tests.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._cond = threading.Condition()
+
+    def now(self) -> float:
+        with self._cond:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot move a clock backwards")
+        with self._cond:
+            self._now += seconds
+            self._cond.notify_all()
+
+    def set_time(self, when: float) -> None:
+        with self._cond:
+            if when < self._now:
+                raise ValueError("cannot move a clock backwards")
+            self._now = when
+            self._cond.notify_all()
+
+    def sleep(self, seconds: float) -> None:
+        with self._cond:
+            deadline = self._now + seconds
+            while self._now < deadline:
+                self._cond.wait(timeout=1.0)

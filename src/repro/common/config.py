@@ -1,0 +1,152 @@
+"""Engine configuration.
+
+One dataclass carries every knob; subsystem constructors take the whole
+config so benchmarks can sweep a single object.  Validation happens once,
+eagerly, in ``validate`` (called by the cluster constructors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.common.errors import ConfigError
+
+
+class SchedulingMode(Enum):
+    """Control-plane variants compared in the paper.
+
+    * ``PER_BATCH`` — the Spark baseline: each micro-batch is scheduled
+      independently, with a driver barrier between stages (Figure 1).
+    * ``PRE_SCHEDULED`` — pre-scheduling only (group size 1): the
+      intra-batch barrier is removed but batches are still scheduled one
+      at a time (the "Only Pre-Scheduling" line of Figure 5(b)).
+    * ``DRIZZLE`` — group scheduling + pre-scheduling (§3.1, §3.2).
+    * ``PIPELINED`` — the §3.6 design alternative: scheduling of batch
+      *i+1* overlaps execution of batch *i*; cost max(t_exec, t_sched).
+    """
+
+    PER_BATCH = "per_batch"
+    PRE_SCHEDULED = "pre_scheduled"
+    DRIZZLE = "drizzle"
+    PIPELINED = "pipelined"
+
+
+@dataclass
+class TunerConf:
+    """AIMD group-size tuner settings (§3.4)."""
+
+    enabled: bool = False
+    overhead_lower_bound: float = 0.05
+    overhead_upper_bound: float = 0.20
+    increase_factor: float = 2.0
+    decrease_step: int = 2
+    min_group_size: int = 1
+    max_group_size: int = 1000
+    ewma_alpha: float = 0.5
+
+    def validate(self) -> None:
+        if not 0.0 <= self.overhead_lower_bound < self.overhead_upper_bound <= 1.0:
+            raise ConfigError(
+                "tuner bounds must satisfy 0 <= lower < upper <= 1, got "
+                f"[{self.overhead_lower_bound}, {self.overhead_upper_bound}]"
+            )
+        if self.increase_factor <= 1.0:
+            raise ConfigError("increase_factor must be > 1")
+        if self.decrease_step < 1:
+            raise ConfigError("decrease_step must be >= 1")
+        if not 1 <= self.min_group_size <= self.max_group_size:
+            raise ConfigError(
+                f"need 1 <= min_group_size <= max_group_size, got "
+                f"[{self.min_group_size}, {self.max_group_size}]"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigError("ewma_alpha must be in (0, 1]")
+
+
+@dataclass
+class SpeculationConf:
+    """Speculative execution (straggler mitigation).
+
+    Stragglers "can slow down jobs by 6-8x" (§1); the BSP substrate
+    mitigates them by launching a second copy of any task that has been
+    running far longer than its stage's median — first finisher wins
+    (tasks are deterministic, so duplicates are harmless).
+    """
+
+    enabled: bool = False
+    check_interval_s: float = 0.05
+    # A task is a straggler once it runs longer than
+    # max(min_runtime_s, multiplier * median completed duration).
+    multiplier: float = 3.0
+    min_runtime_s: float = 0.1
+    # Only speculate once this fraction of the stage has finished (we need
+    # a meaningful median).
+    min_completed_fraction: float = 0.5
+
+    def validate(self) -> None:
+        if self.check_interval_s <= 0:
+            raise ConfigError("check_interval_s must be positive")
+        if self.multiplier <= 1.0:
+            raise ConfigError("multiplier must be > 1")
+        if self.min_runtime_s < 0:
+            raise ConfigError("min_runtime_s must be >= 0")
+        if not 0.0 < self.min_completed_fraction <= 1.0:
+            raise ConfigError("min_completed_fraction must be in (0, 1]")
+
+
+@dataclass
+class EngineConf:
+    """Configuration for the threaded BSP engine and the simulator."""
+
+    num_workers: int = 4
+    slots_per_worker: int = 4
+    scheduling_mode: SchedulingMode = SchedulingMode.DRIZZLE
+    group_size: int = 10
+    # Checkpoint every N micro-batches; group boundaries are the natural
+    # choice (§3.3), so this defaults to 0 meaning "at group boundaries".
+    checkpoint_interval_batches: int = 0
+    heartbeat_interval_s: float = 0.05
+    heartbeat_timeout_s: float = 0.25
+    # Map-side partial aggregation (§3.5) for reduce_by_key.
+    map_side_combine: bool = True
+    # Reuse map outputs from earlier micro-batches during recovery (§3.3).
+    reuse_intermediate_on_recovery: bool = True
+    tuner: TunerConf = field(default_factory=TunerConf)
+    speculation: SpeculationConf = field(default_factory=SpeculationConf)
+    # Deterministic seed used by hash partitioners and workload generators.
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_workers < 1:
+            raise ConfigError("num_workers must be >= 1")
+        if self.slots_per_worker < 1:
+            raise ConfigError("slots_per_worker must be >= 1")
+        if self.group_size < 1:
+            raise ConfigError("group_size must be >= 1")
+        if self.checkpoint_interval_batches < 0:
+            raise ConfigError("checkpoint_interval_batches must be >= 0")
+        if self.heartbeat_interval_s <= 0 or self.heartbeat_timeout_s <= 0:
+            raise ConfigError("heartbeat intervals must be positive")
+        if self.heartbeat_timeout_s < self.heartbeat_interval_s:
+            raise ConfigError("heartbeat_timeout_s must be >= heartbeat_interval_s")
+        self.tuner.validate()
+        self.speculation.validate()
+        if (
+            self.scheduling_mode is SchedulingMode.PER_BATCH
+            and self.group_size != 1
+            and not self.tuner.enabled
+        ):
+            # Per-batch mode is definitionally group size 1; normalize so
+            # metrics comparisons are honest.
+            self.group_size = 1
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_workers * self.slots_per_worker
+
+    def effective_checkpoint_interval(self) -> int:
+        """Micro-batches between checkpoints (group boundary by default)."""
+        if self.checkpoint_interval_batches > 0:
+            return self.checkpoint_interval_batches
+        return self.group_size

@@ -1,0 +1,72 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+The engine distinguishes *recoverable* faults (a worker died, a fetch
+failed) from *programming* errors (bad DAG, bad configuration).  Recovery
+logic in :mod:`repro.engine.driver` only catches the recoverable family.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid or inconsistent configuration values."""
+
+
+class PlanError(ReproError):
+    """Raised when a dataset DAG cannot be planned into stages."""
+
+
+class RecoverableError(ReproError):
+    """Base class for faults the engine is expected to recover from."""
+
+
+class WorkerLost(RecoverableError):
+    """A worker machine failed (crashed, was killed, or timed out)."""
+
+    def __init__(self, worker_id: str, reason: str = "worker lost"):
+        super().__init__(f"{reason}: {worker_id}")
+        self.worker_id = worker_id
+        self.reason = reason
+
+
+class FetchFailed(RecoverableError):
+    """A reduce task failed to fetch a shuffle block from an upstream worker.
+
+    Carries enough information for the driver to regenerate the lost map
+    output (paper §3.3: "if the tasks encounter a failure in either sending
+    or fetching outputs they forward the failure to the centralized
+    scheduler").
+    """
+
+    def __init__(self, shuffle_id: int, map_index: int, worker_id: str):
+        super().__init__(
+            f"fetch failed: shuffle={shuffle_id} map={map_index} worker={worker_id}"
+        )
+        self.shuffle_id = shuffle_id
+        self.map_index = map_index
+        self.worker_id = worker_id
+
+
+class TaskError(ReproError):
+    """A task raised a non-recoverable exception from user code."""
+
+    def __init__(self, task_id: str, cause: BaseException):
+        super().__init__(f"task {task_id} failed: {cause!r}")
+        self.task_id = task_id
+        self.cause = cause
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written or restored."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator detected an internal inconsistency."""
+
+
+class StreamingError(ReproError):
+    """Streaming-layer failure (job generation, source, or sink)."""

@@ -1,0 +1,121 @@
+"""Counter / timer registry.
+
+Drizzle's group-size tuner (§3.4) is driven by counters that "track the
+amount of time spent in various parts of the system"; the registry here is
+that mechanism.  It is also used by benchmarks to extract the scheduler-
+delay / task-transfer / compute breakdown of Figure 4(b).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+from repro.common.clock import Clock, WallClock
+
+
+class Counter:
+    """A thread-safe additive counter."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def add(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class TimeSeries:
+    """A thread-safe append-only list of samples."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[float] = []
+        self._lock = threading.Lock()
+
+    def record(self, sample: float) -> None:
+        with self._lock:
+            self._samples.append(sample)
+
+    def snapshot(self) -> List[float]:
+        with self._lock:
+            return list(self._samples)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
+class MetricsRegistry:
+    """Named counters and series, created on first use."""
+
+    def __init__(self, clock: Clock | None = None):
+        self._clock = clock or WallClock()
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def series(self, name: str) -> TimeSeries:
+        with self._lock:
+            if name not in self._series:
+                self._series[name] = TimeSeries(name)
+            return self._series[name]
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Accumulate elapsed wall time into counter ``name``."""
+        start = self._clock.now()
+        try:
+            yield
+        finally:
+            self.counter(name).add(self._clock.now() - start)
+
+    def counters_snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {name: c.value for name, c in self._counters.items()}
+
+    def reset(self) -> None:
+        with self._lock:
+            for c in self._counters.values():
+                c.reset()
+            for s in self._series.values():
+                s.reset()
+
+
+# Canonical metric names shared between the engine and the tuner.
+TIME_SCHEDULING = "time.scheduling"
+TIME_TASK_TRANSFER = "time.task_transfer"
+TIME_COMPUTE = "time.compute"
+TIME_COORDINATION = "time.coordination"
+COUNT_TASKS_LAUNCHED = "count.tasks_launched"
+COUNT_RPC_MESSAGES = "count.rpc_messages"
+# Launch messages sent by the centralized driver (the coordination cost
+# that group scheduling amortizes, §3.1).
+COUNT_LAUNCH_RPCS = "count.launch_rpcs"
+COUNT_GROUPS_SCHEDULED = "count.groups_scheduled"
+COUNT_BATCHES_EXECUTED = "count.batches_executed"
+COUNT_CHECKPOINTS = "count.checkpoints"
+COUNT_RECOVERIES = "count.recoveries"
+COUNT_SPECULATIVE = "count.speculative_tasks"

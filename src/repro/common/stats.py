@@ -1,0 +1,165 @@
+"""Small statistics helpers used by metrics, the tuner, and benchmarks.
+
+Kept dependency-free (no numpy) so the core library stays lightweight;
+benchmarks may use numpy on top of these.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100].
+
+    Matches numpy's default ("linear") method so benchmark tables agree
+    with any numpy cross-checks.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    # data[lo] + delta*frac (not the symmetric form) is exact when the two
+    # neighbours are equal and never leaves [data[lo], data[hi]].
+    return data[lo] + (data[hi] - data[lo]) * frac
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation (matches the paper's error bars usage)."""
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, fraction <= value) points, sorted by value."""
+    if not values:
+        return []
+    data = sorted(values)
+    n = len(data)
+    points: List[Tuple[float, float]] = []
+    for i, v in enumerate(data, start=1):
+        # Collapse duplicate x values, keeping the highest fraction.
+        if points and points[-1][0] == v:
+            points[-1] = (v, i / n)
+        else:
+            points.append((v, i / n))
+    return points
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary used by benchmark tables."""
+
+    count: int
+    mean: float
+    p5: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if not values:
+            raise ValueError("summary of empty sequence")
+        return cls(
+            count=len(values),
+            mean=mean(values),
+            p5=percentile(values, 5),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            max=max(values),
+        )
+
+
+class ExponentialAverage:
+    """Exponentially weighted moving average.
+
+    The paper (§3.4) uses "exponentially averaged scheduling overhead
+    measurements" so that transient latency spikes (e.g. GC pauses) do not
+    destabilize the group-size tuner.
+    """
+
+    def __init__(self, alpha: float = 0.5):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value: float | None = None
+
+    @property
+    def value(self) -> float:
+        if self._value is None:
+            raise ValueError("no observations yet")
+        return self._value
+
+    @property
+    def initialized(self) -> bool:
+        return self._value is not None
+
+    def update(self, sample: float) -> float:
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value = self.alpha * sample + (1.0 - self.alpha) * self._value
+        return self._value
+
+
+class Welford:
+    """Online mean/variance accumulator (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no observations")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count == 0:
+            raise ValueError("no observations")
+        if self.count == 1:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)

@@ -1,0 +1,35 @@
+"""Continuous-operator streaming engine — the Flink-style baseline.
+
+Long-running operators, direct worker-to-worker record flow, aligned
+checkpoint barriers, and (crucially, for Fig. 7) stop-the-world rollback
+recovery: a single instance failure rolls every operator back to the last
+checkpoint and replays.
+"""
+
+from repro.continuous.engine import ContinuousJob, SourceSpec
+from repro.continuous.messages import BarrierMsg, DataMsg, EndMsg, WatermarkMsg
+from repro.continuous.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyedReduceOperator,
+    MapOperator,
+    Operator,
+    OperatorSpec,
+    WindowAggOperator,
+)
+
+__all__ = [
+    "ContinuousJob",
+    "SourceSpec",
+    "BarrierMsg",
+    "DataMsg",
+    "EndMsg",
+    "WatermarkMsg",
+    "FilterOperator",
+    "FlatMapOperator",
+    "KeyedReduceOperator",
+    "MapOperator",
+    "Operator",
+    "OperatorSpec",
+    "WindowAggOperator",
+]

@@ -1,0 +1,572 @@
+"""Continuous-operator streaming engine (the "Flink" baseline of §2.2).
+
+User programs are a chain of long-running operators, each with parallel
+instances placed on their own threads.  Records flow directly between
+operator instances through per-channel mailboxes — no centralized
+scheduling or per-batch barriers.
+
+Fault tolerance uses *aligned checkpoint barriers* (distributed snapshots):
+the job manager injects a barrier at the sources; each instance blocks a
+channel once the barrier arrives on it and snapshots its state when every
+input channel has delivered the barrier, then forwards it.  Sinks stage
+output between barriers and the job manager commits a checkpoint's staged
+output only when every instance has acknowledged — two-phase-commit-style
+exactly-once.
+
+Recovery is the paper's point of comparison (Fig. 7): on any failure the
+*entire* topology is stopped, every operator's state is rolled back to the
+last completed checkpoint, sources rewind to the checkpointed offsets, and
+all records since are replayed.  There is no partial or parallel recovery.
+"""
+
+from __future__ import annotations
+
+import math
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import StreamingError
+from repro.continuous.messages import BarrierMsg, DataMsg, EndMsg, WatermarkMsg
+from repro.continuous.operators import Operator, OperatorSpec
+from repro.dag.partitioning import _stable_hash
+from repro.streaming.sinks import Sink
+from repro.streaming.sources import RecordLog
+
+_STOP = object()  # mailbox poison pill
+
+
+@dataclass
+class SourceSpec:
+    """Reads a :class:`RecordLog` (one instance per log partition), stamps
+    event times, and emits periodic watermarks."""
+
+    log: RecordLog
+    event_time_fn: Callable[[Any], float]
+    watermark_every: int = 100
+    stop_at_end: bool = True
+    poll_interval_s: float = 0.002
+
+
+class _Mailbox:
+    """One instance's inbox: (channel_id, message) pairs."""
+
+    def __init__(self) -> None:
+        self._q: "queue.Queue" = queue.Queue()
+
+    def put(self, channel: int, msg: Any) -> None:
+        self._q.put((channel, msg))
+
+    def put_stop(self) -> None:
+        self._q.put((_STOP, _STOP))
+
+    def get(self, timeout: Optional[float] = None) -> Tuple[Any, Any]:
+        return self._q.get(timeout=timeout)
+
+
+class _Instance(threading.Thread):
+    """A running operator instance: mailbox loop with barrier alignment,
+    watermark tracking and end-of-stream handling."""
+
+    def __init__(
+        self,
+        job: "ContinuousJob",
+        op_pos: int,
+        spec: OperatorSpec,
+        operator: Operator,
+        num_inputs: int,
+    ):
+        super().__init__(name=f"{spec.name}-{operator.instance_index}", daemon=True)
+        self.job = job
+        self.op_pos = op_pos
+        self.spec = spec
+        self.operator = operator
+        self.num_inputs = num_inputs
+        self.mailbox = _Mailbox()
+        self._blocked: set = set()
+        self._stash: deque = deque()
+        self._per_channel_wm: Dict[int, float] = {}
+        self._current_wm = -math.inf
+        self._ended: set = set()
+        self._barrier_counts: Dict[int, int] = {}
+        self._rr = 0
+        self.dead = False  # set by failure injection
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        while True:
+            if self._stash and not self._blocked:
+                channel, msg = self._stash.popleft()
+            else:
+                channel, msg = self.mailbox.get()
+            if msg is _STOP:
+                return
+            if self.dead:
+                return
+            if channel in self._blocked:
+                self._stash.append((channel, msg))
+                continue
+            if not self._handle(channel, msg):
+                return
+
+    def _handle(self, channel: int, msg: Any) -> bool:
+        if isinstance(msg, DataMsg):
+            for out in self.operator.process(msg.record):
+                self._emit(out)
+            return True
+        if isinstance(msg, WatermarkMsg):
+            self._per_channel_wm[channel] = max(
+                self._per_channel_wm.get(channel, -math.inf), msg.event_time
+            )
+            self._maybe_advance_watermark()
+            return True
+        if isinstance(msg, BarrierMsg):
+            live = self.num_inputs - len(self._ended)
+            if not self.job.aligned_checkpoints:
+                # Unaligned: never block; snapshot once every channel's
+                # barrier has arrived.  Records processed meanwhile are in
+                # the snapshot AND will be replayed (at-least-once).
+                count = self._barrier_counts.get(msg.checkpoint_id, 0) + 1
+                self._barrier_counts[msg.checkpoint_id] = count
+                if count >= live:
+                    del self._barrier_counts[msg.checkpoint_id]
+                    self._snapshot_and_forward(msg.checkpoint_id)
+                return True
+            self._blocked.add(channel)
+            if self._aligned(msg.checkpoint_id):
+                self._snapshot_and_forward(msg.checkpoint_id)
+                self._blocked.clear()
+            return True
+        if isinstance(msg, EndMsg):
+            self._ended.add(channel)
+            self._per_channel_wm[channel] = math.inf
+            self._maybe_advance_watermark()
+            if len(self._ended) >= self.num_inputs:
+                for out in self.operator.on_end():
+                    self._emit(out)
+                self.job.broadcast_downstream(self.op_pos, EndMsg())
+                self.job.instance_finished(self)
+                return False
+            return True
+        raise StreamingError(f"unknown message {msg!r}")
+
+    def _aligned(self, _checkpoint_id: int) -> bool:
+        # Ended channels no longer carry barriers.
+        live = self.num_inputs - len(self._ended)
+        return len(self._blocked) >= live
+
+    def _snapshot_and_forward(self, checkpoint_id: int) -> None:
+        state = self.operator.snapshot_state()
+        self.job.broadcast_downstream(self.op_pos, BarrierMsg(checkpoint_id))
+        self.job.ack_checkpoint(
+            checkpoint_id, self.spec.name, self.operator.instance_index, state
+        )
+
+    def _maybe_advance_watermark(self) -> None:
+        if len(self._per_channel_wm) < self.num_inputs:
+            return
+        new_wm = min(self._per_channel_wm.values())
+        if new_wm > self._current_wm:
+            self._current_wm = new_wm
+            for out in self.operator.on_watermark(new_wm):
+                self._emit(out)
+            if new_wm < math.inf:
+                self.job.broadcast_downstream(self.op_pos, WatermarkMsg(new_wm))
+
+    def _emit(self, record: Any) -> None:
+        self._rr = self.job.send_downstream(self.op_pos, record, self._rr)
+
+
+class _SinkInstance(threading.Thread):
+    """Terminal instance: stages records between barriers; staged output
+    travels with the checkpoint ack and is committed by the job manager
+    when the checkpoint completes (two-phase commit)."""
+
+    def __init__(self, job: "ContinuousJob", index: int, num_inputs: int):
+        super().__init__(name=f"sink-{index}", daemon=True)
+        self.job = job
+        self.index = index
+        self.num_inputs = num_inputs
+        self.mailbox = _Mailbox()
+        self._staged: List[Any] = []
+        self._blocked: set = set()
+        self._stash: deque = deque()
+        self._ended: set = set()
+        self._barrier_counts: Dict[int, int] = {}
+        self.dead = False
+
+    def run(self) -> None:
+        while True:
+            if self._stash and not self._blocked:
+                channel, msg = self._stash.popleft()
+            else:
+                channel, msg = self.mailbox.get()
+            if msg is _STOP:
+                return
+            if self.dead:
+                return
+            if channel in self._blocked:
+                self._stash.append((channel, msg))
+                continue
+            if isinstance(msg, DataMsg):
+                self._staged.append(msg.record)
+            elif isinstance(msg, BarrierMsg):
+                live = self.num_inputs - len(self._ended)
+                if not self.job.aligned_checkpoints:
+                    count = self._barrier_counts.get(msg.checkpoint_id, 0) + 1
+                    self._barrier_counts[msg.checkpoint_id] = count
+                    if count >= live:
+                        del self._barrier_counts[msg.checkpoint_id]
+                        staged, self._staged = self._staged, []
+                        self.job.ack_sink(msg.checkpoint_id, self.index, staged)
+                    continue
+                self._blocked.add(channel)
+                if len(self._blocked) >= live:
+                    staged, self._staged = self._staged, []
+                    self.job.ack_sink(msg.checkpoint_id, self.index, staged)
+                    self._blocked.clear()
+            elif isinstance(msg, EndMsg):
+                self._ended.add(channel)
+                if len(self._ended) >= self.num_inputs:
+                    staged, self._staged = self._staged, []
+                    self.job.sink_ended(self.index, staged)
+                    return
+            # Watermarks carry no information for the sink.
+
+
+class _SourceInstance(threading.Thread):
+    """Reads one log partition, stamps event times, injects barriers on
+    request from the job manager."""
+
+    def __init__(self, job: "ContinuousJob", spec: SourceSpec, partition: int,
+                 start_offset: int):
+        super().__init__(name=f"source-{partition}", daemon=True)
+        self.job = job
+        self.spec = spec
+        self.partition = partition
+        self.offset = start_offset
+        self._pending_barriers: "queue.Queue[int]" = queue.Queue()
+        self._stop_flag = threading.Event()
+        self._max_event_time = -math.inf
+        self._since_wm = 0
+        self._rr = 0
+        self.dead = False
+
+    def request_barrier(self, checkpoint_id: int) -> None:
+        self._pending_barriers.put(checkpoint_id)
+
+    def stop(self) -> None:
+        self._stop_flag.set()
+
+    def run(self) -> None:
+        log = self.spec.log
+        while not self._stop_flag.is_set() and not self.dead:
+            try:
+                checkpoint_id = self._pending_barriers.get_nowait()
+            except queue.Empty:
+                checkpoint_id = None
+            if checkpoint_id is not None:
+                self.job.broadcast_downstream(-1, BarrierMsg(checkpoint_id))
+                self.job.ack_checkpoint(
+                    checkpoint_id, "source", self.partition, {"offset": self.offset}
+                )
+                continue
+            end = log.end_offset(self.partition)
+            if self.offset >= end:
+                if self.spec.stop_at_end and self.job.input_closed.is_set():
+                    break
+                time.sleep(self.spec.poll_interval_s)
+                continue
+            record = log.read(self.partition, self.offset, self.offset + 1)[0]
+            self.offset += 1
+            et = self.spec.event_time_fn(record)
+            self._max_event_time = max(self._max_event_time, et)
+            self._rr = self.job.send_downstream(-1, record, self._rr)
+            self._since_wm += 1
+            if self._since_wm >= self.spec.watermark_every:
+                self._since_wm = 0
+                self.job.broadcast_downstream(
+                    -1, WatermarkMsg(self._max_event_time)
+                )
+        if not self.dead and not self._stop_flag.is_set():
+            if self._max_event_time > -math.inf:
+                self.job.broadcast_downstream(-1, WatermarkMsg(self._max_event_time))
+            self.job.broadcast_downstream(-1, EndMsg())
+
+
+@dataclass
+class _CompletedCheckpoint:
+    checkpoint_id: int
+    operator_states: Dict[Tuple[str, int], Any]
+    source_offsets: Dict[int, int]
+
+
+class ContinuousJob:
+    """Job manager + topology for one continuous streaming job."""
+
+    def __init__(
+        self,
+        source: SourceSpec,
+        operators: List[OperatorSpec],
+        sink: Sink,
+        sink_parallelism: int = 1,
+        aligned_checkpoints: bool = True,
+    ):
+        if not operators:
+            raise StreamingError("need at least one operator")
+        self.source_spec = source
+        self.operator_specs = operators
+        self.user_sink = sink
+        self.sink_parallelism = sink_parallelism
+        # Aligned barriers block already-barriered channels until the
+        # barrier arrives everywhere: a consistent cut, hence exactly-once
+        # (Flink's default).  Unaligned mode keeps processing while waiting
+        # for the remaining barriers, so records that overtook the cut are
+        # included in the snapshot AND replayed after recovery ->
+        # at-least-once (the sync vs async checkpoint trade-off of
+        # section 2.2: no alignment stall, weaker semantics).
+        self.aligned_checkpoints = aligned_checkpoints
+        self.input_closed = threading.Event()
+        self.finished = threading.Event()
+        self.records_processed: List = []
+
+        self._lock = threading.Lock()
+        self._sources: List[_SourceInstance] = []
+        self._instances: List[List[_Instance]] = []
+        self._sinks: List[_SinkInstance] = []
+        self._next_checkpoint_id = 0
+        self._pending_acks: Dict[int, Dict[Tuple[str, int], Any]] = {}
+        self._pending_sink_staged: Dict[int, Dict[int, List[Any]]] = {}
+        self._completed: List[_CompletedCheckpoint] = []
+        self._sink_ended: Dict[int, List[Any]] = {}
+        self._finished_instances: set = set()
+        self._started = False
+        self.recoveries = 0
+        self.checkpoint_times: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Topology wiring
+    # ------------------------------------------------------------------
+    def _total_instances(self) -> int:
+        return (
+            self.source_spec.log.num_partitions
+            + sum(s.parallelism for s in self.operator_specs)
+            + self.sink_parallelism
+        )
+
+    def start(
+        self,
+        restore_from: Optional[_CompletedCheckpoint] = None,
+    ) -> None:
+        if self._started:
+            raise StreamingError("job already started")
+        self._started = True
+        self._finished_instances = set()
+        num_source = self.source_spec.log.num_partitions
+        self._instances = []
+        prev_parallelism = num_source
+        for pos, spec in enumerate(self.operator_specs):
+            row: List[_Instance] = []
+            for i in range(spec.parallelism):
+                op = spec.factory()
+                op.setup(i, spec.parallelism)
+                if restore_from is not None:
+                    op.restore_state(
+                        restore_from.operator_states.get((spec.name, i))
+                    )
+                row.append(_Instance(self, pos, spec, op, prev_parallelism))
+            self._instances.append(row)
+            prev_parallelism = spec.parallelism
+        self._sinks = [
+            _SinkInstance(self, i, prev_parallelism)
+            for i in range(self.sink_parallelism)
+        ]
+        self._sources = []
+        for p in range(num_source):
+            start_offset = 0
+            if restore_from is not None:
+                start_offset = restore_from.source_offsets.get(p, 0)
+            self._sources.append(
+                _SourceInstance(self, self.source_spec, p, start_offset)
+            )
+        for row in self._instances:
+            for inst in row:
+                inst.start()
+        for sink in self._sinks:
+            sink.start()
+        for src in self._sources:
+            src.start()
+
+    # ------------------------------------------------------------------
+    # Routing (called from instance threads)
+    # ------------------------------------------------------------------
+    def _downstream_of(self, op_pos: int):
+        """(mailboxes, partitioning) for the layer after ``op_pos``;
+        op_pos == -1 means the sources."""
+        next_pos = op_pos + 1
+        if next_pos < len(self.operator_specs):
+            spec = self.operator_specs[next_pos]
+            return [inst.mailbox for inst in self._instances[next_pos]], spec.partitioning
+        return [s.mailbox for s in self._sinks], "rebalance"
+
+    def _channel_of(self, op_pos: int, sender_index: int) -> int:
+        return sender_index
+
+    def send_downstream(self, op_pos: int, record: Any, rr: int) -> int:
+        mailboxes, partitioning = self._downstream_of(op_pos)
+        sender = self._sender_index(op_pos)
+        if partitioning == "hash":
+            key = record[0]
+            target = _stable_hash(key) % len(mailboxes)
+        else:
+            target = rr % len(mailboxes)
+            rr += 1
+        mailboxes[target].put(sender, DataMsg(record))
+        return rr
+
+    def broadcast_downstream(self, op_pos: int, msg: Any) -> None:
+        mailboxes, _ = self._downstream_of(op_pos)
+        sender = self._sender_index(op_pos)
+        for mb in mailboxes:
+            mb.put(sender, msg)
+
+    def _sender_index(self, op_pos: int) -> int:
+        ident = threading.current_thread()
+        if isinstance(ident, (_Instance,)):
+            return ident.operator.instance_index
+        if isinstance(ident, _SourceInstance):
+            return ident.partition
+        if isinstance(ident, _SinkInstance):
+            return ident.index
+        return 0
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def trigger_checkpoint(self) -> int:
+        with self._lock:
+            checkpoint_id = self._next_checkpoint_id
+            self._next_checkpoint_id += 1
+            self._pending_acks[checkpoint_id] = {}
+            self._pending_sink_staged[checkpoint_id] = {}
+        for src in self._sources:
+            src.request_barrier(checkpoint_id)
+        return checkpoint_id
+
+    def ack_checkpoint(
+        self, checkpoint_id: int, op_name: str, index: int, state: Any
+    ) -> None:
+        with self._lock:
+            acks = self._pending_acks.get(checkpoint_id)
+            if acks is None:
+                return
+            acks[(op_name, index)] = state
+            self._maybe_complete(checkpoint_id)
+
+    def ack_sink(self, checkpoint_id: int, index: int, staged: List[Any]) -> None:
+        with self._lock:
+            if checkpoint_id not in self._pending_acks:
+                return
+            self._pending_sink_staged[checkpoint_id][index] = staged
+            self._pending_acks[checkpoint_id][("sink", index)] = None
+            self._maybe_complete(checkpoint_id)
+
+    def _maybe_complete(self, checkpoint_id: int) -> None:
+        acks = self._pending_acks[checkpoint_id]
+        if len(acks) < self._total_instances():
+            return
+        operator_states = {
+            key: state for key, state in acks.items() if key[0] not in ("source", "sink")
+        }
+        source_offsets = {
+            idx: state["offset"]
+            for (name, idx), state in acks.items()
+            if name == "source"
+        }
+        completed = _CompletedCheckpoint(checkpoint_id, operator_states, source_offsets)
+        self._completed.append(completed)
+        self.checkpoint_times.append(time.monotonic())
+        staged_by_sink = self._pending_sink_staged.pop(checkpoint_id)
+        del self._pending_acks[checkpoint_id]
+        records: List[Any] = []
+        for idx in sorted(staged_by_sink):
+            records.extend(staged_by_sink[idx])
+        self.user_sink.commit(checkpoint_id, records)
+
+    def completed_checkpoints(self) -> int:
+        with self._lock:
+            return len(self._completed)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def instance_finished(self, instance: "_Instance") -> None:
+        with self._lock:
+            self._finished_instances.add(
+                (instance.spec.name, instance.operator.instance_index)
+            )
+
+    def sink_ended(self, index: int, staged: List[Any]) -> None:
+        with self._lock:
+            self._sink_ended[index] = staged
+            if len(self._sink_ended) >= self.sink_parallelism:
+                records: List[Any] = []
+                for idx in sorted(self._sink_ended):
+                    records.extend(self._sink_ended[idx])
+                if records:
+                    self.user_sink.commit(self._next_checkpoint_id, records)
+                self.finished.set()
+
+    def close_input_and_wait(self, timeout: float = 30.0) -> None:
+        """Declare the log complete and wait for the topology to drain."""
+        self.input_closed.set()
+        if not self.finished.wait(timeout):
+            raise StreamingError("continuous job did not finish in time")
+
+    # ------------------------------------------------------------------
+    # Failure injection + global restart recovery
+    # ------------------------------------------------------------------
+    def kill_operator_instance(self, op_name: str, index: int) -> None:
+        """Crash one instance, then perform whole-topology recovery: stop
+        everything, roll back to the last completed checkpoint, replay."""
+        for row in self._instances:
+            for inst in row:
+                if inst.spec.name == op_name and inst.operator.instance_index == index:
+                    inst.dead = True
+                    inst.mailbox.put_stop()
+        self.recover()
+
+    def recover(self) -> None:
+        """Stop-the-world rollback to the last completed checkpoint."""
+        self._stop_all()
+        with self._lock:
+            self.recoveries += 1
+            restore = self._completed[-1] if self._completed else None
+            # Uncommitted checkpoints and staged sink output are discarded.
+            self._pending_acks.clear()
+            self._pending_sink_staged.clear()
+            self._sink_ended.clear()
+        self._started = False
+        self.start(restore_from=restore)
+
+    def _stop_all(self) -> None:
+        for src in self._sources:
+            src.stop()
+        for src in self._sources:
+            src.join(timeout=5.0)
+        for row in self._instances:
+            for inst in row:
+                inst.mailbox.put_stop()
+        for sink in self._sinks:
+            sink.mailbox.put_stop()
+        for row in self._instances:
+            for inst in row:
+                inst.join(timeout=5.0)
+        for sink in self._sinks:
+            sink.join(timeout=5.0)
+
+    def shutdown(self) -> None:
+        self._stop_all()

@@ -1,0 +1,38 @@
+"""Messages flowing through continuous-operator channels.
+
+Data records, checkpoint barriers (for aligned snapshots, the Flink
+mechanism referenced in §2.2), low-watermarks for event-time windowing,
+and end-of-stream markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class DataMsg:
+    record: Any
+
+
+@dataclass(frozen=True)
+class BarrierMsg:
+    """Checkpoint barrier: operators align on these across input channels
+    and snapshot their state when barrier ``checkpoint_id`` has arrived on
+    every channel."""
+
+    checkpoint_id: int
+
+
+@dataclass(frozen=True)
+class WatermarkMsg:
+    """Event-time low watermark: no record with event time below this will
+    arrive on the emitting channel."""
+
+    event_time: float
+
+
+@dataclass(frozen=True)
+class EndMsg:
+    """End of stream on this channel."""

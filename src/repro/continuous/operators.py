@@ -1,0 +1,158 @@
+"""Operator logic for the continuous-operator engine.
+
+Each operator class is *pure logic*: it consumes records and produces
+(possibly zero) output records, holds local state, and knows how to
+snapshot/restore that state.  Threading, channels, barrier alignment and
+watermark bookkeeping live in :mod:`repro.continuous.engine` — operators
+stay testable in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+from repro.streaming.windows import window_end, window_for
+
+
+class Operator:
+    """Base class for a single *instance* of a logical operator."""
+
+    def setup(self, instance_index: int, parallelism: int) -> None:
+        self.instance_index = instance_index
+        self.parallelism = parallelism
+
+    def process(self, record: Any) -> Iterable[Any]:
+        """Consume one record, yield zero or more output records."""
+        raise NotImplementedError
+
+    def on_watermark(self, watermark: float) -> Iterable[Any]:
+        """React to an advancing event-time watermark (e.g. close windows)."""
+        return ()
+
+    def on_end(self) -> Iterable[Any]:
+        """Flush at end-of-stream."""
+        return ()
+
+    def snapshot_state(self) -> Any:
+        return None
+
+    def restore_state(self, state: Any) -> None:
+        if state is not None:
+            raise ValueError(f"{type(self).__name__} is stateless, got state")
+
+
+class MapOperator(Operator):
+    """Stateless 1->1 transform."""
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        self.fn = fn
+
+    def process(self, record: Any) -> Iterable[Any]:
+        yield self.fn(record)
+
+
+class FlatMapOperator(Operator):
+    def __init__(self, fn: Callable[[Any], Iterable[Any]]):
+        self.fn = fn
+
+    def process(self, record: Any) -> Iterable[Any]:
+        return self.fn(record)
+
+
+class FilterOperator(Operator):
+    def __init__(self, fn: Callable[[Any], bool]):
+        self.fn = fn
+
+    def process(self, record: Any) -> Iterable[Any]:
+        if self.fn(record):
+            yield record
+
+
+class KeyedReduceOperator(Operator):
+    """Running per-key reduction; emits the updated (key, value) on every
+    input record (continuous refinement, Flink-style)."""
+
+    def __init__(self, fn: Callable[[Any, Any], Any]):
+        self.fn = fn
+        self._state: Dict[Any, Any] = {}
+
+    def process(self, record: Any) -> Iterable[Any]:
+        key, value = record
+        if key in self._state:
+            self._state[key] = self.fn(self._state[key], value)
+        else:
+            self._state[key] = value
+        yield (key, self._state[key])
+
+    def snapshot_state(self) -> Any:
+        return dict(self._state)
+
+    def restore_state(self, state: Any) -> None:
+        self._state = dict(state) if state else {}
+
+
+class WindowAggOperator(Operator):
+    """Event-time tumbling-window aggregation with watermark-triggered
+    emission — the Flink implementation of the Yahoo benchmark ("a window
+    operator that collects events from the same window and triggers an
+    update every 10 seconds", §5.3).
+
+    Input records: ``(key, (event_time, value))``.
+    Output on window close: ``(key, window_index, aggregate)``.
+    """
+
+    def __init__(self, fn: Callable[[Any, Any], Any], window_size: float):
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        self.fn = fn
+        self.window_size = window_size
+        self._state: Dict[Tuple[Any, int], Any] = {}
+
+    def process(self, record: Any) -> Iterable[Any]:
+        key, (event_time, value) = record
+        w = window_for(event_time, self.window_size)
+        slot = (key, w)
+        if slot in self._state:
+            self._state[slot] = self.fn(self._state[slot], value)
+        else:
+            self._state[slot] = value
+        return ()
+
+    def on_watermark(self, watermark: float) -> Iterable[Any]:
+        closed: List[Tuple[Any, int, Any]] = []
+        for (key, w), value in list(self._state.items()):
+            if window_end(w, self.window_size) <= watermark:
+                closed.append((key, w, value))
+                del self._state[(key, w)]
+        closed.sort(key=lambda t: (t[1], str(t[0])))
+        return closed
+
+    def on_end(self) -> Iterable[Any]:
+        leftover = sorted(self._state.items(), key=lambda kv: (kv[0][1], str(kv[0][0])))
+        self._state.clear()
+        return [(key, w, value) for (key, w), value in leftover]
+
+    def snapshot_state(self) -> Any:
+        return dict(self._state)
+
+    def restore_state(self, state: Any) -> None:
+        self._state = dict(state) if state else {}
+
+
+@dataclass
+class OperatorSpec:
+    """A logical operator: a factory for its parallel instances plus how
+    its input is partitioned across them."""
+
+    name: str
+    factory: Callable[[], Operator]
+    parallelism: int
+    # "rebalance" (round-robin) or "hash" (by record[0], for keyed ops).
+    partitioning: str = "rebalance"
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if self.partitioning not in ("rebalance", "hash"):
+            raise ValueError(f"unknown partitioning {self.partitioning!r}")

@@ -1,0 +1,54 @@
+"""Dataset DAG: logical operators, partitioning, combiners, stage planner."""
+
+from repro.dag.combiners import Aggregator, combine_locally
+from repro.dag.dataset import (
+    CoGroupDataset,
+    Dataset,
+    NarrowDataset,
+    ShuffledDataset,
+    SourceDataset,
+    TreeStageDataset,
+    UnionDataset,
+    from_partitions,
+    parallelize,
+)
+from repro.dag.partitioning import HashPartitioner, Partitioner, RangePartitioner
+from repro.dag.plan import (
+    Action,
+    PhysicalPlan,
+    ShuffleSpec,
+    StageSpec,
+    collect_action,
+    compile_plan,
+    count_action,
+    dict_action,
+    foreach_action,
+    reduce_action,
+)
+
+__all__ = [
+    "Aggregator",
+    "combine_locally",
+    "CoGroupDataset",
+    "Dataset",
+    "NarrowDataset",
+    "ShuffledDataset",
+    "SourceDataset",
+    "TreeStageDataset",
+    "UnionDataset",
+    "from_partitions",
+    "parallelize",
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "Action",
+    "PhysicalPlan",
+    "ShuffleSpec",
+    "StageSpec",
+    "collect_action",
+    "compile_plan",
+    "count_action",
+    "dict_action",
+    "foreach_action",
+    "reduce_action",
+]

@@ -1,0 +1,24 @@
+"""The real (threaded) BSP execution engine.
+
+Substrate equivalent to the Apache Spark core the paper modified:
+a centralized :class:`~repro.engine.driver.Driver`, worker machines with
+executor slots and a pre-scheduling local scheduler, an in-memory shuffle
+block store, and worker-loss recovery per §3.3 of the paper.
+"""
+
+from repro.engine.cluster import LocalCluster
+from repro.engine.driver import Driver, JobState
+from repro.engine.rpc import Transport
+from repro.engine.task import TaskDescriptor, TaskId, TaskReport
+from repro.engine.worker import Worker
+
+__all__ = [
+    "LocalCluster",
+    "Driver",
+    "JobState",
+    "Transport",
+    "TaskDescriptor",
+    "TaskId",
+    "TaskReport",
+    "Worker",
+]

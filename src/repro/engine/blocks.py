@@ -1,0 +1,74 @@
+"""Per-worker shuffle block store.
+
+Map tasks "materialize the output on local disk" (§3.2); here the backing
+store is an in-memory dict per worker.  Blocks are keyed by
+``(job_id, shuffle_id, map_index)`` with one bucket list per reduce
+partition.  Losing a worker loses its store — exactly the failure mode the
+paper's recovery protocol handles.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import FetchFailed
+
+BlockKey = Tuple[int, int, int]  # (job_id, shuffle_id, map_index)
+
+
+class BlockStore:
+    """Thread-safe map-output storage for one worker."""
+
+    def __init__(self, worker_id: str):
+        self.worker_id = worker_id
+        self._blocks: Dict[BlockKey, Dict[int, List]] = {}
+        self._lock = threading.Lock()
+
+    def put_map_output(
+        self, job_id: int, shuffle_id: int, map_index: int, buckets: Dict[int, List]
+    ) -> None:
+        with self._lock:
+            self._blocks[(job_id, shuffle_id, map_index)] = buckets
+
+    def has_map_output(self, job_id: int, shuffle_id: int, map_index: int) -> bool:
+        with self._lock:
+            return (job_id, shuffle_id, map_index) in self._blocks
+
+    def get_bucket(
+        self, job_id: int, shuffle_id: int, map_index: int, reduce_index: int
+    ) -> List:
+        """Fetch one reduce partition's slice of one map output.
+
+        Raises :class:`FetchFailed` when the block is absent (the caller
+        treats this like fetching from a crashed machine)."""
+        with self._lock:
+            block = self._blocks.get((job_id, shuffle_id, map_index))
+            if block is None:
+                raise FetchFailed(shuffle_id, map_index, self.worker_id)
+            return block.get(reduce_index, [])
+
+    def bucket_sizes(
+        self, job_id: int, shuffle_id: int, map_index: int
+    ) -> Optional[Dict[int, int]]:
+        with self._lock:
+            block = self._blocks.get((job_id, shuffle_id, map_index))
+            if block is None:
+                return None
+            return {r: len(v) for r, v in block.items()}
+
+    def drop_job(self, job_id: int) -> int:
+        """Garbage-collect every block belonging to ``job_id``."""
+        with self._lock:
+            doomed = [k for k in self._blocks if k[0] == job_id]
+            for k in doomed:
+                del self._blocks[k]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._blocks.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocks)

@@ -1,0 +1,167 @@
+"""LocalCluster: driver + N workers wired through one transport.
+
+This is the real (threaded) execution substrate — every task genuinely
+runs user Python code, shuffles move real records between worker block
+stores, and failures are injected by crashing worker objects.  Use it for
+correctness, API examples, and fault-injection tests; use
+:mod:`repro.sim` when you need 128-machine scaling behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional, Sequence
+
+from repro.common.clock import Clock, WallClock
+from repro.common.config import EngineConf
+from repro.common.metrics import MetricsRegistry
+from repro.dag.dataset import Dataset
+from repro.dag.plan import Action, PhysicalPlan, collect_action, compile_plan
+from repro.engine.driver import Driver
+from repro.engine.rpc import Transport
+from repro.engine.worker import Worker
+
+
+class LocalCluster:
+    """An in-process cluster.  Context-manager friendly:
+
+    >>> from repro.common.config import EngineConf
+    >>> from repro.dag.dataset import parallelize
+    >>> with LocalCluster(EngineConf(num_workers=2)) as cluster:
+    ...     data = parallelize(range(10), num_partitions=4)
+    ...     cluster.collect(data.map(lambda x: x * 2))
+    [0, 8, 16, 2, 10, 18, 4, 12, 6, 14]
+    """
+
+    def __init__(
+        self,
+        conf: Optional[EngineConf] = None,
+        clock: Optional[Clock] = None,
+        enable_heartbeats: bool = False,
+        rpc_latency_s: float = 0.0,
+    ):
+        self.conf = conf or EngineConf()
+        self.conf.validate()
+        self.clock = clock or WallClock()
+        self.metrics = MetricsRegistry(self.clock)
+        self.transport = Transport(self.metrics, latency_s=rpc_latency_s, clock=self.clock)
+        self.driver = Driver(self.transport, self.conf, self.metrics, self.clock)
+        self.workers: dict[str, Worker] = {}
+        self._worker_seq = 0
+        self._lock = threading.Lock()
+        self._enable_heartbeats = enable_heartbeats
+        for _ in range(self.conf.num_workers):
+            self.add_worker()
+        if enable_heartbeats:
+            self.driver.start_monitor()
+        if self.conf.speculation.enabled:
+            self.driver.start_speculation()
+
+    # ------------------------------------------------------------------
+    # Membership / failure injection
+    # ------------------------------------------------------------------
+    def add_worker(self) -> str:
+        """Elastically add a machine; it participates from the next
+        scheduling round (group boundary) onwards."""
+        with self._lock:
+            worker_id = f"worker-{self._worker_seq}"
+            self._worker_seq += 1
+            worker = Worker(
+                worker_id,
+                self.transport,
+                self.conf,
+                self.metrics,
+                self.clock,
+                enable_heartbeats=self._enable_heartbeats,
+            )
+            self.workers[worker_id] = worker
+        worker.start()
+        self.driver.add_worker(worker_id)
+        return worker_id
+
+    def kill_worker(self, worker_id: str, notify_driver: bool = True) -> None:
+        """Crash a machine.  With ``notify_driver=False`` the failure is
+        only discovered via heartbeat timeout (requires heartbeats)."""
+        worker = self.workers[worker_id]
+        worker.kill()
+        if notify_driver:
+            self.driver.on_worker_lost(worker_id)
+
+    def decommission_worker(self, worker_id: str) -> None:
+        self.driver.decommission_worker(worker_id)
+
+    def alive_workers(self) -> List[str]:
+        return self.driver.alive_workers()
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def run_plan(self, plan: PhysicalPlan, job_key: Any = None, reuse: bool = False) -> Any:
+        return self.driver.run_job(plan, job_key=job_key, reuse=reuse)
+
+    def run(self, dataset: Dataset, action: Optional[Action] = None) -> Any:
+        plan = compile_plan(
+            dataset, action or collect_action(), map_side_combine=self.conf.map_side_combine
+        )
+        return self.run_plan(plan)
+
+    def collect(self, dataset: Dataset) -> List[Any]:
+        return self.run(dataset, collect_action())
+
+    def run_group(
+        self, plans: Sequence[PhysicalPlan], job_keys: Optional[Sequence[Any]] = None
+    ) -> List[Any]:
+        return self.driver.run_group(plans, job_keys=job_keys)
+
+    def sort(
+        self,
+        dataset: Dataset,
+        key: Any = None,
+        num_partitions: int = 4,
+        sample_fraction: float = 0.1,
+    ) -> List[Any]:
+        """Distributed sort, Spark-style: a sampling job picks range
+        boundaries, then a range-partitioned job sorts each partition.
+
+        Two jobs total — this is the database-style optimization that
+        "depends on data statistics" (§3.6): statistics from one pass
+        drive the plan of the next.
+        """
+        from repro.dag.partitioning import RangePartitioner
+
+        key_fn = key if key is not None else (lambda x: x)
+        sample = self.collect(dataset.sample(sample_fraction, seed=self.conf.seed))
+        if not sample:
+            return sorted(self.collect(dataset), key=key_fn)
+        sample_keys = sorted(key_fn(x) for x in sample)
+        boundaries = [
+            sample_keys[(i + 1) * len(sample_keys) // num_partitions]
+            for i in range(num_partitions - 1)
+        ]
+        partitioner = RangePartitioner(boundaries)
+        ranged = (
+            dataset.map(lambda x: (key_fn(x), x))
+            .partition_by(partitioner)
+            .map_partitions(lambda _p, it: [v for _k, v in sorted(it, key=lambda kv: kv[0])])
+        )
+        parts = self.run(
+            ranged.map_partitions(lambda p, it: [(p, list(it))]), None
+        )
+        ordered: List[Any] = []
+        for _p, chunk in sorted(parts):
+            ordered.extend(chunk)
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        self.driver.stop_monitor()
+        for worker in self.workers.values():
+            worker.shutdown()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

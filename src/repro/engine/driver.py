@@ -1,0 +1,836 @@
+"""The centralized driver/scheduler.
+
+Implements the control-plane variants the paper compares:
+
+* ``PER_BATCH`` (Spark baseline) — each stage is scheduled after its
+  parents complete; map tasks report output sizes to the driver; the
+  driver launches reduce tasks with explicit block locations.  One launch
+  RPC *per task* (Figure 1).
+* ``PRE_SCHEDULED`` — all stages of one micro-batch are assigned up front;
+  reduce tasks are parked on workers and triggered by worker-to-worker
+  notifications (§3.2).  One launch RPC per worker per batch.
+* ``DRIZZLE`` — pre-scheduling plus *group scheduling* (§3.1): placement
+  is computed once per group and every batch's tasks ship in a single RPC
+  per worker per group.
+* ``PIPELINED`` — §3.6 design alternative; identical semantics to
+  PER_BATCH in the real engine (the timing difference is modeled in the
+  simulator, where it matters).
+
+Fault tolerance follows §3.3: heartbeat-based detection, resubmission of
+lost tasks, parallel recovery across in-flight micro-batches, reuse of
+surviving intermediate (map) outputs, and pre-population of completed
+dependencies when a pre-scheduled task is moved to a new machine.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.clock import Clock, WallClock
+from repro.common.config import EngineConf, SchedulingMode
+from repro.common.errors import FetchFailed, ReproError, TaskError, WorkerLost
+from repro.common.metrics import (
+    COUNT_BATCHES_EXECUTED,
+    COUNT_GROUPS_SCHEDULED,
+    COUNT_LAUNCH_RPCS,
+    COUNT_RECOVERIES,
+    COUNT_SPECULATIVE,
+    COUNT_TASKS_LAUNCHED,
+    TIME_SCHEDULING,
+    TIME_TASK_TRANSFER,
+    MetricsRegistry,
+)
+from repro.core.groups import CoordinationLedger, PlacementPolicy, StageTemplate
+from repro.core.prescheduling import DepKey
+from repro.core.tuner import GroupSizeTuner
+from repro.dag.plan import PhysicalPlan, StageSpec
+from repro.engine.task import TaskDescriptor, TaskId, TaskReport
+
+DRIVER_ID = "driver"
+
+
+@dataclass
+class JobState:
+    """Driver-side bookkeeping for one submitted job (one micro-batch)."""
+
+    job_id: int
+    job_key: Any
+    plan: PhysicalPlan
+    pre_scheduled: bool
+    stage_remaining: Dict[int, Set[int]] = field(default_factory=dict)
+    map_status: Dict[DepKey, str] = field(default_factory=dict)
+    results: Dict[int, Any] = field(default_factory=dict)
+    task_locations: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    attempts: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    blocked: Set[Tuple[int, int]] = field(default_factory=set)
+    # Tasks re-placed after a failure: map completions must be forwarded
+    # to their new location, since in-flight map descriptors still carry
+    # the old downstream pointer (§3.3).
+    relocated: Set[Tuple[int, int]] = field(default_factory=set)
+    # Straggler mitigation bookkeeping.
+    task_started: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    task_durations: Dict[int, List[float]] = field(default_factory=dict)
+    speculated: Set[Tuple[int, int]] = field(default_factory=set)
+    error: Optional[BaseException] = None
+    done: threading.Event = field(default_factory=threading.Event)
+    # shuffle_id -> consumer stage index / producer (map) stage index
+    consumers: Dict[int, int] = field(default_factory=dict)
+    producers: Dict[int, int] = field(default_factory=dict)
+
+    def stage_complete(self, stage_index: int) -> bool:
+        return not self.stage_remaining.get(stage_index)
+
+    def is_finished(self) -> bool:
+        return self.done.is_set()
+
+    @property
+    def result_stage_index(self) -> int:
+        return self.plan.stages[-1].stage_index
+
+
+class Driver:
+    """Centralized scheduler; registered on the transport as ``driver``."""
+
+    def __init__(
+        self,
+        transport,
+        conf: EngineConf,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
+    ):
+        conf.validate()
+        self.conf = conf
+        self.transport = transport
+        self.metrics = metrics or MetricsRegistry()
+        self.clock = clock or WallClock()
+        self.jobs: Dict[int, JobState] = {}
+        self._job_ids_by_key: Dict[Any, int] = {}
+        self._alive: Set[str] = set()
+        self._draining: Set[str] = set()
+        self._next_job_id = 0
+        self._rr_cursor = 0
+        self._lock = threading.RLock()
+        self._cv = threading.Condition(self._lock)
+        self._last_heartbeat: Dict[str, float] = {}
+        self._monitor: Optional[threading.Thread] = None
+        self._stop_monitor = threading.Event()
+        self.tuner: Optional[GroupSizeTuner] = (
+            GroupSizeTuner(conf.tuner, conf.group_size) if conf.tuner.enabled else None
+        )
+        self.last_group_ledger: Optional[CoordinationLedger] = None
+        transport.register(DRIVER_ID, self)
+
+    # ------------------------------------------------------------------
+    # Cluster membership
+    # ------------------------------------------------------------------
+    def add_worker(self, worker_id: str) -> None:
+        with self._lock:
+            self._alive.add(worker_id)
+            self._draining.discard(worker_id)
+            self._last_heartbeat[worker_id] = self.clock.now()
+
+    def decommission_worker(self, worker_id: str) -> None:
+        """Graceful removal: excluded from future placement; running tasks
+        finish normally (elasticity at group boundaries, §3.3)."""
+        with self._lock:
+            self._draining.add(worker_id)
+
+    def alive_workers(self) -> List[str]:
+        with self._lock:
+            return sorted(self._alive)
+
+    def placement_workers(self) -> List[str]:
+        with self._lock:
+            return sorted(self._alive - self._draining)
+
+    @property
+    def current_group_size(self) -> int:
+        if self.tuner is not None:
+            return self.tuner.group_size
+        return self.conf.group_size
+
+    # ------------------------------------------------------------------
+    # Failure detection
+    # ------------------------------------------------------------------
+    def start_monitor(self) -> None:
+        self._stop_monitor.clear()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="driver-monitor", daemon=True
+        )
+        self._monitor.start()
+
+    def stop_monitor(self) -> None:
+        self._stop_monitor.set()
+
+    def start_speculation(self) -> None:
+        """Launch the straggler-mitigation monitor (SpeculationConf)."""
+        thread = threading.Thread(
+            target=self._speculation_loop, name="driver-speculation", daemon=True
+        )
+        thread.start()
+
+    def _speculation_loop(self) -> None:
+        interval = self.conf.speculation.check_interval_s
+        while not self._stop_monitor.wait(interval):
+            self.speculation_pass()
+
+    def speculation_pass(self) -> int:
+        """One sweep: launch a second copy of every detected straggler.
+        Returns how many speculative copies were launched."""
+        spec = self.conf.speculation
+        now = self.clock.now()
+        launched = 0
+        with self._lock:
+            for job in self.jobs.values():
+                if job.is_finished():
+                    continue
+                for stage in job.plan.stages:
+                    launched += self._speculate_stage(job, stage, now, spec)
+        if launched:
+            self.metrics.counter(COUNT_SPECULATIVE).add(launched)
+        return launched
+
+    def _speculate_stage(self, job: JobState, stage, now: float, spec) -> int:
+        s = stage.stage_index
+        remaining = job.stage_remaining.get(s, set())
+        if not remaining:
+            return 0
+        done = stage.num_tasks - len(remaining)
+        if done / stage.num_tasks < spec.min_completed_fraction:
+            return 0
+        durations = sorted(job.task_durations.get(s, ()))
+        if not durations:
+            return 0
+        median = durations[len(durations) // 2]
+        threshold = max(spec.min_runtime_s, spec.multiplier * median)
+        launched = 0
+        for partition in sorted(remaining):
+            key = (s, partition)
+            if key in job.speculated:
+                continue
+            started = job.task_started.get(key)
+            if started is None or now - started <= threshold:
+                continue
+            # Only speculate tasks that are plausibly *running* (all of
+            # their inputs exist), not tasks parked for dependencies.
+            deps = stage.task_dependencies(partition)
+            if any(d not in job.map_status for d in deps):
+                continue
+            job.speculated.add(key)
+            job.attempts[key] = job.attempts.get(key, 0) + 1
+            self._resubmit_task(
+                job, s, partition, exclude=job.task_locations.get(key)
+            )
+            launched += 1
+        return launched
+
+    def heartbeat(self, worker_id: str, _ts: float) -> None:
+        with self._lock:
+            if worker_id in self._alive:
+                self._last_heartbeat[worker_id] = self.clock.now()
+
+    def _monitor_loop(self) -> None:
+        interval = self.conf.heartbeat_interval_s
+        while not self._stop_monitor.wait(interval):
+            now = self.clock.now()
+            with self._lock:
+                expired = [
+                    w
+                    for w in self._alive
+                    if now - self._last_heartbeat.get(w, now)
+                    > self.conf.heartbeat_timeout_s
+                ]
+            for worker_id in expired:
+                self.on_worker_lost(worker_id)
+
+    def notify_delivery_failed(
+        self, _job_id: int, _shuffle_id: int, _map_index: int, _src: str, target: str
+    ) -> None:
+        """A worker could not deliver a notification; if the target really
+        is unreachable, treat it as lost (workers rely on the driver as the
+        single source of truth, §3.3)."""
+        if not self.transport.is_alive(target):
+            self.on_worker_lost(target)
+
+    # ------------------------------------------------------------------
+    # Public job API
+    # ------------------------------------------------------------------
+    def run_job(self, plan: PhysicalPlan, job_key: Any = None, reuse: bool = False) -> Any:
+        """Execute one job synchronously and return the action's result."""
+        if self.conf.scheduling_mode in (
+            SchedulingMode.PER_BATCH,
+            SchedulingMode.PIPELINED,
+        ):
+            return self._run_barrier(plan, job_key=job_key, reuse=reuse)
+        job_ids = self.submit_group([plan], job_keys=[job_key], reuse=reuse)
+        return self.wait_job(job_ids[0])
+
+    def run_group(
+        self,
+        plans: Sequence[PhysicalPlan],
+        job_keys: Optional[Sequence[Any]] = None,
+        reuse: bool = False,
+    ) -> List[Any]:
+        """Execute a group of jobs and return their results in order.
+
+        Under DRIZZLE this is one group-scheduling round; under barrier
+        modes the jobs run sequentially (the Spark-streaming behaviour).
+        Feeds the group-size tuner with the measured coordination ledger.
+        """
+        keys = list(job_keys) if job_keys is not None else [None] * len(plans)
+        start = self.clock.now()
+        sched_before = self.metrics.counter(TIME_SCHEDULING).value
+        xfer_before = self.metrics.counter(TIME_TASK_TRANSFER).value
+
+        if self.conf.scheduling_mode in (
+            SchedulingMode.PER_BATCH,
+            SchedulingMode.PIPELINED,
+        ):
+            results = [
+                self._run_barrier(plan, job_key=key, reuse=reuse)
+                for plan, key in zip(plans, keys)
+            ]
+        else:
+            job_ids = self.submit_group(plans, job_keys=keys, reuse=reuse)
+            results = [self.wait_job(job_id) for job_id in job_ids]
+
+        ledger = CoordinationLedger(
+            scheduling_s=self.metrics.counter(TIME_SCHEDULING).value - sched_before,
+            task_transfer_s=self.metrics.counter(TIME_TASK_TRANSFER).value - xfer_before,
+            wall_s=self.clock.now() - start,
+        )
+        self.last_group_ledger = ledger
+        if self.tuner is not None and ledger.wall_s > 0:
+            self.tuner.observe(ledger.coordination_s, ledger.wall_s)
+        return results
+
+    def wait_job(self, job_id: int, timeout: Optional[float] = None) -> Any:
+        with self._lock:
+            job = self.jobs[job_id]
+        if not job.done.wait(timeout):
+            raise ReproError(f"job {job_id} did not finish within {timeout}s")
+        if job.error is not None:
+            raise job.error
+        parts = [job.results[p] for p in range(job.plan.result_stage.num_tasks)]
+        return job.plan.finalize(parts)
+
+    def drop_job(self, job_id: int) -> None:
+        """Garbage-collect a job's shuffle blocks cluster-wide."""
+        with self._lock:
+            job = self.jobs.pop(job_id, None)
+            if job is not None:
+                self._job_ids_by_key.pop(job.job_key, None)
+            workers = list(self._alive)
+        for worker_id in workers:
+            self.transport.try_call(worker_id, "drop_job", job_id)
+
+    # ------------------------------------------------------------------
+    # Job registration (shared)
+    # ------------------------------------------------------------------
+    def _register_job(
+        self, plan: PhysicalPlan, job_key: Any, pre_scheduled: bool, reuse: bool
+    ) -> JobState:
+        with self._lock:
+            prior: Optional[JobState] = None
+            if job_key is not None and job_key in self._job_ids_by_key:
+                prior_id = self._job_ids_by_key[job_key]
+                prior = self.jobs.get(prior_id)
+            if prior is not None:
+                job_id = prior.job_id
+                # Clear any parked tasks left over from the prior attempt.
+                for worker_id in list(self._alive):
+                    self.transport.try_call(worker_id, "cancel_job", job_id)
+            else:
+                job_id = self._next_job_id
+                self._next_job_id += 1
+            job = JobState(
+                job_id=job_id,
+                job_key=job_key,
+                plan=plan,
+                pre_scheduled=pre_scheduled,
+            )
+            for stage in plan.stages:
+                job.stage_remaining[stage.stage_index] = set(range(stage.num_tasks))
+                for spec in stage.input_shuffles:
+                    job.consumers[spec.shuffle_id] = stage.stage_index
+                if stage.output_shuffle is not None:
+                    job.producers[stage.output_shuffle.shuffle_id] = stage.stage_index
+            if prior is not None and reuse:
+                self._carry_over_outputs(job, prior)
+            self.jobs[job_id] = job
+            if job_key is not None:
+                self._job_ids_by_key[job_key] = job_id
+            return job
+
+    def _carry_over_outputs(self, job: JobState, prior: JobState) -> None:
+        """Reuse intermediate map outputs from a prior attempt of the same
+        micro-batch that still live on healthy workers (§3.3 lineage reuse)."""
+        for (shuffle_id, map_index), worker_id in prior.map_status.items():
+            if worker_id not in self._alive:
+                continue
+            if not self.transport.try_call(
+                worker_id, "has_map_output", job.job_id, shuffle_id, map_index
+            ):
+                continue
+            producer_stage = job.producers.get(shuffle_id)
+            if producer_stage is None:
+                continue
+            job.map_status[(shuffle_id, map_index)] = worker_id
+            job.stage_remaining[producer_stage].discard(map_index)
+            job.task_locations[(producer_stage, map_index)] = worker_id
+
+    @staticmethod
+    def _stage_templates(plan: PhysicalPlan) -> List[StageTemplate]:
+        return [
+            StageTemplate(
+                stage_index=s.stage_index,
+                num_tasks=s.num_tasks,
+                is_shuffle_map=s.output_shuffle is not None,
+                shuffle_id=(
+                    s.output_shuffle.shuffle_id if s.output_shuffle is not None else None
+                ),
+                locality=s.locality,
+            )
+            for s in plan.stages
+        ]
+
+    def _pick_worker(self, exclude: Optional[str] = None) -> str:
+        workers = self.placement_workers()
+        if not workers:
+            raise ReproError("no live workers available")
+        if exclude is not None and len(workers) > 1:
+            workers = [w for w in workers if w != exclude]
+        worker = workers[self._rr_cursor % len(workers)]
+        self._rr_cursor += 1
+        return worker
+
+    # ------------------------------------------------------------------
+    # Pre-scheduled (Drizzle) path
+    # ------------------------------------------------------------------
+    def submit_group(
+        self,
+        plans: Sequence[PhysicalPlan],
+        job_keys: Optional[Sequence[Any]] = None,
+        reuse: bool = False,
+    ) -> List[int]:
+        """Pre-schedule every stage of every micro-batch in the group.
+
+        Placement is computed once (scheduling-decision reuse, §3.1) and
+        each worker receives a single ``launch_tasks`` RPC for the whole
+        group, followed by a ``pre_populate`` message when reused outputs
+        already satisfy some dependencies.
+        """
+        if not plans:
+            return []
+        keys = list(job_keys) if job_keys is not None else [None] * len(plans)
+        sched_start = self.clock.now()
+        per_worker: Dict[str, List[TaskDescriptor]] = {}
+        prepopulate: Dict[int, List[Tuple[DepKey, str]]] = {}
+        job_ids: List[int] = []
+        job_assignments: Dict[int, Any] = {}
+
+        with self._lock:
+            workers = self.placement_workers()
+            if not workers:
+                raise ReproError("no live workers available")
+            policy = PlacementPolicy(workers, self.conf.slots_per_worker)
+            jobs: List[JobState] = []
+            for plan, key in zip(plans, keys):
+                job = self._register_job(plan, key, pre_scheduled=True, reuse=reuse)
+                jobs.append(job)
+                job_ids.append(job.job_id)
+            # One assignment per DAG *shape* per group: jobs sharing the
+            # (static) streaming DAG reuse the same scheduling decision
+            # (§3.1); a context with several output operators contributes
+            # one extra assignment per distinct shape.
+            assignments: Dict[Tuple, Any] = {}
+            for job in jobs:
+                shape = tuple(
+                    (
+                        s.num_tasks,
+                        s.output_shuffle.shuffle_id if s.output_shuffle else None,
+                        tuple(spec.shuffle_id for spec in s.input_shuffles),
+                    )
+                    for s in job.plan.stages
+                )
+                if shape not in assignments:
+                    assignments[shape] = policy.assign(
+                        self._stage_templates(job.plan)
+                    )
+                job_assignments[job.job_id] = assignments[shape]
+            for job in jobs:
+                completed = [
+                    (dep, loc) for dep, loc in job.map_status.items()
+                ]
+                if completed:
+                    prepopulate[job.job_id] = completed
+                for desc, worker_id in self._build_prescheduled_tasks(
+                    job, job_assignments[job.job_id]
+                ):
+                    per_worker.setdefault(worker_id, []).append(desc)
+        self.metrics.counter(TIME_SCHEDULING).add(self.clock.now() - sched_start)
+        self.metrics.counter(COUNT_GROUPS_SCHEDULED).add(1)
+        self.metrics.counter(COUNT_BATCHES_EXECUTED).add(len(plans))
+
+        xfer_start = self.clock.now()
+        for worker_id in sorted(per_worker):
+            descs = per_worker[worker_id]
+            self.metrics.counter(COUNT_TASKS_LAUNCHED).add(len(descs))
+            self.metrics.counter(COUNT_LAUNCH_RPCS).add(1)
+            try:
+                self.transport.call(worker_id, "launch_tasks", descs)
+            except WorkerLost:
+                self.on_worker_lost(worker_id)
+        for job_id, completed in prepopulate.items():
+            for worker_id in self.alive_workers():
+                self.transport.try_call(worker_id, "pre_populate", job_id, completed)
+        self.metrics.counter(TIME_TASK_TRANSFER).add(self.clock.now() - xfer_start)
+
+        # A job whose result partitions were all carried over (rare: zero
+        # remaining everywhere) completes immediately.
+        with self._lock:
+            for job in jobs:
+                self._check_job_done(job)
+        return job_ids
+
+    def _build_prescheduled_tasks(self, job: JobState, assignment) -> List[
+        Tuple[TaskDescriptor, str]
+    ]:
+        """Descriptors for every not-yet-complete task of one job."""
+        out: List[Tuple[TaskDescriptor, str]] = []
+        for stage in job.plan.stages:
+            slots = assignment.by_stage[stage.stage_index]
+            for partition in sorted(job.stage_remaining[stage.stage_index]):
+                worker_id = slots[partition].worker_id
+                desc = self._make_descriptor(job, stage, partition, assignment)
+                job.task_locations[(stage.stage_index, partition)] = worker_id
+                job.task_started[(stage.stage_index, partition)] = self.clock.now()
+                out.append((desc, worker_id))
+        return out
+
+    def _make_descriptor(
+        self, job: JobState, stage: StageSpec, partition: int, assignment
+    ) -> TaskDescriptor:
+        attempt = job.attempts.get((stage.stage_index, partition), 0)
+        deps = stage.task_dependencies(partition)
+        downstream: Dict[int, str] = {}
+        if stage.output_shuffle is not None:
+            spec = stage.output_shuffle
+            consumer = job.consumers.get(spec.shuffle_id)
+            if consumer is not None:
+                consumer_slots = assignment.by_stage[consumer]
+                if spec.structure == "tree":
+                    relevant = [partition // spec.fan_in]
+                else:
+                    relevant = list(range(spec.num_reducers))
+                downstream = {r: consumer_slots[r].worker_id for r in relevant}
+        return TaskDescriptor(
+            task_id=TaskId(job.job_id, stage.stage_index, partition, attempt),
+            plan=job.plan,
+            pre_scheduled=True,
+            deps=deps,
+            downstream=downstream,
+        )
+
+    # ------------------------------------------------------------------
+    # Barrier (Spark) path
+    # ------------------------------------------------------------------
+    def _run_barrier(self, plan: PhysicalPlan, job_key: Any, reuse: bool) -> Any:
+        job = self._register_job(plan, job_key, pre_scheduled=False, reuse=reuse)
+        self.metrics.counter(COUNT_BATCHES_EXECUTED).add(1)
+        for stage in plan.stages:
+            with self._lock:
+                pending = sorted(job.stage_remaining[stage.stage_index])
+                for partition in pending:
+                    self._launch_barrier_task(job, stage.stage_index, partition)
+            self._await_stage(job, stage.stage_index)
+            if job.error is not None:
+                raise job.error
+        with self._lock:
+            self._check_job_done(job)
+        return self.wait_job(job.job_id)
+
+    def _launch_barrier_task(
+        self, job: JobState, stage_index: int, partition: int
+    ) -> None:
+        """Launch one task if its inputs are available, else park it.
+
+        Caller holds the driver lock.  One RPC per task — the Spark
+        baseline's per-task launch cost that group scheduling amortizes.
+        """
+        stage = job.plan.stages[stage_index]
+        deps = stage.task_dependencies(partition)
+        missing = [d for d in deps if d not in job.map_status]
+        if missing:
+            job.blocked.add((stage_index, partition))
+            return
+        sched_start = self.clock.now()
+        worker_id = self._pick_worker()
+        attempt = job.attempts.get((stage_index, partition), 0)
+        desc = TaskDescriptor(
+            task_id=TaskId(job.job_id, stage_index, partition, attempt),
+            plan=job.plan,
+            pre_scheduled=False,
+            deps=frozenset(),
+            map_locations={d: job.map_status[d] for d in deps},
+        )
+        job.task_locations[(stage_index, partition)] = worker_id
+        job.task_started[(stage_index, partition)] = self.clock.now()
+        job.blocked.discard((stage_index, partition))
+        self.metrics.counter(TIME_SCHEDULING).add(self.clock.now() - sched_start)
+        self.metrics.counter(COUNT_TASKS_LAUNCHED).add(1)
+        self.metrics.counter(COUNT_LAUNCH_RPCS).add(1)
+        xfer_start = self.clock.now()
+        try:
+            self.transport.call(worker_id, "launch_tasks", [desc])
+        except WorkerLost:
+            # Retry from the monitor path.
+            self.metrics.counter(TIME_TASK_TRANSFER).add(self.clock.now() - xfer_start)
+            raise
+        self.metrics.counter(TIME_TASK_TRANSFER).add(self.clock.now() - xfer_start)
+
+    def _await_stage(self, job: JobState, stage_index: int) -> None:
+        with self._cv:
+            while job.error is None and any(
+                job.stage_remaining[s] for s in range(stage_index + 1)
+            ):
+                self._cv.wait(timeout=0.5)
+
+    # ------------------------------------------------------------------
+    # Worker -> driver callbacks
+    # ------------------------------------------------------------------
+    def task_finished(self, report: TaskReport) -> None:
+        with self._lock:
+            job = self.jobs.get(report.task_id.job_id)
+            if job is None or job.is_finished():
+                return
+            stage_index = report.task_id.stage_index
+            partition = report.task_id.partition
+            if not report.succeeded:
+                self._handle_task_failure(job, report)
+                self._cv.notify_all()
+                return
+            stage = job.plan.stages[stage_index]
+            if partition not in job.stage_remaining[stage_index]:
+                return  # stale duplicate from an old attempt
+            job.stage_remaining[stage_index].discard(partition)
+            started = job.task_started.get((stage_index, partition))
+            if started is not None:
+                job.task_durations.setdefault(stage_index, []).append(
+                    self.clock.now() - started
+                )
+            job.task_locations[(stage_index, partition)] = report.worker_id
+            if stage.output_shuffle is not None:
+                dep = (stage.output_shuffle.shuffle_id, partition)
+                job.map_status[dep] = report.worker_id
+                if job.pre_scheduled:
+                    self._forward_to_relocated(job, stage, partition, report.worker_id)
+                else:
+                    self._unblock_barrier_tasks(job)
+            if stage.is_result:
+                job.results[partition] = report.result
+            self._check_job_done(job)
+            self._cv.notify_all()
+
+    def _forward_to_relocated(
+        self, job: JobState, map_stage: StageSpec, map_index: int, holder: str
+    ) -> None:
+        """A map task completed, but some of its consumers were re-placed
+        after the map's descriptor was built; its worker-to-worker
+        notification went to the old (dead) machines.  The driver forwards
+        the completion to the consumers' current locations."""
+        spec = map_stage.output_shuffle
+        assert spec is not None
+        consumer = job.consumers.get(spec.shuffle_id)
+        if consumer is None:
+            return
+        if spec.structure == "tree":
+            relevant = [map_index // spec.fan_in]
+        else:
+            relevant = range(spec.num_reducers)
+        remaining = job.stage_remaining.get(consumer, set())
+        for r in relevant:
+            if (consumer, r) not in job.relocated or r not in remaining:
+                continue
+            where = job.task_locations.get((consumer, r))
+            if where is not None and where in self._alive:
+                self.transport.try_call(
+                    where,
+                    "pre_populate",
+                    job.job_id,
+                    [((spec.shuffle_id, map_index), holder)],
+                )
+
+    def _unblock_barrier_tasks(self, job: JobState) -> None:
+        for stage_index, partition in sorted(job.blocked):
+            stage = job.plan.stages[stage_index]
+            deps = stage.task_dependencies(partition)
+            if all(d in job.map_status for d in deps):
+                self._launch_barrier_task(job, stage_index, partition)
+
+    def _check_job_done(self, job: JobState) -> None:
+        if job.error is not None:
+            job.done.set()
+            return
+        if all(not rem for rem in job.stage_remaining.values()):
+            job.done.set()
+
+    def _handle_task_failure(self, job: JobState, report: TaskReport) -> None:
+        err = report.error
+        if isinstance(err, FetchFailed):
+            holder = err.worker_id
+            if holder != "<unknown>" and not self.transport.is_alive(holder):
+                # The block's machine is gone: full worker-loss handling.
+                self._worker_lost_locked(holder)
+            else:
+                # The block vanished (or its location was never learned):
+                # invalidate and recompute just that map output.
+                self._invalidate_map_output(job, err.shuffle_id, err.map_index)
+            # Retry the failed task itself.
+            stage_index = report.task_id.stage_index
+            partition = report.task_id.partition
+            if partition in job.stage_remaining.get(stage_index, set()):
+                job.attempts[(stage_index, partition)] = (
+                    job.attempts.get((stage_index, partition), 0) + 1
+                )
+                self._resubmit_task(job, stage_index, partition)
+            return
+        job.error = TaskError(str(report.task_id), err or ReproError("unknown"))
+        job.done.set()
+
+    def _invalidate_map_output(
+        self, job: JobState, shuffle_id: int, map_index: int
+    ) -> None:
+        if shuffle_id < 0:
+            return
+        dep = (shuffle_id, map_index)
+        if dep not in job.map_status:
+            return
+        del job.map_status[dep]
+        producer = job.producers.get(shuffle_id)
+        if producer is None:
+            return
+        job.stage_remaining[producer].add(map_index)
+        job.attempts[(producer, map_index)] = (
+            job.attempts.get((producer, map_index), 0) + 1
+        )
+        self._resubmit_task(job, producer, map_index)
+
+    # ------------------------------------------------------------------
+    # Worker-loss recovery (§3.3)
+    # ------------------------------------------------------------------
+    def on_worker_lost(self, worker_id: str) -> None:
+        with self._lock:
+            self._worker_lost_locked(worker_id)
+            self._cv.notify_all()
+
+    def _worker_lost_locked(self, worker_id: str) -> None:
+        if worker_id not in self._alive:
+            return
+        self._alive.discard(worker_id)
+        self._draining.discard(worker_id)
+        self.metrics.counter(COUNT_RECOVERIES).add(1)
+        self.transport.mark_dead(worker_id)
+        if not self._alive:
+            for job in self.jobs.values():
+                if not job.is_finished():
+                    job.error = WorkerLost(worker_id, "last worker lost")
+                    job.done.set()
+            return
+        # Recovery tasks across all in-flight micro-batches are resubmitted
+        # together — this is the paper's parallel recovery.
+        for job in self.jobs.values():
+            if job.is_finished():
+                continue
+            self._recover_job(job, worker_id)
+
+    def _recover_job(self, job: JobState, worker_id: str) -> None:
+        # 1. Map outputs lost with the machine, still needed downstream.
+        lost_deps = [d for d, w in job.map_status.items() if w == worker_id]
+        for shuffle_id, map_index in lost_deps:
+            consumer = job.consumers.get(shuffle_id)
+            still_needed = consumer is not None and bool(
+                job.stage_remaining.get(consumer)
+            )
+            del job.map_status[(shuffle_id, map_index)]
+            if not still_needed:
+                continue
+            producer = job.producers[shuffle_id]
+            if map_index not in job.stage_remaining[producer]:
+                job.stage_remaining[producer].add(map_index)
+                job.attempts[(producer, map_index)] = (
+                    job.attempts.get((producer, map_index), 0) + 1
+                )
+                self._resubmit_task(job, producer, map_index)
+        # 2. Unfinished tasks that were placed on the lost machine.
+        for (stage_index, partition), where in sorted(job.task_locations.items()):
+            if where != worker_id:
+                continue
+            if partition not in job.stage_remaining.get(stage_index, set()):
+                continue
+            job.attempts[(stage_index, partition)] = (
+                job.attempts.get((stage_index, partition), 0) + 1
+            )
+            self._resubmit_task(job, stage_index, partition)
+
+    def _resubmit_task(
+        self,
+        job: JobState,
+        stage_index: int,
+        partition: int,
+        exclude: Optional[str] = None,
+    ) -> None:
+        """Re-place one task on a live worker (caller holds the lock)."""
+        stage = job.plan.stages[stage_index]
+        if job.pre_scheduled:
+            worker_id = self._pick_worker(exclude=exclude)
+            # Recompute downstream pointers against *current* locations of
+            # the consumer tasks ("the scheduler also updates the active
+            # upstream tasks to send outputs ... to the new machines").
+            downstream: Dict[int, str] = {}
+            if stage.output_shuffle is not None:
+                spec = stage.output_shuffle
+                consumer = job.consumers.get(spec.shuffle_id)
+                if consumer is not None:
+                    if spec.structure == "tree":
+                        relevant = [partition // spec.fan_in]
+                    else:
+                        relevant = list(range(spec.num_reducers))
+                    for r in relevant:
+                        where = job.task_locations.get((consumer, r))
+                        if where is not None and where in self._alive:
+                            downstream[r] = where
+            desc = TaskDescriptor(
+                task_id=TaskId(
+                    job.job_id,
+                    stage_index,
+                    partition,
+                    job.attempts.get((stage_index, partition), 0),
+                ),
+                plan=job.plan,
+                pre_scheduled=True,
+                deps=stage.task_dependencies(partition),
+                downstream=downstream,
+            )
+            job.task_locations[(stage_index, partition)] = worker_id
+            job.task_started[(stage_index, partition)] = self.clock.now()
+            job.relocated.add((stage_index, partition))
+            self.metrics.counter(COUNT_TASKS_LAUNCHED).add(1)
+            self.metrics.counter(COUNT_LAUNCH_RPCS).add(1)
+            delivered = self.transport.try_call(worker_id, "launch_tasks", [desc])
+            if delivered and desc.deps:
+                # Pre-populate dependencies already satisfied (§3.3).
+                completed = [
+                    (dep, loc) for dep, loc in job.map_status.items() if dep in desc.deps
+                ]
+                if completed:
+                    self.transport.try_call(
+                        worker_id, "pre_populate", job.job_id, completed
+                    )
+        else:
+            try:
+                self._launch_barrier_task(job, stage_index, partition)
+            except WorkerLost:
+                job.blocked.add((stage_index, partition))

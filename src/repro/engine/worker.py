@@ -1,0 +1,352 @@
+"""Worker: executor slots + the pre-scheduling local scheduler (§3.2).
+
+Each worker owns:
+
+* a pool of ``slots_per_worker`` executor threads,
+* a :class:`BlockStore` holding shuffle map outputs,
+* a *local scheduler* — one :class:`PendingTaskTable` per job — that parks
+  pre-scheduled tasks until their upstream notifications arrive, then
+  activates them ("when all the data dependencies for an inactive task
+  have been met, the local scheduler makes the task active and runs it").
+
+Data flows worker-to-worker: map tasks write to their local block store
+and push a metadata notification to each downstream worker; the activated
+reduce task pulls the actual buckets (push-metadata, pull-data).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.clock import Clock, WallClock
+from repro.common.config import EngineConf
+from repro.common.errors import FetchFailed, WorkerLost
+from repro.common.metrics import TIME_COMPUTE, MetricsRegistry
+from repro.core.prescheduling import DepKey, PendingTaskTable
+from repro.engine.blocks import BlockStore
+from repro.engine.rpc import Transport
+from repro.engine.task import TaskDescriptor, TaskReport
+
+DRIVER_ID = "driver"
+
+
+class Worker:
+    """One simulated machine: executor threads, block store, local scheduler."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        transport: Transport,
+        conf: EngineConf,
+        metrics: MetricsRegistry,
+        clock: Optional[Clock] = None,
+        enable_heartbeats: bool = False,
+    ):
+        self.worker_id = worker_id
+        self.transport = transport
+        self.conf = conf
+        self.metrics = metrics
+        self.clock = clock or WallClock()
+        self.blocks = BlockStore(worker_id)
+        self.enable_heartbeats = enable_heartbeats
+
+        self._pool = ThreadPoolExecutor(
+            max_workers=conf.slots_per_worker,
+            thread_name_prefix=f"{worker_id}-slot",
+        )
+        self._lock = threading.Lock()
+        self._pending: Dict[int, PendingTaskTable] = {}  # job_id -> table
+        self._parked: Dict[Tuple[int, str], TaskDescriptor] = {}
+        # (job_id, shuffle_id, map_index) -> worker that holds the block.
+        self._dep_locations: Dict[Tuple[int, int, int], str] = {}
+        self._dead = False
+        self._hb_thread: Optional[threading.Thread] = None
+        self._stop_hb = threading.Event()
+        # Extra per-record work injected by benchmarks (simulating compute).
+        self.compute_delay_per_task_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.transport.register(self.worker_id, self)
+        if self.enable_heartbeats:
+            self._stop_hb.clear()
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop, name=f"{self.worker_id}-hb", daemon=True
+            )
+            self._hb_thread.start()
+
+    def kill(self) -> None:
+        """Crash this machine: no more heartbeats, its block store is
+        unreachable, in-flight tasks have no effect."""
+        with self._lock:
+            self._dead = True
+            self._pending.clear()
+            self._parked.clear()
+        self._stop_hb.set()
+        self.transport.mark_dead(self.worker_id)
+
+    def shutdown(self) -> None:
+        self._stop_hb.set()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def is_dead(self) -> bool:
+        with self._lock:
+            return self._dead
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop_hb.wait(self.conf.heartbeat_interval_s):
+            if self.is_dead:
+                return
+            self.transport.try_call(DRIVER_ID, "heartbeat", self.worker_id, time.monotonic())
+
+    # ------------------------------------------------------------------
+    # Driver -> worker RPCs
+    # ------------------------------------------------------------------
+    def launch_tasks(self, descriptors: List[TaskDescriptor]) -> None:
+        """Receive a batch of tasks in one message.  Under group scheduling
+        this batch spans every micro-batch in the group (§3.1)."""
+        for desc in descriptors:
+            self._accept(desc)
+
+    def _accept(self, desc: TaskDescriptor) -> None:
+        with self._lock:
+            if self._dead:
+                return
+            if desc.pre_scheduled and desc.deps:
+                job_id = desc.task_id.job_id
+                table = self._pending.setdefault(job_id, PendingTaskTable())
+                # Key by attempt so a recovery resubmission of the same
+                # task registers cleanly alongside its dead predecessor.
+                key = str(desc.task_id)
+                ready = table.register(key, desc.deps)
+                if not ready:
+                    self._parked[(job_id, key)] = desc
+                    return
+                # All deps were already satisfied by early notifications.
+        self._pool.submit(self._run_task, desc)
+
+    def pre_populate(
+        self, job_id: int, completed: List[Tuple[DepKey, str]]
+    ) -> None:
+        """Driver-supplied already-completed dependencies with their block
+        locations (§3.3 recovery onto a new machine)."""
+        to_run: List[TaskDescriptor] = []
+        with self._lock:
+            if self._dead:
+                return
+            table = self._pending.setdefault(job_id, PendingTaskTable())
+            for (shuffle_id, map_index), location in completed:
+                self._dep_locations[(job_id, shuffle_id, map_index)] = location
+                for key in table.notify((shuffle_id, map_index)):
+                    desc = self._parked.pop((job_id, key), None)
+                    if desc is not None:
+                        to_run.append(desc)
+        for desc in to_run:
+            self._pool.submit(self._run_task, desc)
+
+    def cancel_job(self, job_id: int) -> None:
+        with self._lock:
+            self._pending.pop(job_id, None)
+            doomed = [k for k in self._parked if k[0] == job_id]
+            for k in doomed:
+                del self._parked[k]
+
+    def drop_job(self, job_id: int) -> None:
+        self.blocks.drop_job(job_id)
+        with self._lock:
+            self._dep_locations = {
+                k: v for k, v in self._dep_locations.items() if k[0] != job_id
+            }
+
+    # ------------------------------------------------------------------
+    # Worker -> worker RPCs
+    # ------------------------------------------------------------------
+    def notify_output(
+        self, job_id: int, shuffle_id: int, map_index: int, src_worker: str
+    ) -> None:
+        """An upstream map task finished; wake any now-ready local task."""
+        to_run: List[TaskDescriptor] = []
+        with self._lock:
+            if self._dead:
+                return
+            self._dep_locations[(job_id, shuffle_id, map_index)] = src_worker
+            table = self._pending.setdefault(job_id, PendingTaskTable())
+            for key in table.notify((shuffle_id, map_index)):
+                desc = self._parked.pop((job_id, key), None)
+                if desc is not None:
+                    to_run.append(desc)
+        for desc in to_run:
+            self._pool.submit(self._run_task, desc)
+
+    def fetch_bucket(
+        self, job_id: int, shuffle_id: int, map_index: int, reduce_index: int
+    ) -> List:
+        """Serve a shuffle bucket to a peer (pull-based data plane)."""
+        if self.is_dead:
+            raise WorkerLost(self.worker_id, "fetch from dead worker")
+        return self.blocks.get_bucket(job_id, shuffle_id, map_index, reduce_index)
+
+    def has_map_output(self, job_id: int, shuffle_id: int, map_index: int) -> bool:
+        return not self.is_dead and self.blocks.has_map_output(
+            job_id, shuffle_id, map_index
+        )
+
+    # ------------------------------------------------------------------
+    # Task execution
+    # ------------------------------------------------------------------
+    def _run_task(self, desc: TaskDescriptor) -> None:
+        if self.is_dead:
+            return
+        started = self.clock.now()
+        try:
+            report = self._execute(desc)
+        except (FetchFailed, WorkerLost) as err:
+            fetch = (
+                err
+                if isinstance(err, FetchFailed)
+                else FetchFailed(-1, -1, err.worker_id)
+            )
+            report = TaskReport(
+                task_id=desc.task_id,
+                worker_id=self.worker_id,
+                succeeded=False,
+                error=fetch,
+            )
+        except Exception as err:  # noqa: BLE001 - user code may raise anything
+            report = TaskReport(
+                task_id=desc.task_id,
+                worker_id=self.worker_id,
+                succeeded=False,
+                error=err,
+            )
+        report.compute_time_s = self.clock.now() - started
+        self.metrics.counter(TIME_COMPUTE).add(report.compute_time_s)
+        if self.is_dead:
+            return  # crashed mid-task: effects are discarded
+        self.transport.try_call(DRIVER_ID, "task_finished", report)
+
+    def _execute(self, desc: TaskDescriptor) -> TaskReport:
+        stage = desc.stage
+        job_id = desc.task_id.job_id
+        partition = desc.task_id.partition
+
+        if stage.source_fn is not None:
+            records = iter(stage.source_fn(partition))
+        else:
+            fetched = self._fetch_inputs(desc)
+            assert stage.input_merge is not None
+            records = stage.input_merge(partition, fetched)
+
+        records = stage.pipeline(partition, records)
+
+        if self.compute_delay_per_task_s > 0:
+            time.sleep(self.compute_delay_per_task_s)
+
+        if stage.output_shuffle is not None:
+            assert stage.map_output_fn is not None
+            spec = stage.output_shuffle
+            buckets = stage.map_output_fn(partition, records)
+            if self.is_dead:
+                raise WorkerLost(self.worker_id, "died mid-task")
+            self.blocks.put_map_output(job_id, spec.shuffle_id, partition, buckets)
+            self._notify_downstream(desc, spec.shuffle_id, partition)
+            sizes = {r: len(v) for r, v in buckets.items()}
+            return TaskReport(
+                task_id=desc.task_id,
+                worker_id=self.worker_id,
+                succeeded=True,
+                output_sizes=sizes,
+            )
+
+        assert stage.action_fn is not None
+        result = stage.action_fn(partition, records)
+        return TaskReport(
+            task_id=desc.task_id,
+            worker_id=self.worker_id,
+            succeeded=True,
+            result=result,
+        )
+
+    def _notify_downstream(
+        self, desc: TaskDescriptor, shuffle_id: int, map_index: int
+    ) -> None:
+        """Push metadata directly to downstream workers (pre-scheduling),
+        one message per distinct worker."""
+        if not desc.downstream:
+            return
+        job_id = desc.task_id.job_id
+        for target in sorted(set(desc.downstream.values())):
+            if target == self.worker_id:
+                self.notify_output(job_id, shuffle_id, map_index, self.worker_id)
+            else:
+                delivered = self.transport.try_call(
+                    target,
+                    "notify_output",
+                    job_id,
+                    shuffle_id,
+                    map_index,
+                    self.worker_id,
+                )
+                if not delivered:
+                    # §3.3: forward send failures to the centralized
+                    # scheduler, the single source workers rely on.
+                    self.transport.try_call(
+                        DRIVER_ID,
+                        "notify_delivery_failed",
+                        job_id,
+                        shuffle_id,
+                        map_index,
+                        self.worker_id,
+                        target,
+                    )
+
+    def _fetch_inputs(self, desc: TaskDescriptor) -> List[List[List]]:
+        """Pull every input bucket this task needs.
+
+        Returns ``fetched[input_shuffle_index] = [bucket, ...]`` in map
+        order.  Location resolution order: explicit ``map_locations`` from
+        the driver (barrier mode) then locations learned from
+        notifications (pre-scheduled mode)."""
+        stage = desc.stage
+        job_id = desc.task_id.job_id
+        partition = desc.task_id.partition
+        fetched: List[List[List]] = []
+        for spec in stage.input_shuffles:
+            streams: List[List] = []
+            for map_index in spec.map_indices_for_reducer(partition):
+                dep = (spec.shuffle_id, map_index)
+                location = desc.map_locations.get(dep)
+                if location is None:
+                    with self._lock:
+                        location = self._dep_locations.get(
+                            (job_id, spec.shuffle_id, map_index)
+                        )
+                if location is None:
+                    raise FetchFailed(spec.shuffle_id, map_index, "<unknown>")
+                if location == self.worker_id:
+                    bucket = self.blocks.get_bucket(
+                        job_id, spec.shuffle_id, map_index, partition
+                    )
+                else:
+                    try:
+                        bucket = self.transport.call(
+                            location,
+                            "fetch_bucket",
+                            job_id,
+                            spec.shuffle_id,
+                            map_index,
+                            partition,
+                        )
+                    except WorkerLost as err:
+                        raise FetchFailed(
+                            spec.shuffle_id, map_index, err.worker_id
+                        ) from err
+                streams.append(bucket)
+            fetched.append(streams)
+        return fetched

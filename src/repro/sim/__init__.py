@@ -1,0 +1,59 @@
+"""Cluster simulator: cost model + micro-benchmark and streaming sims.
+
+Substitutes for the paper's 128-node EC2 cluster.  Control-plane and
+recovery behaviour are simulated at batch/window granularity against a
+cost model calibrated to the paper's reported anchor numbers (see
+``costmodel.py`` for the anchor list).
+"""
+
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.sim.events import EventLoop
+from repro.sim.tasksim import TaskSimResult, simulate_microbenchmark_events
+from repro.sim.elasticity import (
+    ElasticityResult,
+    group_size_adaptation_sweep,
+    simulate_resize,
+)
+from repro.sim.microbench import (
+    MicroBenchConfig,
+    MicroBenchResult,
+    run_microbenchmark,
+    weak_scaling_sweep,
+)
+from repro.sim.streaming import (
+    StreamRunResult,
+    SystemConfig,
+    WindowLatency,
+    flink_normal_latency,
+    max_throughput,
+    microbatch_service_time,
+    simulate_flink,
+    simulate_microbatch,
+    simulate_stream,
+    tune_batch_interval,
+)
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "ElasticityResult",
+    "group_size_adaptation_sweep",
+    "simulate_resize",
+    "EventLoop",
+    "TaskSimResult",
+    "simulate_microbenchmark_events",
+    "MicroBenchConfig",
+    "MicroBenchResult",
+    "run_microbenchmark",
+    "weak_scaling_sweep",
+    "StreamRunResult",
+    "SystemConfig",
+    "WindowLatency",
+    "flink_normal_latency",
+    "max_throughput",
+    "microbatch_service_time",
+    "simulate_flink",
+    "simulate_microbatch",
+    "simulate_stream",
+    "tune_batch_interval",
+]

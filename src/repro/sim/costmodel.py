@@ -1,0 +1,176 @@
+"""Cluster cost model for the simulator.
+
+We cannot run 128 r3.xlarge EC2 instances, so the scaling experiments run
+against this cost model: a small set of per-operation constants (driver
+scheduling cost per task, task serialization cost, RPC send cost, network
+round-trip, shuffle fetch setup, per-record compute) from which batch and
+group execution times are derived.
+
+Calibration anchors (from the paper's reported numbers):
+
+* Fig. 4(a): Spark-style per-batch scheduling costs ≈195 ms per
+  micro-batch at 128 machines (512 single-`ms` tasks), and Drizzle with
+  group size 100 runs the same micro-batch in <5 ms.
+* Fig. 5(b): a two-stage micro-batch (512 maps, 16 reducers) takes ≈45 ms
+  under Drizzle at 128 machines (shuffle fetch dominates), and
+  pre-scheduling *alone* saves only ≈20 ms over Spark at 128 machines.
+* §5.2: group scheduling + pre-scheduling reduce coordination overheads
+  by up to 5.5×; per-batch speedups of 7–46× on the single-stage job.
+
+The constants below reproduce those anchors to within a few percent (see
+``tests/test_sim_calibration.py``); everything else — crossovers, scaling
+trends, who wins where — *emerges* from the model rather than being
+hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation costs, in seconds unless noted."""
+
+    # --- centralized driver (control plane) ---------------------------
+    # Placement decision per task (locality lookup, constraint solving).
+    sched_per_task_s: float = 240e-6
+    # Serialize one task descriptor for the wire.
+    serialize_per_task_s: float = 90e-6
+    # Amortized serialization per task when tasks for a whole group are
+    # batched and serialized on dedicated threads (§4 implementation
+    # improvements made in Drizzle).
+    group_serialize_per_task_s: float = 4e-6
+    # Cost to issue one launch RPC from the driver.
+    rpc_send_s: float = 50e-6
+    # Fixed per-job bookkeeping at the driver (job creation, completion).
+    per_job_fixed_s: float = 2e-3
+    # Residual per-batch driver work under group scheduling (timestamped
+    # RDD creation in the JobGenerator, completion tracking).
+    group_per_batch_s: float = 0.5e-3
+
+    # --- network -------------------------------------------------------
+    # One-way network latency between any two machines / driver.
+    net_latency_s: float = 250e-6
+    # Per-connection setup when a reduce task fetches from one map output.
+    fetch_setup_s: float = 80e-6
+    # Effective network bandwidth per machine for shuffle data (bytes/s);
+    # r3.xlarge-class instances with enhanced networking.
+    net_bandwidth_Bps: float = 0.3e9
+    # Worker-side fixed cost per micro-batch (task launch on executors,
+    # state-store touch, sink commit) — independent of scheduling mode.
+    # This is what ultimately floors micro-batch latency (Fig. 6b shows
+    # Drizzle topping out near a 250 ms latency target at 20M events/s).
+    batch_fixed_s: float = 0.05
+
+    # --- workers (data plane) -------------------------------------------
+    # Per-record processing cost for a lightweight op (parse + bucket).
+    record_cost_s: float = 0.40e-6
+    # Extra per-record cost for heavyweight records (e.g. video heartbeats).
+    heavy_record_factor: float = 1.6
+    # Reduce-side per-record merge cost.
+    reduce_record_cost_s: float = 0.15e-6
+    # Worker slot count is supplied per-experiment, not here.
+
+    # --- fault tolerance -------------------------------------------------
+    # Heartbeat-based failure detection delay.
+    detect_failure_s: float = 0.25
+    # Driver work to recompute placement for recovered tasks.
+    recovery_sched_s: float = 0.05
+    # Continuous-operator (Flink-style) full topology restart: coordination
+    # to stop, redeploy and restore all operators.  Grows mildly with
+    # cluster size; value for 128 machines ≈ 10 s (Fig. 7 shows most of
+    # the 18 s spike is "coordination required to stop and restart all the
+    # operators ... and restore execution from the latest checkpoint").
+    continuous_restart_base_s: float = 9.0
+    continuous_restart_per_machine_s: float = 0.035
+
+    # --- misc -----------------------------------------------------------
+    # Multiplicative lognormal noise sigma applied to batch service times.
+    service_noise_sigma: float = 0.08
+
+    def with_overrides(self, **kwargs) -> "CostModel":
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Derived control-plane costs
+    # ------------------------------------------------------------------
+    def spark_batch_coordination(self, num_workers: int, tasks_per_stage: Dict[int, int]) -> float:
+        """Driver time to coordinate ONE micro-batch, Spark-style: every
+        stage is scheduled separately, each task is serialized and launched
+        with its own RPC, and each stage boundary costs a barrier
+        round-trip through the driver."""
+        total = self.per_job_fixed_s
+        for _stage, n_tasks in tasks_per_stage.items():
+            total += n_tasks * (
+                self.sched_per_task_s + self.serialize_per_task_s + self.rpc_send_s
+            )
+            # Barrier: last task report in, next stage metadata out.
+            total += 2 * self.net_latency_s
+        return total
+
+    def prescheduled_batch_coordination(
+        self, num_workers: int, tasks_per_stage: Dict[int, int]
+    ) -> float:
+        """Driver time to coordinate one micro-batch with pre-scheduling
+        but NO group scheduling (group size 1): all stages are placed and
+        shipped up front (one RPC per worker), removing the intra-batch
+        barrier, but placement and serialization still happen per batch."""
+        n_tasks = sum(tasks_per_stage.values())
+        return (
+            self.per_job_fixed_s
+            + n_tasks * (self.sched_per_task_s + self.serialize_per_task_s)
+            + num_workers * self.rpc_send_s
+        )
+
+    def drizzle_group_coordination(
+        self, num_workers: int, tasks_per_stage: Dict[int, int], group_size: int
+    ) -> float:
+        """Driver time to coordinate a GROUP of ``group_size`` micro-batches:
+        placement once, batched serialization, one RPC per worker."""
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        n_tasks = sum(tasks_per_stage.values())
+        return (
+            n_tasks * self.sched_per_task_s  # placement computed once
+            + group_size * n_tasks * self.group_serialize_per_task_s
+            + num_workers * self.rpc_send_s
+            + group_size * self.group_per_batch_s
+        )
+
+    def drizzle_per_batch_coordination(
+        self, num_workers: int, tasks_per_stage: Dict[int, int], group_size: int
+    ) -> float:
+        return (
+            self.drizzle_group_coordination(num_workers, tasks_per_stage, group_size)
+            / group_size
+        )
+
+    # ------------------------------------------------------------------
+    # Derived data-plane costs
+    # ------------------------------------------------------------------
+    def stage_wave_time(
+        self, n_tasks: int, total_slots: int, task_compute_s: float
+    ) -> float:
+        """Execution time of one stage: waves of tasks across all slots."""
+        if total_slots < 1:
+            raise ValueError("total_slots must be >= 1")
+        waves = -(-n_tasks // total_slots)  # ceil
+        return waves * task_compute_s
+
+    def shuffle_fetch_time(self, num_maps: int, bytes_per_reducer: float) -> float:
+        """Time for one reduce task to pull its input: connection setup per
+        upstream map output plus the data itself (§5.2: "time to fetch and
+        process the shuffle data in the reduce task grows as the number of
+        map tasks increase")."""
+        return num_maps * self.fetch_setup_s + bytes_per_reducer / self.net_bandwidth_Bps
+
+    def continuous_restart_time(self, num_machines: int) -> float:
+        return (
+            self.continuous_restart_base_s
+            + num_machines * self.continuous_restart_per_machine_s
+        )
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,135 @@
+"""Elasticity simulation (§3.3): reacting to cluster resizes.
+
+"At the end of a group boundary, Drizzle updates the list of available
+resources and adjusts the tasks to be scheduled for the next group.  Thus
+in this case, using a larger group size could lead to larger delays in
+responding to cluster changes."
+
+We simulate a load spike absorbed by adding machines at ``resize_at_s``:
+new capacity becomes *schedulable* only at the next group boundary, so
+the window latencies between the resize request and the boundary show the
+adaptation delay — which grows with the group size (the trade-off the
+§3.4 tuner balances).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.sim.streaming import (
+    StreamRunResult,
+    SystemConfig,
+    _window_latencies,
+    microbatch_service_time,
+)
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass
+class ElasticityResult:
+    config: SystemConfig
+    run: StreamRunResult
+    resize_effective_s: float  # when the new machines began serving
+    adaptation_delay_s: float  # resize request -> effective
+
+
+def simulate_resize(
+    profile: WorkloadProfile,
+    config: SystemConfig,
+    rate_before: float,
+    rate_after: float,
+    duration_s: float,
+    resize_at_s: float,
+    machines_after: int,
+    batch_interval_s: float,
+    seed: int = 0,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> ElasticityResult:
+    """Load rises from ``rate_before`` to ``rate_after`` at ``resize_at_s``
+    and the cluster manager grants ``machines_after`` machines at the same
+    moment; they are *used* from the next group boundary onward."""
+    interval = batch_interval_s
+    group = config.group_size if config.kind == "drizzle" else 1
+    rng = random.Random(seed)
+    num_batches = int(duration_s / interval)
+
+    # Group boundary at/after the resize request.
+    resize_batch = int(math.ceil(resize_at_s / interval))
+    boundary_batch = int(math.ceil(resize_batch / group)) * group
+    resize_effective_s = boundary_batch * interval
+
+    completions: List[float] = []
+    prev = 0.0
+    for b in range(num_batches):
+        arrival = (b + 1) * interval
+        rate = rate_before if arrival <= resize_at_s else rate_after
+        machines = config.machines if b < boundary_batch else machines_after
+        service, _ = microbatch_service_time(
+            profile, config, rate, interval, cost, machines=machines
+        )
+        service *= math.exp(rng.gauss(0.0, profile.noise_sigma))
+        start = max(arrival, prev)
+        prev = start + service
+        completions.append(prev)
+
+    run = StreamRunResult(
+        config=config,
+        rate_events_per_s=rate_after,
+        batch_interval_s=interval,
+        window_latencies=_window_latencies(profile.window_s, interval, completions),
+        stable=True,
+    )
+    normal = [
+        w.latency_s for w in run.window_latencies if w.window_end_s < resize_at_s
+    ]
+    run.normal_median_latency_s = sorted(normal)[len(normal) // 2] if normal else 0.0
+    return ElasticityResult(
+        config=config,
+        run=run,
+        resize_effective_s=resize_effective_s,
+        adaptation_delay_s=resize_effective_s - resize_at_s,
+    )
+
+
+def group_size_adaptation_sweep(
+    group_sizes=(1, 20, 120),
+    profile: Optional[WorkloadProfile] = None,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> List[dict]:
+    """The §3.3 trade-off: adaptation delay and the resulting latency
+    spike grow with group size when the cluster must be resized under a
+    load spike (the resize lands mid-group on purpose)."""
+    from repro.workloads.profiles import YAHOO
+
+    profile = profile or YAHOO
+    rows = []
+    for g in group_sizes:
+        config = SystemConfig(kind="drizzle", machines=64, group_size=g)
+        result = simulate_resize(
+            profile,
+            config,
+            rate_before=8e6,
+            rate_after=13e6,
+            duration_s=300.0,
+            resize_at_s=121.3,  # deliberately unaligned with boundaries
+            machines_after=128,
+            batch_interval_s=0.5,
+        )
+        spike = max(
+            w.latency_s
+            for w in result.run.window_latencies
+            if 120.0 <= w.window_end_s <= 250.0
+        )
+        rows.append(
+            {
+                "group_size": g,
+                "adaptation_delay_s": result.adaptation_delay_s,
+                "post_resize_spike_s": spike,
+                "normal_median_s": result.run.normal_median_latency_s,
+            }
+        )
+    return rows

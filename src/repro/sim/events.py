@@ -1,0 +1,57 @@
+"""Minimal discrete-event loop for the task-level simulator.
+
+Events are (time, sequence, callback) triples on a heap; causality is
+enforced (an event may only schedule at or after the current time).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.common.errors import SimulationError
+
+
+class EventLoop:
+    """A deterministic event heap with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    def at(self, when: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn`` at absolute time ``when``."""
+        if when < self.now - 1e-12:
+            raise SimulationError(
+                f"causality violation: scheduling at {when} < now {self.now}"
+            )
+        heapq.heappush(self._heap, (when, next(self._seq), fn))
+
+    def after(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at(self.now + delay, fn)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Process events (optionally only up to time ``until``); returns
+        the number of events processed."""
+        processed = 0
+        while self._heap:
+            when, _seq, fn = self._heap[0]
+            if until is not None and when > until:
+                break
+            heapq.heappop(self._heap)
+            self.now = when
+            fn()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError("event budget exhausted (runaway loop?)")
+        self._processed += processed
+        return processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

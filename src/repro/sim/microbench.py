@@ -1,0 +1,185 @@
+"""Micro-benchmark simulation (paper §5.2, Figures 4 and 5).
+
+Weak-scaling runs of a 100-micro-batch job across 4–128 machines with
+tasks sized to the core count, under four control planes:
+
+* ``spark``          — per-batch, per-stage barrier scheduling;
+* ``only-pre``       — pre-scheduling with group size 1 (Figure 5(b));
+* ``drizzle``        — pre-scheduling + group scheduling;
+* ``pipelined``      — the §3.6 design alternative where scheduling of
+  batch *i+1* overlaps execution of batch *i*
+  (total = b·max(t_exec, t_sched) instead of b·(t_exec + t_sched)).
+
+Returns both per-micro-batch times (Fig. 4a / 5a / 5b) and the per-task
+scheduler-delay / task-transfer / compute breakdown (Fig. 4b).  Trials add
+multiplicative lognormal noise so the 5th/95th percentile error bars of
+the paper's plots have an analogue.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass(frozen=True)
+class MicroBenchConfig:
+    mode: str  # "spark" | "only-pre" | "drizzle" | "pipelined"
+    machines: int
+    slots_per_machine: int = 4
+    group_size: int = 1
+    num_batches: int = 100
+    # Per-task compute; <1 ms in Fig. 4(a), 100x that in Fig. 5(a).
+    task_compute_s: float = 0.9e-3
+    # Optional shuffle stage (Fig. 5b): number of reduce tasks (16 there).
+    num_reducers: int = 0
+    reduce_compute_s: float = 0.5e-3
+    shuffle_bytes_per_reducer: float = 1.0e5
+    noise_sigma: float = 0.05
+    # Override the maps-per-batch count (default: one per core).  Values
+    # above the slot count create multiple execution waves (used by the
+    # task-level simulator to study staggered map completions).
+    num_map_tasks_override: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("spark", "only-pre", "drizzle", "pipelined"):
+            raise SimulationError(f"unknown mode {self.mode!r}")
+        if self.machines < 1:
+            raise SimulationError("machines must be >= 1")
+        if self.group_size < 1:
+            raise SimulationError("group_size must be >= 1")
+
+    @property
+    def num_map_tasks(self) -> int:
+        if self.num_map_tasks_override is not None:
+            return self.num_map_tasks_override
+        return self.machines * self.slots_per_machine
+
+    @property
+    def tasks_per_stage(self) -> Dict[int, int]:
+        stages = {0: self.num_map_tasks}
+        if self.num_reducers > 0:
+            stages[1] = self.num_reducers
+        return stages
+
+
+@dataclass
+class MicroBenchResult:
+    config: MicroBenchConfig
+    time_per_batch_s: float
+    # Per-task averages for the Fig. 4(b) breakdown.
+    scheduler_delay_per_task_s: float
+    task_transfer_per_task_s: float
+    compute_per_task_s: float
+    # Trial statistics (median / p5 / p95 over noisy trials).
+    trial_median_s: float = 0.0
+    trial_p5_s: float = 0.0
+    trial_p95_s: float = 0.0
+
+
+def _exec_time_per_batch(config: MicroBenchConfig, cost: CostModel) -> float:
+    """Worker-side execution time of one micro-batch (no driver time)."""
+    slots = config.machines * config.slots_per_machine
+    t = cost.stage_wave_time(config.num_map_tasks, slots, config.task_compute_s)
+    t += cost.net_latency_s  # task launch delivery
+    if config.num_reducers > 0:
+        # Reduce tasks fetch from every map output and run the reduction.
+        t += cost.net_latency_s  # trigger (driver barrier or notification)
+        t += cost.shuffle_fetch_time(
+            config.num_map_tasks, config.shuffle_bytes_per_reducer
+        )
+        t += cost.stage_wave_time(config.num_reducers, slots, config.reduce_compute_s)
+    return t
+
+
+def _coordination_per_batch(config: MicroBenchConfig, cost: CostModel) -> Dict[str, float]:
+    """Driver-side time per micro-batch, split into scheduling vs transfer."""
+    n_tasks = sum(config.tasks_per_stage.values())
+    machines = config.machines
+    if config.mode == "spark" or config.mode == "pipelined":
+        num_stages = len(config.tasks_per_stage)
+        sched = cost.per_job_fixed_s + n_tasks * cost.sched_per_task_s
+        transfer = n_tasks * (cost.serialize_per_task_s + cost.rpc_send_s)
+        transfer += 2 * cost.net_latency_s * num_stages
+        return {"scheduling": sched, "transfer": transfer}
+    if config.mode == "only-pre":
+        sched = cost.per_job_fixed_s + n_tasks * cost.sched_per_task_s
+        transfer = n_tasks * cost.serialize_per_task_s + machines * cost.rpc_send_s
+        return {"scheduling": sched, "transfer": transfer}
+    # drizzle: group scheduling amortizes placement and RPCs.
+    g = config.group_size
+    sched = n_tasks * cost.sched_per_task_s / g + cost.group_per_batch_s
+    transfer = (
+        n_tasks * cost.group_serialize_per_task_s
+        + machines * cost.rpc_send_s / g
+    )
+    return {"scheduling": sched, "transfer": transfer}
+
+
+def run_microbenchmark(
+    config: MicroBenchConfig,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    trials: int = 10,
+    seed: int = 0,
+) -> MicroBenchResult:
+    """Simulate ``config.num_batches`` micro-batches; return the average
+    time per micro-batch plus the per-task breakdown."""
+    coord = _coordination_per_batch(config, cost)
+    coord_total = coord["scheduling"] + coord["transfer"]
+    exec_per_batch = _exec_time_per_batch(config, cost)
+
+    if config.mode == "pipelined":
+        # Scheduling of batch i+1 overlaps execution of batch i (§3.6):
+        # b·max(t_exec, t_sched) + min(t_exec, t_sched).
+        per_batch = max(exec_per_batch, coord_total)
+    else:
+        per_batch = exec_per_batch + coord_total
+
+    rng = random.Random(seed)
+    trial_means: List[float] = []
+    for _ in range(trials):
+        noisy = per_batch * math.exp(rng.gauss(0.0, config.noise_sigma))
+        trial_means.append(noisy)
+    trial_means.sort()
+    n = len(trial_means)
+
+    n_tasks = sum(config.tasks_per_stage.values())
+    return MicroBenchResult(
+        config=config,
+        time_per_batch_s=per_batch,
+        scheduler_delay_per_task_s=coord["scheduling"] / n_tasks,
+        task_transfer_per_task_s=coord["transfer"] / n_tasks,
+        compute_per_task_s=config.task_compute_s,
+        trial_median_s=trial_means[n // 2],
+        trial_p5_s=trial_means[max(0, int(0.05 * n))],
+        trial_p95_s=trial_means[min(n - 1, int(0.95 * n))],
+    )
+
+
+def weak_scaling_sweep(
+    mode: str,
+    machine_counts: List[int],
+    group_size: int = 1,
+    task_compute_s: float = 0.9e-3,
+    num_reducers: int = 0,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> Dict[int, MicroBenchResult]:
+    """Fig. 4(a) / 5(a) / 5(b) sweep: one result per machine count."""
+    out: Dict[int, MicroBenchResult] = {}
+    for machines in machine_counts:
+        out[machines] = run_microbenchmark(
+            MicroBenchConfig(
+                mode=mode,
+                machines=machines,
+                group_size=group_size,
+                task_compute_s=task_compute_s,
+                num_reducers=num_reducers,
+            ),
+            cost=cost,
+        )
+    return out

@@ -1,0 +1,440 @@
+"""Batch-granularity discrete-event simulation of streaming execution.
+
+Reproduces the Yahoo-benchmark experiments (Figures 6–9) at 128-machine
+scale.  Three system models share the :class:`~repro.sim.costmodel.CostModel`:
+
+* ``spark``   — micro-batch with per-batch barrier scheduling,
+* ``drizzle`` — micro-batch with group scheduling + pre-scheduling,
+* ``flink``   — continuous operators (buffer flush + queueing latency,
+  aligned checkpoints, stop-the-world rollback recovery).
+
+The micro-batch simulation is a single-server queue over batches: batch
+*b* is fully collected at ``(b+1)·T`` and its service time is composed
+from the cost model (coordination + map wave + shuffle + reduce), with
+multiplicative lognormal noise and optional skew.  Window *k*'s event
+latency is the completion time of the batch that closes the window minus
+the window end — exactly the benchmark's metric (§5.3).
+
+Failures (Fig. 7): a machine is killed at ``failure_at_s``.  Micro-batch
+systems pay detection + re-scheduling + re-execution of the lost tasks on
+the affected batch and continue (parallel recovery); the continuous system
+restarts the whole topology from the last aligned checkpoint and must
+re-process everything since, catching up at its spare-capacity rate.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.workloads.profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One system under test."""
+
+    kind: str  # "spark" | "drizzle" | "flink"
+    machines: int = 128
+    slots_per_machine: int = 4
+    batch_interval_s: Optional[float] = None  # None -> auto-tuned
+    group_size: int = 100
+    optimized: bool = False  # §3.5 within-batch optimizations
+    checkpoint_interval_s: float = 10.0
+    # Fraction of shuffle fetch setup hidden by pre-scheduling (reducers
+    # start pulling as soon as individual maps finish, §3.2).
+    fetch_overlap: float = 0.6
+    # Continuous-operator knobs.
+    flink_flush_s: float = 0.15
+    flink_quantum_s: float = 0.09
+    flink_flush_overhead: float = 0.0015  # per-record overhead ~ 1/flush
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("spark", "drizzle", "flink"):
+            raise SimulationError(f"unknown system kind {self.kind!r}")
+        if self.machines < 2:
+            raise SimulationError("need at least 2 machines")
+
+    @property
+    def total_slots(self) -> int:
+        return self.machines * self.slots_per_machine
+
+    def with_(self, **kwargs) -> "SystemConfig":
+        from dataclasses import replace
+
+        return replace(self, **kwargs)
+
+
+@dataclass
+class WindowLatency:
+    window_end_s: float
+    latency_s: float
+
+
+@dataclass
+class StreamRunResult:
+    """Outcome of one simulated streaming run."""
+
+    config: SystemConfig
+    rate_events_per_s: float
+    batch_interval_s: Optional[float]
+    window_latencies: List[WindowLatency]
+    stable: bool
+    normal_median_latency_s: float = 0.0
+    service_components: Dict[str, float] = field(default_factory=dict)
+
+    def latencies(self) -> List[float]:
+        return [w.latency_s for w in self.window_latencies]
+
+
+# ----------------------------------------------------------------------
+# Micro-batch service-time composition
+# ----------------------------------------------------------------------
+def microbatch_service_time(
+    profile: WorkloadProfile,
+    config: SystemConfig,
+    rate: float,
+    batch_interval_s: float,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    machines: Optional[int] = None,
+) -> Tuple[float, Dict[str, float]]:
+    """Deterministic (noise-free) service time of one micro-batch."""
+    if config.kind not in ("spark", "drizzle"):
+        raise SimulationError("service time applies to micro-batch systems")
+    machines = machines if machines is not None else config.machines
+    slots = machines * config.slots_per_machine
+    records = rate * batch_interval_s
+    num_maps = slots  # tasks sized to cores, as in the paper's setup
+    num_reducers = min(slots, 16 * config.slots_per_machine)
+    tasks_per_stage = {0: num_maps, 1: num_reducers}
+
+    if config.kind == "spark":
+        coord = cost.spark_batch_coordination(machines, tasks_per_stage)
+        overlap = 0.0
+    else:
+        coord = cost.drizzle_per_batch_coordination(
+            machines, tasks_per_stage, config.group_size
+        )
+        overlap = config.fetch_overlap
+
+    map_compute = records * profile.map_cost(config.optimized) / slots
+    shuffle_bytes = records * profile.shuffle_bytes_per_record(config.optimized)
+    fetch_setup = num_maps * cost.fetch_setup_s * (1.0 - overlap)
+    fetch_data = shuffle_bytes / (cost.net_bandwidth_Bps * machines)
+    reduced_records = records * (
+        profile.combine_volume_factor if config.optimized else 1.0
+    )
+    reduce_compute = reduced_records * profile.reduce_record_cost_s / slots
+
+    components = {
+        "coordination": coord,
+        "batch_fixed": cost.batch_fixed_s,
+        "map_compute": map_compute,
+        "fetch_setup": fetch_setup,
+        "fetch_data": fetch_data,
+        "reduce_compute": reduce_compute,
+    }
+    return sum(components.values()), components
+
+
+def tune_batch_interval(
+    profile: WorkloadProfile,
+    config: SystemConfig,
+    rate: float,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    utilization_cap: float = 0.92,
+    candidates: Optional[List[float]] = None,
+) -> Optional[float]:
+    """Pick the batch interval minimizing latency subject to stability —
+    "we tuned each system to minimize latency while meeting throughput
+    requirements; in Spark this required tuning the micro-batch size"
+    (§5.3).  Returns None when no interval is stable (the system falls
+    behind at this rate)."""
+    if candidates is None:
+        candidates = [
+            0.05, 0.075, 0.1, 0.15, 0.2, 0.25, 0.35, 0.5, 0.75,
+            1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 7.5, 10.0,
+        ]
+    # Stability must hold for the *mean* service time including lognormal
+    # noise (mean = exp(sigma^2/2)) and workload skew.
+    mean_multiplier = math.exp(profile.noise_sigma**2 / 2.0) * (
+        1.0 + profile.skew_fraction * (profile.skew_factor - 1.0)
+    )
+    best: Optional[Tuple[float, float]] = None
+    for interval in candidates:
+        service, _ = microbatch_service_time(profile, config, rate, interval, cost)
+        if service * mean_multiplier > utilization_cap * interval:
+            continue
+        # Latency of a closing window ~ service of the closing batch.
+        if best is None or service < best[1]:
+            best = (interval, service)
+    return best[0] if best else None
+
+
+# ----------------------------------------------------------------------
+# Micro-batch run simulation
+# ----------------------------------------------------------------------
+def simulate_microbatch(
+    profile: WorkloadProfile,
+    config: SystemConfig,
+    rate: float,
+    duration_s: float,
+    seed: int = 0,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    failure_at_s: Optional[float] = None,
+) -> StreamRunResult:
+    interval = config.batch_interval_s or tune_batch_interval(profile, config, rate, cost)
+    if interval is None:
+        return StreamRunResult(config, rate, None, [], stable=False)
+    rng = random.Random(seed)
+    num_batches = int(duration_s / interval)
+    base_service, components = microbatch_service_time(
+        profile, config, rate, interval, cost
+    )
+    machines = config.machines
+
+    completions: List[float] = []
+    prev_completion = 0.0
+    failure_handled = False
+    for b in range(num_batches):
+        arrival = (b + 1) * interval
+        noise = math.exp(rng.gauss(0.0, profile.noise_sigma))
+        service = base_service * noise
+        if profile.skew_fraction > 0 and rng.random() < profile.skew_fraction:
+            service *= profile.skew_factor
+        if (
+            failure_at_s is not None
+            and not failure_handled
+            and arrival + base_service >= failure_at_s
+            and arrival <= failure_at_s + interval
+        ):
+            # The machine dies while this batch is in flight: detection,
+            # re-scheduling, and re-execution of the lost tasks (one map
+            # wave + the affected shuffle fetches) on the surviving
+            # machines.  Recovery tasks run in parallel (§3.3), so the
+            # penalty is roughly one extra wave, not a full batch.
+            slots = config.total_slots
+            num_maps = slots
+            resched = cost.recovery_sched_s + num_maps * cost.sched_per_task_s
+            if config.kind == "spark":
+                # Per-batch scheduling also re-serializes and re-launches.
+                resched += num_maps * (cost.serialize_per_task_s + cost.rpc_send_s)
+            rerun = components["map_compute"] + components["fetch_setup"] + components[
+                "fetch_data"
+            ]
+            service += cost.detect_failure_s + resched + rerun
+            failure_handled = True
+            machines = config.machines - 1
+        start = max(arrival, prev_completion)
+        completion = start + service
+        completions.append(completion)
+        prev_completion = completion
+        if completion - arrival > 50 * interval + 60.0:
+            # Hopelessly backlogged: declare the run unstable.
+            return StreamRunResult(config, rate, interval, [], stable=False)
+
+    window_latencies = _window_latencies(
+        profile.window_s, interval, completions
+    )
+    normal = [
+        w.latency_s
+        for w in window_latencies
+        if failure_at_s is None
+        or w.window_end_s < failure_at_s - profile.window_s
+    ]
+    normal_median = sorted(normal)[len(normal) // 2] if normal else 0.0
+    return StreamRunResult(
+        config,
+        rate,
+        interval,
+        window_latencies,
+        stable=True,
+        normal_median_latency_s=normal_median,
+        service_components=components,
+    )
+
+
+def _window_latencies(
+    window_s: float, interval: float, completions: List[float]
+) -> List[WindowLatency]:
+    """Latency of each closed window: completion of the batch whose input
+    ends at (or first covers) the window end, minus the window end."""
+    out: List[WindowLatency] = []
+    num_batches = len(completions)
+    horizon = num_batches * interval
+    k = 0
+    while (k + 1) * window_s <= horizon:
+        window_end = (k + 1) * window_s
+        closing_batch = int(math.ceil(window_end / interval)) - 1
+        closing_batch = min(max(closing_batch, 0), num_batches - 1)
+        latency = completions[closing_batch] - window_end
+        out.append(WindowLatency(window_end, max(latency, 0.0)))
+        k += 1
+    return out
+
+
+# ----------------------------------------------------------------------
+# Continuous-operator (Flink-style) run simulation
+# ----------------------------------------------------------------------
+def flink_utilization(
+    profile: WorkloadProfile, config: SystemConfig, rate: float, machines: Optional[int] = None
+) -> float:
+    machines = machines if machines is not None else config.machines
+    slots = machines * config.slots_per_machine
+    per_record = profile.record_cost_s * (
+        1.0 + config.flink_flush_overhead / max(config.flink_flush_s, 1e-3)
+    )
+    return rate * per_record / slots
+
+
+def flink_normal_latency(
+    profile: WorkloadProfile, config: SystemConfig, rate: float
+) -> Optional[float]:
+    """Steady-state window latency: buffer flush + queueing delay."""
+    rho = flink_utilization(profile, config, rate)
+    if rho >= 0.97:
+        return None
+    return config.flink_flush_s + config.flink_quantum_s / (1.0 - rho)
+
+
+def simulate_flink(
+    profile: WorkloadProfile,
+    config: SystemConfig,
+    rate: float,
+    duration_s: float,
+    seed: int = 0,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    failure_at_s: Optional[float] = None,
+) -> StreamRunResult:
+    base = flink_normal_latency(profile, config, rate)
+    if base is None:
+        return StreamRunResult(config, rate, None, [], stable=False)
+    rng = random.Random(seed)
+
+    # Failure timeline: topology restarts from the last completed aligned
+    # checkpoint; everything since is re-processed serially ("each
+    # continuous operator is recovered serially ... all the nodes are
+    # rolled back to the last consistent checkpoint and records are then
+    # replayed", §2.2) while new input keeps arriving.
+    restart_done_s = None
+    checkpoint_pos = None
+    catch_up_rate = None
+    if failure_at_s is not None:
+        rho_after = flink_utilization(profile, config, rate, machines=config.machines - 1)
+        if rho_after >= 0.999:
+            catch_up_rate = 1.0001
+        else:
+            catch_up_rate = 1.0 / rho_after
+        n_ckpt = int(failure_at_s // config.checkpoint_interval_s)
+        checkpoint_pos = n_ckpt * config.checkpoint_interval_s
+        if checkpoint_pos >= failure_at_s:
+            # The barrier exactly at the failure instant never completed.
+            checkpoint_pos -= config.checkpoint_interval_s
+        restart_done_s = (
+            failure_at_s
+            + cost.detect_failure_s
+            + cost.continuous_restart_time(config.machines)
+        )
+
+    window_latencies: List[WindowLatency] = []
+    k = 0
+    while (k + 1) * profile.window_s <= duration_s:
+        window_end = (k + 1) * profile.window_s
+        noise = math.exp(rng.gauss(0.0, profile.noise_sigma))
+        if failure_at_s is None or window_end + base * noise <= failure_at_s:
+            latency = base * noise
+        else:
+            # When does the (restarted) processor's input position pass
+            # this window's end?
+            assert restart_done_s is not None and checkpoint_pos is not None
+            if window_end <= checkpoint_pos:
+                latency = base * noise
+            else:
+                # Processing position advances ``catch_up_rate`` seconds of
+                # input per wall second once the topology has restarted.
+                wall = restart_done_s + (window_end - checkpoint_pos) / catch_up_rate
+                if wall <= window_end:
+                    latency = base * noise  # caught up before the close
+                else:
+                    latency = (wall - window_end) + base * noise
+        window_latencies.append(WindowLatency(window_end, latency))
+        k += 1
+
+    normal = [
+        w.latency_s
+        for w in window_latencies
+        if failure_at_s is None or w.window_end_s < (checkpoint_pos or 0)
+    ]
+    normal_median = sorted(normal)[len(normal) // 2] if normal else base
+    return StreamRunResult(
+        config,
+        rate,
+        None,
+        window_latencies,
+        stable=True,
+        normal_median_latency_s=normal_median,
+        service_components={"flush": config.flink_flush_s},
+    )
+
+
+def simulate_stream(
+    profile: WorkloadProfile,
+    config: SystemConfig,
+    rate: float,
+    duration_s: float,
+    seed: int = 0,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    failure_at_s: Optional[float] = None,
+) -> StreamRunResult:
+    """Simulate one streaming run of ``duration_s`` seconds at ``rate``
+    events/s, dispatching to the micro-batch or continuous model by
+    ``config.kind``; optionally kill one machine at ``failure_at_s``."""
+    if config.kind == "flink":
+        return simulate_flink(profile, config, rate, duration_s, seed, cost, failure_at_s)
+    return simulate_microbatch(profile, config, rate, duration_s, seed, cost, failure_at_s)
+
+
+# ----------------------------------------------------------------------
+# Throughput at a latency target (Figures 6b / 8b)
+# ----------------------------------------------------------------------
+def max_throughput(
+    profile: WorkloadProfile,
+    config: SystemConfig,
+    latency_target_s: float,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    rate_hi: float = 2.0e8,
+) -> float:
+    """Binary-search the highest event rate whose steady-state latency
+    meets the target (0.0 when even an idle system cannot meet it)."""
+
+    def feasible(rate: float) -> bool:
+        if rate <= 0:
+            return True
+        if config.kind == "flink":
+            # The buffer flush duration is the latency/throughput knob.
+            for flush in (0.03, 0.05, 0.075, 0.1, 0.15, 0.25, 0.4):
+                trial = config.with_(flink_flush_s=flush)
+                lat = flink_normal_latency(profile, trial, rate)
+                if lat is not None and lat <= latency_target_s:
+                    return True
+            return False
+        interval = tune_batch_interval(profile, config, rate, cost)
+        if interval is None:
+            return False
+        service, _ = microbatch_service_time(profile, config, rate, interval, cost)
+        return service <= latency_target_s
+
+    if not feasible(1e5):
+        return 0.0
+    lo, hi = 1e5, rate_hi
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,339 @@
+"""Task-granularity discrete-event simulation of the micro-benchmarks.
+
+The analytic evaluator in :mod:`repro.sim.microbench` computes batch times
+in closed form.  This module simulates the same runs **event by event** on
+:class:`~repro.sim.events.EventLoop` — the driver as a serial resource
+doing per-task scheduling work, worker slots as queued servers, per-task
+launch messages, map-completion notifications, and shuffle fetches — and
+is used to *cross-validate* the closed form
+(``tests/test_sim_tasksim.py`` asserts they agree within tolerance).
+
+Being event-driven, it also models what the closed form elides:
+
+* queueing when tasks outnumber slots (multiple waves),
+* reducers activating as their *individual* dependencies finish — which
+  makes the §3.6 tree-structure narrowing (``tree_fan_in``) directly
+  observable as earlier reducer start times.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.sim.events import EventLoop
+from repro.sim.microbench import MicroBenchConfig
+
+
+@dataclass
+class TaskTrace:
+    batch: int
+    stage: int
+    index: int
+    ready_at: float
+    started_at: float
+    finished_at: float
+
+
+@dataclass
+class TaskSimResult:
+    config: MicroBenchConfig
+    batch_completions: List[float]
+    traces: List[TaskTrace] = field(default_factory=list)
+    events_processed: int = 0
+
+    @property
+    def total_time_s(self) -> float:
+        return max(self.batch_completions) if self.batch_completions else 0.0
+
+    @property
+    def time_per_batch_s(self) -> float:
+        n = len(self.batch_completions)
+        return self.total_time_s / n if n else 0.0
+
+    def reducer_start_times(self, batch: int) -> List[float]:
+        return sorted(
+            t.started_at for t in self.traces if t.batch == batch and t.stage == 1
+        )
+
+
+class _SlotPool:
+    """Queued multi-server resource living on the event loop."""
+
+    def __init__(self, loop: EventLoop, n: int):
+        self.loop = loop
+        self.free = n
+        self.queue: Deque[Tuple[float, callable]] = deque()
+
+    def submit(self, duration: float, on_finish) -> None:
+        """Run a task for ``duration`` once a slot frees up; calls
+        ``on_finish(start_time, finish_time)`` at completion."""
+        if self.free > 0:
+            self.free -= 1
+            self._start(duration, on_finish)
+        else:
+            self.queue.append((duration, on_finish))
+
+    def _start(self, duration: float, on_finish) -> None:
+        start = self.loop.now
+
+        def finish() -> None:
+            on_finish(start, self.loop.now)
+            if self.queue:
+                next_duration, next_cb = self.queue.popleft()
+                self._start(next_duration, next_cb)
+            else:
+                self.free += 1
+
+        self.loop.after(duration, finish)
+
+
+class _Driver:
+    """Serial control-plane resource: work items run back to back."""
+
+    def __init__(self, loop: EventLoop):
+        self.loop = loop
+        self.free_at = 0.0
+
+    def work(self, ready_at: float, duration: float, then) -> None:
+        begin = max(ready_at, self.free_at)
+        self.free_at = begin + duration
+        self.loop.at(self.free_at, then)
+
+
+def simulate_microbenchmark_events(
+    config: MicroBenchConfig,
+    cost: CostModel = DEFAULT_COST_MODEL,
+    keep_traces: bool = False,
+    tree_fan_in: Optional[int] = None,
+) -> TaskSimResult:
+    """Event-driven run of ``config.num_batches`` micro-batches.
+
+    ``tree_fan_in`` switches the shuffle's dependency structure from
+    all-to-all to §3.6 tree narrowing (only meaningful with reducers and
+    pre-scheduled modes, where reducers trigger on notifications).
+    """
+    if config.mode == "pipelined":
+        raise SimulationError(
+            "pipelined mode is defined analytically (b*max(exec, sched)); "
+            "use repro.sim.microbench for it"
+        )
+    if tree_fan_in is not None and config.num_reducers == 0:
+        raise SimulationError("tree_fan_in requires a shuffle stage")
+
+    loop = EventLoop()
+    slots = _SlotPool(loop, config.machines * config.slots_per_machine)
+    driver = _Driver(loop)
+    n_maps = config.num_map_tasks
+    n_reds = config.num_reducers
+    result = TaskSimResult(config=config, batch_completions=[0.0] * config.num_batches)
+    traces: List[TaskTrace] = []
+    outstanding: List[int] = [0] * config.num_batches  # tasks left per batch
+
+    def deps_of_reducer(r: int) -> int:
+        """How many map notifications reducer ``r`` waits for."""
+        if tree_fan_in is None:
+            return n_maps
+        lo = r * tree_fan_in
+        return max(0, min(tree_fan_in, n_maps - lo))
+
+    def record(batch: int, stage: int, index: int, ready: float,
+               start: float, finish: float) -> None:
+        if keep_traces:
+            traces.append(TaskTrace(batch, stage, index, ready, start, finish))
+        result.batch_completions[batch] = max(
+            result.batch_completions[batch], finish + cost.net_latency_s
+        )
+
+    def start_batch_dataplane(batch: int) -> None:
+        """Tasks for ``batch`` have arrived on the workers: launch maps;
+        reducers trigger on map-completion notifications."""
+        remaining = [deps_of_reducer(r) for r in range(n_reds)]
+
+        def launch_reducer(r: int) -> None:
+            ready = loop.now
+            duration = (
+                cost.shuffle_fetch_time(
+                    deps_of_reducer(r), config.shuffle_bytes_per_reducer
+                )
+                + config.reduce_compute_s
+            )
+            slots.submit(
+                duration,
+                lambda start, finish, r=r, ready=ready: (
+                    record(batch, 1, r, ready, start, finish),
+                    task_done(batch),
+                ),
+            )
+
+        def map_finished(m: int, ready: float, start: float, finish: float) -> None:
+            record(batch, 0, m, ready, start, finish)
+            # Notify dependent reducers (one net hop).
+            def notify() -> None:
+                if tree_fan_in is None:
+                    targets = range(n_reds)
+                else:
+                    targets = [m // tree_fan_in] if m // tree_fan_in < n_reds else []
+                for r in targets:
+                    remaining[r] -= 1
+                    if remaining[r] == 0:
+                        launch_reducer(r)
+            if n_reds > 0:
+                loop.after(cost.net_latency_s, notify)
+            task_done(batch)
+
+        def launch_map(m: int) -> None:
+            ready = loop.now
+            slots.submit(
+                config.task_compute_s,
+                lambda start, finish, m=m, ready=ready: map_finished(
+                    m, ready, start, finish
+                ),
+            )
+
+        for m in range(n_maps):
+            loop.after(cost.net_latency_s, lambda m=m: launch_map(m))
+
+    group_task_hook = [lambda: None]
+
+    def task_done(batch: int) -> None:
+        outstanding[batch] -= 1
+        group_task_hook[0]()
+
+    # ------------------------------------------------------------------
+    # Control plane per mode
+    # ------------------------------------------------------------------
+    n_tasks = n_maps + n_reds
+    for b in range(config.num_batches):
+        outstanding[b] = n_tasks
+
+    if config.mode == "spark":
+        # Sequential batches; within a batch, stage-by-stage with a driver
+        # barrier.  (Spark's driver launches reducers only after all map
+        # reports, so reducer "notifications" come from the driver.)
+        def schedule_spark_batch(b: int) -> None:
+            if b >= config.num_batches:
+                return
+            sched0 = cost.per_job_fixed_s + n_maps * (
+                cost.sched_per_task_s + cost.serialize_per_task_s + cost.rpc_send_s
+            )
+
+            maps_left = [n_maps]
+
+            def after_map_stage() -> None:
+                if n_reds == 0:
+                    schedule_spark_batch(b + 1)
+                    return
+                sched1 = n_reds * (
+                    cost.sched_per_task_s
+                    + cost.serialize_per_task_s
+                    + cost.rpc_send_s
+                ) + 2 * cost.net_latency_s
+
+                reds_left = [n_reds]
+
+                def launch_reducers() -> None:
+                    for r in range(n_reds):
+                        ready = loop.now + cost.net_latency_s
+
+                        def go(r=r, ready=ready) -> None:
+                            duration = (
+                                cost.shuffle_fetch_time(
+                                    n_maps, config.shuffle_bytes_per_reducer
+                                )
+                                + config.reduce_compute_s
+                            )
+                            slots.submit(
+                                duration,
+                                lambda start, finish, r=r, ready=ready: (
+                                    record(b, 1, r, ready, start, finish),
+                                    task_done(b),
+                                    _red_done(),
+                                ),
+                            )
+
+                        loop.after(cost.net_latency_s, go)
+
+                def _red_done() -> None:
+                    reds_left[0] -= 1
+                    if reds_left[0] == 0:
+                        schedule_spark_batch(b + 1)
+
+                driver.work(loop.now, sched1, launch_reducers)
+
+            def launch_maps() -> None:
+                for m in range(n_maps):
+                    def go(m=m) -> None:
+                        ready = loop.now
+                        slots.submit(
+                            config.task_compute_s,
+                            lambda start, finish, m=m, ready=ready: (
+                                record(b, 0, m, ready, start, finish),
+                                task_done(b),
+                                _map_done(),
+                            ),
+                        )
+
+                    loop.after(cost.net_latency_s, go)
+
+            def _map_done() -> None:
+                maps_left[0] -= 1
+                if maps_left[0] == 0:
+                    # Reports travel back to the driver.
+                    loop.after(cost.net_latency_s, after_map_stage)
+
+            driver.work(loop.now, sched0, launch_maps)
+
+        loop.at(0.0, lambda: schedule_spark_batch(0))
+    elif config.mode in ("only-pre", "drizzle"):
+        group = 1 if config.mode == "only-pre" else config.group_size
+        group_left = [0]
+
+        def schedule_group(first: int) -> None:
+            if first >= config.num_batches:
+                return
+            size = min(group, config.num_batches - first)
+            if config.mode == "only-pre":
+                coord = size * (
+                    cost.per_job_fixed_s
+                    + n_tasks * (cost.sched_per_task_s + cost.serialize_per_task_s)
+                    + config.machines * cost.rpc_send_s
+                )
+            else:
+                coord = (
+                    n_tasks * cost.sched_per_task_s
+                    + size * n_tasks * cost.group_serialize_per_task_s
+                    + config.machines * cost.rpc_send_s
+                    + size * cost.group_per_batch_s
+                )
+
+            def launch_group() -> None:
+                group_left[0] = size * n_tasks
+                group_done[0] = lambda: schedule_group(first + size)
+                for i in range(size):
+                    start_batch_dataplane(first + i)
+
+            driver.work(loop.now, coord, launch_group)
+
+        group_done = [lambda: None]
+
+        def on_task_done() -> None:
+            group_left[0] -= 1
+            if group_left[0] == 0:
+                # The whole group drained; the job generator submits the
+                # next group (coordination once per group, §3.1).
+                group_done[0]()
+
+        group_task_hook[0] = on_task_done
+        loop.at(0.0, lambda: schedule_group(0))
+    else:  # pragma: no cover
+        raise SimulationError(f"unsupported mode {config.mode}")
+
+    result.events_processed = loop.run()
+    if any(n != 0 for n in outstanding):
+        raise SimulationError("simulation ended with outstanding tasks")
+    result.traces = traces
+    return result

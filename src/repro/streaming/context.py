@@ -1,0 +1,212 @@
+"""StreamingContext: the job generator and batch loop.
+
+Mirrors the Drizzle port of Spark Streaming (§4): instead of generating
+and scheduling one job per micro-batch, the generator submits *a group of
+micro-batches at once*, sized by the driver's current group size (which
+the §3.4 AIMD tuner may be adjusting live).  Output callbacks — sink
+commits and state updates — always run in batch order.
+
+Checkpoints are synchronous, taken at group boundaries (§3.3);
+``restore_and_replay`` rolls state and source back to the last checkpoint
+and replays the suffix of batches with ``reuse=True`` so surviving map
+outputs are not recomputed (lineage reuse).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.common.clock import Clock, WallClock
+from repro.common.errors import StreamingError
+from repro.common.metrics import COUNT_CHECKPOINTS
+from repro.dag.plan import PhysicalPlan, collect_action, compile_plan
+from repro.engine.cluster import LocalCluster
+from repro.streaming.dstream import DStream, SourceDStream
+from repro.streaming.sources import LogSource, StreamSource
+from repro.streaming.state import Checkpoint, CheckpointStore, StateStore
+
+
+@dataclass
+class OutputOp:
+    """One registered output operation."""
+
+    index: int
+    stream: DStream
+    callback: Callable[[int, List[Any]], None]
+
+
+@dataclass
+class BatchStats:
+    """Timing record for one processed micro-batch."""
+
+    batch_index: int
+    group_id: int
+    group_size: int
+    wall_time_s: float  # group wall time attributed to this batch
+    completed_at: float
+
+
+class StreamingContext:
+    """Drives a streaming application over a :class:`LocalCluster`."""
+
+    def __init__(
+        self,
+        cluster: LocalCluster,
+        source: StreamSource,
+        batch_interval_s: float = 0.1,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        clock: Optional[Clock] = None,
+    ):
+        if batch_interval_s <= 0:
+            raise StreamingError("batch_interval_s must be positive")
+        self.cluster = cluster
+        self.driver = cluster.driver
+        self.conf = cluster.conf
+        self.source = source
+        self.batch_interval_s = batch_interval_s
+        self.checkpoints = checkpoint_store or CheckpointStore()
+        self.clock = clock or WallClock()
+        self.output_ops: List[OutputOp] = []
+        self.state_stores: Dict[str, StateStore] = {}
+        self.next_batch = 0
+        self.batch_stats: List[BatchStats] = []
+        self._group_seq = 0
+        self._batches_since_checkpoint = 0
+        self._lock = threading.Lock()
+        self._elasticity = None  # optional ElasticityController
+
+    def set_elasticity(self, controller) -> None:
+        """Attach an elastic-scaling controller, consulted at every group
+        boundary (§3.3: resources adjust between groups, never within)."""
+        self._elasticity = controller
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def stream(self) -> DStream:
+        return SourceDStream(self)
+
+    def register_output(
+        self, stream: DStream, callback: Callable[[int, List[Any]], None]
+    ) -> None:
+        self.output_ops.append(OutputOp(len(self.output_ops), stream, callback))
+
+    def state_store(self, name: str) -> StateStore:
+        """Create-or-get a named state store (included in checkpoints)."""
+        if name not in self.state_stores:
+            self.state_stores[name] = StateStore(name)
+        return self.state_stores[name]
+
+    # ------------------------------------------------------------------
+    # The job generator / batch loop
+    # ------------------------------------------------------------------
+    def run_batches(self, n: int) -> None:
+        """Process the next ``n`` micro-batches, submitting them to the
+        engine in groups of the driver's current group size."""
+        if not self.output_ops:
+            raise StreamingError("no output operations registered")
+        if n < 0:
+            raise StreamingError("n must be >= 0")
+        remaining = n
+        while remaining > 0:
+            group_size = max(1, min(self.driver.current_group_size, remaining))
+            self._run_group(range(self.next_batch, self.next_batch + group_size))
+            self.next_batch += group_size
+            remaining -= group_size
+            self._batches_since_checkpoint += group_size
+            if (
+                self._batches_since_checkpoint
+                >= self.conf.effective_checkpoint_interval()
+            ):
+                self.checkpoint()
+            if self._elasticity is not None:
+                self._elasticity.at_group_boundary(self.batch_stats)
+
+    def _run_group(self, batch_indices: range, reuse: bool = True) -> None:
+        start = self.clock.now()
+        plans: List[PhysicalPlan] = []
+        keys: List[Any] = []
+        for batch_index in batch_indices:
+            # Planning the batch pins its source offsets (sticky replay).
+            self.source.plan_batch(batch_index)
+            for op in self.output_ops:
+                dataset = op.stream.dataset_for(batch_index)
+                plans.append(
+                    compile_plan(
+                        dataset,
+                        collect_action(),
+                        map_side_combine=self.conf.map_side_combine,
+                    )
+                )
+                keys.append((op.index, batch_index))
+        results = self.driver.run_group(plans, job_keys=keys, reuse=reuse)
+        wall = self.clock.now() - start
+        group_id = self._group_seq
+        self._group_seq += 1
+        # Deliver callbacks strictly in batch order.
+        cursor = 0
+        for batch_index in batch_indices:
+            for op in self.output_ops:
+                op.callback(batch_index, results[cursor])
+                cursor += 1
+            self.batch_stats.append(
+                BatchStats(
+                    batch_index=batch_index,
+                    group_id=group_id,
+                    group_size=len(batch_indices),
+                    wall_time_s=wall / max(len(batch_indices), 1),
+                    completed_at=self.clock.now(),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Checkpointing and recovery (§3.3)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Checkpoint:
+        """Synchronous checkpoint at a group boundary."""
+        cp = Checkpoint(
+            batch_index=self.next_batch - 1,
+            state_snapshots={
+                name: store.snapshot() for name, store in self.state_stores.items()
+            },
+            extra={"next_batch": self.next_batch},
+        )
+        self.checkpoints.save(cp)
+        self._batches_since_checkpoint = 0
+        self.cluster.metrics.counter(COUNT_CHECKPOINTS).add(1)
+        # Shuffle data at or before the checkpoint is no longer needed for
+        # recovery; GC it cluster-wide.
+        self._gc_through(cp.batch_index)
+        return cp
+
+    def _gc_through(self, batch_index: int) -> None:
+        for job_key, job_id in list(self.driver._job_ids_by_key.items()):
+            if not (isinstance(job_key, tuple) and len(job_key) == 2):
+                continue
+            _op_index, b = job_key
+            if b <= batch_index:
+                self.driver.drop_job(job_id)
+
+    def restore_and_replay(self) -> int:
+        """Recover as after a driver/state loss: restore the latest
+        checkpoint, roll the source back, and replay every batch after it.
+        Returns the number of batches replayed."""
+        cp = self.checkpoints.latest()
+        restored_through = cp.batch_index if cp is not None else -1
+        for name, store in self.state_stores.items():
+            if cp is not None and name in cp.state_snapshots:
+                store.restore(cp.state_snapshots[name])
+            else:
+                store.restore({})
+        if isinstance(self.source, LogSource):
+            self.source.forget_after(restored_through)
+        first_replay = restored_through + 1
+        last = self.next_batch - 1
+        if first_replay > last:
+            return 0
+        # Parallel recovery: the whole suffix is replayed as one group,
+        # reusing any intermediate outputs that survived (§3.3).
+        self._run_group(range(first_replay, last + 1), reuse=True)
+        return last - first_replay + 1

@@ -1,0 +1,101 @@
+"""Streaming state and synchronous checkpoints (§3.3).
+
+State is keyed (e.g. ``(campaign, window) -> count``) and updated once per
+micro-batch from that batch's aggregated output.  Checkpoints are
+synchronous, taken at group boundaries by default, and capture everything
+needed to resume: the batch index, a deep snapshot of every state store,
+and the source position (which batches were planned).
+
+Recovery = restore the last checkpoint, roll the source back, and replay
+the suffix of micro-batches; deterministic batch contents plus idempotent
+sinks give exactly-once output (prefix integrity).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class StateStore:
+    """A named key->state map with snapshot/restore."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._state: Dict[Any, Any] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        with self._lock:
+            return self._state.get(key, default)
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._state[key] = value
+
+    def delete(self, key: Any) -> None:
+        with self._lock:
+            self._state.pop(key, None)
+
+    def update_many(
+        self, updates: Dict[Any, Any], merge: Callable[[Any, Any], Any]
+    ) -> None:
+        """Merge a batch of (key, value) aggregates into the state."""
+        with self._lock:
+            for key, value in updates.items():
+                if key in self._state:
+                    self._state[key] = merge(self._state[key], value)
+                else:
+                    self._state[key] = value
+
+    def items(self) -> List:
+        with self._lock:
+            return list(self._state.items())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._state)
+
+    def snapshot(self) -> Dict[Any, Any]:
+        with self._lock:
+            return copy.deepcopy(self._state)
+
+    def restore(self, snapshot: Dict[Any, Any]) -> None:
+        with self._lock:
+            self._state = copy.deepcopy(snapshot)
+
+
+@dataclass
+class Checkpoint:
+    """One synchronous checkpoint."""
+
+    batch_index: int  # last batch whose effects are included
+    state_snapshots: Dict[str, Dict[Any, Any]]
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class CheckpointStore:
+    """Holds checkpoints; ``latest()`` is what recovery restores from."""
+
+    def __init__(self, keep: int = 3):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.keep = keep
+        self._checkpoints: List[Checkpoint] = []
+        self._lock = threading.Lock()
+
+    def save(self, checkpoint: Checkpoint) -> None:
+        with self._lock:
+            self._checkpoints.append(checkpoint)
+            if len(self._checkpoints) > self.keep:
+                self._checkpoints = self._checkpoints[-self.keep :]
+
+    def latest(self) -> Optional[Checkpoint]:
+        with self._lock:
+            return self._checkpoints[-1] if self._checkpoints else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._checkpoints)

@@ -1,0 +1,50 @@
+"""Workloads: Yahoo streaming benchmark, video analytics, micro-benchmark
+datasets, the Table-2 query corpus, and simulator profiles."""
+
+from repro.workloads.profiles import VIDEO, YAHOO, WorkloadProfile
+from repro.workloads.queries import (
+    PARTIAL_MERGE_CATEGORIES,
+    TABLE2_DISTRIBUTION,
+    AnalysisResult,
+    QueryCorpusGenerator,
+    WorkloadAnalyzer,
+)
+from repro.workloads.synthetic import (
+    expected_sum,
+    sum_random_dataset,
+    sum_random_with_shuffle,
+)
+from repro.workloads.video import (
+    SessionSummary,
+    VideoWorkload,
+    attach_session_query,
+    parse_heartbeat,
+)
+from repro.workloads.yahoo import (
+    YahooWorkload,
+    attach_microbatch_query,
+    build_continuous_job,
+    parse_and_key,
+)
+
+__all__ = [
+    "VIDEO",
+    "YAHOO",
+    "WorkloadProfile",
+    "PARTIAL_MERGE_CATEGORIES",
+    "TABLE2_DISTRIBUTION",
+    "AnalysisResult",
+    "QueryCorpusGenerator",
+    "WorkloadAnalyzer",
+    "expected_sum",
+    "sum_random_dataset",
+    "sum_random_with_shuffle",
+    "SessionSummary",
+    "VideoWorkload",
+    "attach_session_query",
+    "parse_heartbeat",
+    "YahooWorkload",
+    "attach_microbatch_query",
+    "build_continuous_job",
+    "parse_and_key",
+]

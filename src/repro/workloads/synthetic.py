@@ -1,0 +1,60 @@
+"""Synthetic micro-benchmark workloads (§5.2).
+
+The paper's micro-benchmarks use "a simple workload where each task
+computes the sum of random numbers", with the number of tasks equal to the
+number of cores, optionally followed by a shuffle stage with 16 reduce
+tasks.  These builders produce the equivalent datasets for the *real*
+threaded engine; the weak-scaling variants for 4–128 simulated machines
+live in :mod:`repro.sim.microbench`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.dag.dataset import Dataset, SourceDataset
+
+
+def sum_random_dataset(
+    num_tasks: int, elements_per_task: int = 1000, seed: int = 0
+) -> Dataset:
+    """One map stage: each task sums ``elements_per_task`` seeded random
+    numbers (deterministic per partition, so replays agree)."""
+
+    def partition_fn(index: int) -> List[float]:
+        rng = random.Random(seed * 1_000_003 + index)
+        return [rng.random() for _ in range(elements_per_task)]
+
+    return SourceDataset(partition_fn, num_tasks).map_partitions(
+        lambda _p, it: [sum(it)]
+    )
+
+
+def sum_random_with_shuffle(
+    num_tasks: int,
+    num_reducers: int = 16,
+    elements_per_task: int = 1000,
+    seed: int = 0,
+) -> Dataset:
+    """Map stage + shuffle: partial sums are keyed round-robin across
+    ``num_reducers`` reduce tasks and summed (the Fig. 5(b) two-stage
+    shape)."""
+
+    def partition_fn(index: int) -> List[float]:
+        rng = random.Random(seed * 1_000_003 + index)
+        return [rng.random() for _ in range(elements_per_task)]
+
+    return (
+        SourceDataset(partition_fn, num_tasks)
+        .map_partitions(lambda p, it: [(p % num_reducers, sum(it))])
+        .reduce_by_key(lambda a, b: a + b, num_reducers)
+    )
+
+
+def expected_sum(num_tasks: int, elements_per_task: int = 1000, seed: int = 0) -> float:
+    total = 0.0
+    for index in range(num_tasks):
+        rng = random.Random(seed * 1_000_003 + index)
+        total += sum(rng.random() for _ in range(elements_per_task))
+    return total

@@ -1,0 +1,155 @@
+"""Video-analytics workload (§2.1 case study, Figure 9).
+
+A prediction service consumes heartbeats from video-streaming clients,
+groups them by session identifier, and maintains a per-session summary
+(event counts, buffering ratio, average bitrate) that downstream systems
+use for dashboards and CDN predictions.
+
+Compared with the Yahoo benchmark the heartbeats are *bigger* (richer
+JSON) and session activity is *skewed* — a small number of sessions
+produce a disproportionate share of heartbeats ("the workload also has
+some inherent skew"), which inflates tail latency (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.streaming.context import StreamingContext
+from repro.streaming.sinks import Sink
+from repro.streaming.sources import RecordLog
+from repro.streaming.state import StateStore
+
+PLAYER_STATES = ("playing", "buffering", "paused")
+
+
+@dataclass
+class SessionSummary:
+    """Aggregate maintained per session."""
+
+    events: int = 0
+    buffering_events: int = 0
+    bitrate_sum: float = 0.0
+    last_event_time: float = 0.0
+
+    def merge(self, other: "SessionSummary") -> "SessionSummary":
+        return SessionSummary(
+            events=self.events + other.events,
+            buffering_events=self.buffering_events + other.buffering_events,
+            bitrate_sum=self.bitrate_sum + other.bitrate_sum,
+            last_event_time=max(self.last_event_time, other.last_event_time),
+        )
+
+    @property
+    def buffering_ratio(self) -> float:
+        return self.buffering_events / self.events if self.events else 0.0
+
+    @property
+    def avg_bitrate(self) -> float:
+        return self.bitrate_sum / self.events if self.events else 0.0
+
+
+@dataclass
+class VideoWorkload:
+    """Heartbeat generator with Zipf-skewed session popularity."""
+
+    num_sessions: int = 200
+    zipf_s: float = 1.2
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        # Zipf weights: session i has weight 1 / (i+1)^s.
+        weights = [1.0 / (i + 1) ** self.zipf_s for i in range(self.num_sessions)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+
+    def _pick_session(self) -> int:
+        r = self._rng.random()
+        lo, hi = 0, len(self._cdf) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < r:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def make_heartbeat(self, event_time: float) -> str:
+        session = self._pick_session()
+        state = self._rng.choices(PLAYER_STATES, weights=(8, 1, 1))[0]
+        return json.dumps(
+            {
+                "session_id": f"session-{session}",
+                "event_time": event_time,
+                "player_state": state,
+                "bitrate_kbps": self._rng.choice((800, 1500, 3000, 6000)),
+                "cdn": self._rng.choice(("cdn-a", "cdn-b", "cdn-c")),
+                "device": self._rng.choice(("ios", "android", "web", "tv")),
+                "buffer_s": round(self._rng.uniform(0.0, 30.0), 2),
+            }
+        )
+
+    def generate(
+        self, num_events: int, time_span_s: float, start_time: float = 0.0
+    ) -> List[str]:
+        if num_events <= 0:
+            return []
+        step = time_span_s / num_events
+        return [self.make_heartbeat(start_time + i * step) for i in range(num_events)]
+
+    def fill_log(
+        self, log: RecordLog, num_events: int, time_span_s: float, start_time: float = 0.0
+    ) -> None:
+        log.append_round_robin(self.generate(num_events, time_span_s, start_time))
+
+    def expected_summaries(self, events: List[str]) -> Dict[str, SessionSummary]:
+        out: Dict[str, SessionSummary] = {}
+        for raw in events:
+            session_id, summary = parse_heartbeat(raw)
+            if session_id in out:
+                out[session_id] = out[session_id].merge(summary)
+            else:
+                out[session_id] = summary
+        return out
+
+
+def parse_heartbeat(raw: str) -> Tuple[str, SessionSummary]:
+    e = json.loads(raw)
+    return (
+        e["session_id"],
+        SessionSummary(
+            events=1,
+            buffering_events=1 if e["player_state"] == "buffering" else 0,
+            bitrate_sum=float(e["bitrate_kbps"]),
+            last_event_time=float(e["event_time"]),
+        ),
+    )
+
+
+def attach_session_query(
+    ctx: StreamingContext,
+    store: StateStore,
+    sink: Sink,
+    num_reducers: int = 4,
+) -> None:
+    """Per-batch session aggregation merged into a session-summary store;
+    each batch commits the updated (session, summary) pairs it touched."""
+    per_batch = (
+        ctx.stream()
+        .map(parse_heartbeat)
+        .reduce_by_key(lambda a, b: a.merge(b), num_reducers)
+    )
+
+    def callback(batch_index: int, records: List[Tuple[str, SessionSummary]]) -> None:
+        store.update_many(dict(records), lambda a, b: a.merge(b))
+        sink.commit(batch_index, sorted(k for k, _v in records))
+
+    ctx.register_output(per_batch, callback)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite.
+
+Helper factories live in ``engine_test_utils`` (a plain module) so test
+files can import them without relying on conftest-as-a-module, which
+breaks when tests/ and benchmarks/ are collected in one pytest run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import EngineConf, SchedulingMode
+from repro.engine.cluster import LocalCluster
+
+
+@pytest.fixture
+def drizzle_cluster():
+    conf = EngineConf(
+        num_workers=3,
+        slots_per_worker=2,
+        scheduling_mode=SchedulingMode.DRIZZLE,
+        group_size=3,
+    )
+    with LocalCluster(conf) as cluster:
+        yield cluster
+
+
+@pytest.fixture
+def spark_cluster():
+    conf = EngineConf(
+        num_workers=3, slots_per_worker=2, scheduling_mode=SchedulingMode.PER_BATCH
+    )
+    with LocalCluster(conf) as cluster:
+        yield cluster
+
+

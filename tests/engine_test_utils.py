@@ -1,0 +1,18 @@
+"""Shared helpers for engine-level tests (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+from repro.common.config import EngineConf, SchedulingMode
+from repro.engine.cluster import LocalCluster
+
+ALL_MODES = list(SchedulingMode)
+
+
+def make_cluster(mode: SchedulingMode, workers: int = 3, slots: int = 2, **kwargs):
+    conf = EngineConf(
+        num_workers=workers,
+        slots_per_worker=slots,
+        scheduling_mode=mode,
+        **kwargs,
+    )
+    return LocalCluster(conf)

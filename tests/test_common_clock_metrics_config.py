@@ -1,0 +1,157 @@
+"""Tests for clocks, the metrics registry, and configuration validation."""
+
+import threading
+
+import pytest
+
+from repro.common.clock import ManualClock, WallClock
+from repro.common.config import EngineConf, SchedulingMode, TunerConf
+from repro.common.errors import ConfigError
+from repro.common.metrics import MetricsRegistry
+
+
+class TestManualClock:
+    def test_starts_at_zero(self):
+        assert ManualClock().now() == 0.0
+
+    def test_advance(self):
+        clock = ManualClock(start=5.0)
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+
+    def test_cannot_go_backwards(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            clock.set_time(-1)
+
+    def test_sleep_blocks_until_advanced(self):
+        clock = ManualClock()
+        done = threading.Event()
+
+        def sleeper():
+            clock.sleep(1.0)
+            done.set()
+
+        t = threading.Thread(target=sleeper, daemon=True)
+        t.start()
+        assert not done.wait(0.05)
+        clock.advance(1.0)
+        assert done.wait(2.0)
+
+    def test_wall_clock_monotone(self):
+        clock = WallClock()
+        a = clock.now()
+        clock.sleep(0.001)
+        assert clock.now() >= a
+
+
+class TestMetricsRegistry:
+    def test_counter_add(self):
+        m = MetricsRegistry()
+        m.counter("x").add(2)
+        m.counter("x").add(3)
+        assert m.counter("x").value == 5
+
+    def test_counter_identity(self):
+        m = MetricsRegistry()
+        assert m.counter("a") is m.counter("a")
+
+    def test_series(self):
+        m = MetricsRegistry()
+        m.series("s").record(1.0)
+        m.series("s").record(2.0)
+        assert m.series("s").snapshot() == [1.0, 2.0]
+        assert len(m.series("s")) == 2
+
+    def test_timed(self):
+        clock = ManualClock()
+        m = MetricsRegistry(clock)
+        with m.timed("t"):
+            clock.advance(3.0)
+        assert m.counter("t").value == 3.0
+
+    def test_reset(self):
+        m = MetricsRegistry()
+        m.counter("x").add(1)
+        m.series("s").record(1.0)
+        m.reset()
+        assert m.counter("x").value == 0
+        assert m.series("s").snapshot() == []
+
+    def test_snapshot(self):
+        m = MetricsRegistry()
+        m.counter("a").add(1)
+        m.counter("b").add(2)
+        assert m.counters_snapshot() == {"a": 1, "b": 2}
+
+    def test_thread_safety(self):
+        m = MetricsRegistry()
+
+        def bump():
+            for _ in range(1000):
+                m.counter("n").add(1)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert m.counter("n").value == 4000
+
+
+class TestEngineConf:
+    def test_defaults_valid(self):
+        EngineConf().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_workers": 0},
+            {"slots_per_worker": 0},
+            {"group_size": 0},
+            {"checkpoint_interval_batches": -1},
+            {"heartbeat_interval_s": 0},
+            {"heartbeat_interval_s": 1.0, "heartbeat_timeout_s": 0.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            EngineConf(**kwargs).validate()
+
+    def test_per_batch_mode_normalizes_group_size(self):
+        conf = EngineConf(scheduling_mode=SchedulingMode.PER_BATCH, group_size=10)
+        conf.validate()
+        assert conf.group_size == 1
+
+    def test_total_slots(self):
+        assert EngineConf(num_workers=3, slots_per_worker=4).total_slots == 12
+
+    def test_effective_checkpoint_interval_defaults_to_group(self):
+        conf = EngineConf(group_size=7)
+        assert conf.effective_checkpoint_interval() == 7
+        conf2 = EngineConf(group_size=7, checkpoint_interval_batches=3)
+        assert conf2.effective_checkpoint_interval() == 3
+
+
+class TestTunerConf:
+    def test_defaults_valid(self):
+        TunerConf().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"overhead_lower_bound": 0.5, "overhead_upper_bound": 0.2},
+            {"overhead_lower_bound": -0.1},
+            {"overhead_upper_bound": 1.5},
+            {"increase_factor": 1.0},
+            {"decrease_step": 0},
+            {"min_group_size": 0},
+            {"min_group_size": 10, "max_group_size": 5},
+            {"ewma_alpha": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            TunerConf(**kwargs).validate()

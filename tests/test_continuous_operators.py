@@ -1,0 +1,133 @@
+"""Unit tests for continuous-operator logic (isolated from threading)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.continuous.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyedReduceOperator,
+    MapOperator,
+    Operator,
+    OperatorSpec,
+    WindowAggOperator,
+)
+
+
+class TestStatelessOperators:
+    def test_map(self):
+        op = MapOperator(lambda x: x * 2)
+        assert list(op.process(3)) == [6]
+
+    def test_filter(self):
+        op = FilterOperator(lambda x: x > 0)
+        assert list(op.process(5)) == [5]
+        assert list(op.process(-5)) == []
+
+    def test_flat_map(self):
+        op = FlatMapOperator(lambda x: [x] * x)
+        assert list(op.process(3)) == [3, 3, 3]
+        assert list(op.process(0)) == []
+
+    def test_stateless_snapshot_roundtrip(self):
+        op = MapOperator(lambda x: x)
+        assert op.snapshot_state() is None
+        op.restore_state(None)
+        with pytest.raises(ValueError):
+            op.restore_state({"junk": 1})
+
+    def test_base_operator_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Operator().process(1)
+
+
+class TestKeyedReduce:
+    def test_running_reduction(self):
+        op = KeyedReduceOperator(lambda a, b: a + b)
+        assert list(op.process(("k", 1))) == [("k", 1)]
+        assert list(op.process(("k", 2))) == [("k", 3)]
+        assert list(op.process(("j", 5))) == [("j", 5)]
+
+    def test_snapshot_restore(self):
+        op = KeyedReduceOperator(lambda a, b: a + b)
+        list(op.process(("k", 1)))  # process() is a generator: consume it
+        list(op.process(("k", 2)))
+        snap = op.snapshot_state()
+        op2 = KeyedReduceOperator(lambda a, b: a + b)
+        op2.restore_state(snap)
+        assert list(op2.process(("k", 4))) == [("k", 7)]
+
+    def test_restore_none_clears(self):
+        op = KeyedReduceOperator(lambda a, b: a + b)
+        list(op.process(("k", 1)))
+        op.restore_state(None)
+        assert list(op.process(("k", 1))) == [("k", 1)]
+
+
+class TestWindowAgg:
+    def test_accumulates_until_watermark(self):
+        op = WindowAggOperator(lambda a, b: a + b, window_size=10.0)
+        assert list(op.process(("k", (1.0, 1)))) == []
+        assert list(op.process(("k", (5.0, 1)))) == []
+        assert list(op.process(("k", (12.0, 1)))) == []
+        out = list(op.on_watermark(10.0))
+        assert out == [("k", 0, 2)]
+        # Window 1 still open.
+        assert list(op.on_watermark(19.0)) == []
+        assert list(op.on_watermark(20.0)) == [("k", 1, 1)]
+
+    def test_multiple_keys_sorted_output(self):
+        op = WindowAggOperator(lambda a, b: a + b, window_size=10.0)
+        op.process(("b", (1.0, 1)))
+        op.process(("a", (2.0, 2)))
+        out = list(op.on_watermark(10.0))
+        assert out == [("a", 0, 2), ("b", 0, 1)]
+
+    def test_on_end_flushes_remaining(self):
+        op = WindowAggOperator(lambda a, b: a + b, window_size=10.0)
+        op.process(("k", (3.0, 4)))
+        assert list(op.on_end()) == [("k", 0, 4)]
+        assert list(op.on_end()) == []
+
+    def test_snapshot_restore_roundtrip(self):
+        op = WindowAggOperator(lambda a, b: a + b, window_size=10.0)
+        op.process(("k", (3.0, 4)))
+        snap = op.snapshot_state()
+        op2 = WindowAggOperator(lambda a, b: a + b, window_size=10.0)
+        op2.restore_state(snap)
+        assert list(op2.on_watermark(10.0)) == [("k", 0, 4)]
+
+    def test_bad_window_size(self):
+        with pytest.raises(ValueError):
+            WindowAggOperator(lambda a, b: a + b, window_size=0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.floats(0, 100),
+                st.integers(1, 5),
+            ),
+            max_size=50,
+        )
+    )
+    def test_count_conservation(self, events):
+        """Every value is emitted exactly once across watermark closes and
+        the final flush."""
+        op = WindowAggOperator(lambda a, b: a + b, window_size=7.0)
+        emitted = []
+        for key, t, v in events:
+            op.process((key, (t, v)))
+        emitted.extend(op.on_watermark(50.0))
+        emitted.extend(op.on_end())
+        assert sum(v for (_k, _w, v) in emitted) == sum(v for (_k, _t, v) in events)
+
+
+class TestOperatorSpec:
+    def test_validates_parallelism(self):
+        with pytest.raises(ValueError):
+            OperatorSpec("x", lambda: MapOperator(lambda v: v), parallelism=0)
+
+    def test_validates_partitioning(self):
+        with pytest.raises(ValueError):
+            OperatorSpec("x", lambda: MapOperator(lambda v: v), 1, partitioning="bogus")

@@ -1,0 +1,183 @@
+"""Tests for pre-scheduling dependency logic (§3.2, §3.6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.prescheduling import (
+    PendingTaskTable,
+    all_to_all_deps,
+    tree_reduce_deps,
+    tree_reduce_num_reducers,
+)
+
+
+class TestDependencySets:
+    def test_all_to_all(self):
+        deps = all_to_all_deps(7, 3)
+        assert deps == frozenset({(7, 0), (7, 1), (7, 2)})
+
+    def test_all_to_all_empty(self):
+        assert all_to_all_deps(0, 0) == frozenset()
+
+    def test_all_to_all_negative_rejected(self):
+        with pytest.raises(ValueError):
+            all_to_all_deps(0, -1)
+
+    def test_tree_reduce_basic(self):
+        assert tree_reduce_deps(1, 8, 0, fan_in=2) == frozenset({(1, 0), (1, 1)})
+        assert tree_reduce_deps(1, 8, 3, fan_in=2) == frozenset({(1, 6), (1, 7)})
+
+    def test_tree_reduce_ragged_tail(self):
+        # 5 maps, fan_in 2 -> reducer 2 gets only map 4.
+        assert tree_reduce_deps(0, 5, 2, fan_in=2) == frozenset({(0, 4)})
+
+    def test_tree_reduce_out_of_range(self):
+        with pytest.raises(ValueError):
+            tree_reduce_deps(0, 4, 2, fan_in=2)
+
+    def test_tree_reduce_bad_fan_in(self):
+        with pytest.raises(ValueError):
+            tree_reduce_deps(0, 4, 0, fan_in=0)
+
+    def test_tree_num_reducers(self):
+        assert tree_reduce_num_reducers(8, 2) == 4
+        assert tree_reduce_num_reducers(5, 2) == 3
+        assert tree_reduce_num_reducers(1, 4) == 1
+
+    def test_tree_deps_cover_all_maps(self):
+        num_maps, fan_in = 13, 3
+        covered = set()
+        for r in range(tree_reduce_num_reducers(num_maps, fan_in)):
+            deps = tree_reduce_deps(0, num_maps, r, fan_in)
+            assert covered.isdisjoint(deps)
+            covered |= deps
+        assert covered == all_to_all_deps(0, num_maps)
+
+    def test_tree_smaller_than_all_to_all(self):
+        tree = tree_reduce_deps(0, 64, 5, fan_in=2)
+        assert len(tree) == 2
+        assert tree < all_to_all_deps(0, 64)
+
+
+class TestPendingTaskTable:
+    def test_no_deps_immediately_ready(self):
+        table = PendingTaskTable()
+        assert table.register("t0", frozenset()) is True
+        assert len(table) == 0
+        assert table.was_activated("t0")
+
+    def test_activates_on_last_notification(self):
+        table = PendingTaskTable()
+        deps = frozenset({(0, 0), (0, 1)})
+        assert table.register("t0", deps) is False
+        assert table.notify((0, 0)) == []
+        assert table.notify((0, 1)) == ["t0"]
+
+    def test_notification_before_registration_buffered(self):
+        table = PendingTaskTable()
+        table.notify((0, 1))
+        # Registering after the notification counts it as satisfied.
+        assert table.register("t0", frozenset({(0, 1)})) is True
+
+    def test_duplicate_notification_idempotent(self):
+        table = PendingTaskTable()
+        table.register("t0", frozenset({(0, 0), (0, 1)}))
+        table.notify((0, 0))
+        assert table.notify((0, 0)) == []
+        assert table.notify((0, 1)) == ["t0"]
+        # A further duplicate never re-activates.
+        assert table.notify((0, 1)) == []
+
+    def test_multiple_tasks_one_notification(self):
+        table = PendingTaskTable()
+        table.register("a", frozenset({(0, 0)}))
+        table.register("b", frozenset({(0, 0)}))
+        ready = table.notify((0, 0))
+        assert sorted(ready) == ["a", "b"]
+
+    def test_unrelated_notification_ignored(self):
+        table = PendingTaskTable()
+        table.register("a", frozenset({(0, 0)}))
+        assert table.notify((1, 0)) == []
+        assert len(table) == 1
+
+    def test_double_register_rejected(self):
+        table = PendingTaskTable()
+        table.register("a", frozenset({(0, 0)}))
+        with pytest.raises(ValueError):
+            table.register("a", frozenset({(0, 1)}))
+
+    def test_register_after_activation_rejected(self):
+        table = PendingTaskTable()
+        table.register("a", frozenset())
+        with pytest.raises(ValueError):
+            table.register("a", frozenset({(0, 0)}))
+
+    def test_pre_populate(self):
+        table = PendingTaskTable()
+        table.register("a", frozenset({(0, 0), (0, 1), (0, 2)}))
+        ready = table.pre_populate(frozenset({(0, 0), (0, 1)}))
+        assert ready == []
+        assert table.notify((0, 2)) == ["a"]
+
+    def test_cancel(self):
+        table = PendingTaskTable()
+        table.register("a", frozenset({(0, 0)}))
+        assert table.cancel("a") is True
+        assert table.cancel("a") is False
+        assert table.notify((0, 0)) == []
+
+    def test_entry_tracks_progress(self):
+        table = PendingTaskTable()
+        table.register("a", frozenset({(0, 0), (0, 1)}))
+        table.notify((0, 0))
+        entry = table.entry("a")
+        assert entry is not None
+        assert entry.satisfied == {(0, 0)}
+        assert entry.outstanding == {(0, 1)}
+
+
+@st.composite
+def _tasks_and_order(draw):
+    """Random task dependency sets + a random interleaving of register
+    and notify events."""
+    num_deps = draw(st.integers(1, 8))
+    deps = [(0, i) for i in range(num_deps)]
+    num_tasks = draw(st.integers(1, 5))
+    task_deps = {
+        f"t{t}": frozenset(
+            draw(
+                st.lists(st.sampled_from(deps), min_size=1, max_size=num_deps).map(set)
+            )
+        )
+        for t in range(num_tasks)
+    }
+    events = [("register", key) for key in task_deps]
+    events += [("notify", dep) for dep in deps]
+    order = draw(st.permutations(events))
+    return task_deps, order
+
+
+class TestPendingTableProperties:
+    @given(_tasks_and_order())
+    def test_every_task_activates_exactly_once(self, case):
+        """Under ANY interleaving of registrations and notifications, each
+        task becomes runnable exactly once, and only after all of its
+        dependencies were notified."""
+        task_deps, order = case
+        table = PendingTaskTable()
+        activated = []
+        notified = set()
+        for kind, payload in order:
+            if kind == "register":
+                if table.register(payload, task_deps[payload]):
+                    activated.append(payload)
+                    assert task_deps[payload] <= notified
+            else:
+                notified.add(payload)
+                ready = table.notify(payload)
+                for key in ready:
+                    assert task_deps[key] <= notified
+                activated.extend(ready)
+        assert sorted(activated) == sorted(task_deps)
+        assert len(set(activated)) == len(activated)

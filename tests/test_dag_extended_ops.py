@@ -1,0 +1,109 @@
+"""Tests for the extended Dataset operators and distributed sort."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import EngineConf, SchedulingMode
+from repro.common.errors import PlanError
+from repro.dag.dataset import parallelize
+from repro.engine.cluster import LocalCluster
+
+from engine_test_utils import make_cluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    conf = EngineConf(
+        num_workers=3, slots_per_worker=2, scheduling_mode=SchedulingMode.DRIZZLE
+    )
+    with LocalCluster(conf) as c:
+        yield c
+
+
+class TestExtendedOps:
+    def test_keys_values(self, cluster):
+        ds = parallelize([("a", 1), ("b", 2)], 2)
+        assert sorted(cluster.collect(ds.keys())) == ["a", "b"]
+        assert sorted(cluster.collect(ds.values())) == [1, 2]
+
+    def test_distinct(self, cluster):
+        ds = parallelize([1, 2, 2, 3, 3, 3, 1], 3)
+        assert sorted(cluster.collect(ds.distinct(2))) == [1, 2, 3]
+
+    def test_distinct_empty(self, cluster):
+        ds = parallelize([0], 1).filter(lambda x: False)
+        assert cluster.collect(ds.distinct(2)) == []
+
+    def test_count_by_key(self, cluster):
+        ds = parallelize([("a", "x"), ("b", "y"), ("a", "z")], 2)
+        assert dict(cluster.collect(ds.count_by_key(2))) == {"a": 2, "b": 1}
+
+    def test_sample_deterministic(self, cluster):
+        ds = parallelize(range(1000), 4)
+        a = sorted(cluster.collect(ds.sample(0.3, seed=7)))
+        b = sorted(cluster.collect(ds.sample(0.3, seed=7)))
+        assert a == b
+        assert 200 < len(a) < 400
+
+    def test_sample_bounds(self, cluster):
+        ds = parallelize(range(100), 2)
+        assert cluster.collect(ds.sample(0.0)) == []
+        assert sorted(cluster.collect(ds.sample(1.0))) == list(range(100))
+        with pytest.raises(PlanError):
+            ds.sample(1.5)
+
+    def test_top(self, cluster):
+        ds = parallelize([5, 1, 9, 3, 7, 2, 8], 3)
+        assert cluster.collect(ds.top(3)) == [9, 8, 7]
+
+    def test_top_with_key(self, cluster):
+        ds = parallelize([("a", 3), ("b", 9), ("c", 1)], 2)
+        out = cluster.collect(ds.top(2, key=lambda kv: kv[1]))
+        assert out == [("b", 9), ("a", 3)]
+
+    def test_top_fewer_than_n(self, cluster):
+        ds = parallelize([4, 2], 2)
+        assert cluster.collect(ds.top(10)) == [4, 2]
+
+    def test_top_rejects_zero(self, cluster):
+        with pytest.raises(PlanError):
+            parallelize([1], 1).top(0)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.lists(st.integers(-50, 50), min_size=0, max_size=60))
+    def test_distinct_property(self, data):
+        with make_cluster(SchedulingMode.DRIZZLE, workers=2) as c:
+            ds = parallelize(data, 3) if data else parallelize([0], 1).filter(
+                lambda x: False
+            )
+            assert sorted(c.collect(ds.distinct(2))) == sorted(set(data))
+
+
+class TestDistributedSort:
+    def test_sort_integers(self, cluster):
+        import random
+
+        rng = random.Random(3)
+        data = [rng.randrange(10_000) for _ in range(500)]
+        out = cluster.sort(parallelize(data, 6), num_partitions=4)
+        assert out == sorted(data)
+
+    def test_sort_with_key(self, cluster):
+        data = [("x", 3), ("y", 1), ("z", 2)]
+        out = cluster.sort(parallelize(data, 2), key=lambda kv: kv[1])
+        assert out == [("y", 1), ("z", 2), ("x", 3)]
+
+    def test_sort_empty(self, cluster):
+        ds = parallelize([0], 1).filter(lambda x: False)
+        assert cluster.sort(ds) == []
+
+    def test_sort_with_duplicates(self, cluster):
+        data = [5, 5, 5, 1, 1, 9] * 20
+        out = cluster.sort(parallelize(data, 4), num_partitions=3)
+        assert out == sorted(data)
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=80))
+    def test_sort_property(self, data):
+        with make_cluster(SchedulingMode.DRIZZLE, workers=2) as c:
+            assert c.sort(parallelize(data, 3), num_partitions=3) == sorted(data)

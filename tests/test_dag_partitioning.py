@@ -1,0 +1,88 @@
+"""Tests for partitioners and the stable hash."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dag.partitioning import HashPartitioner, RangePartitioner, _stable_hash
+
+keys = st.one_of(
+    st.integers(-(2**40), 2**40),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+    st.tuples(st.integers(0, 1000), st.text(max_size=8)),
+)
+
+
+class TestStableHash:
+    def test_deterministic_for_strings(self):
+        # Unlike built-in hash(str), must be stable across processes.
+        assert _stable_hash("campaign-7") == 509687824
+
+    def test_int_passthrough(self):
+        assert _stable_hash(42) == 42
+
+    def test_bytes_vs_str_consistent(self):
+        assert _stable_hash("abc") == _stable_hash(b"abc")
+
+    @given(keys)
+    def test_repeatable(self, key):
+        assert _stable_hash(key) == _stable_hash(key)
+
+
+class TestHashPartitioner:
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    @given(keys, st.integers(1, 64))
+    def test_in_range(self, key, n):
+        p = HashPartitioner(n).partition(key)
+        assert 0 <= p < n
+
+    @given(keys)
+    def test_single_partition(self, key):
+        assert HashPartitioner(1).partition(key) == 0
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(8)
+        assert hash(HashPartitioner(4)) == hash(HashPartitioner(4))
+
+    def test_spreads_keys(self):
+        partitioner = HashPartitioner(8)
+        buckets = {partitioner.partition(f"key-{i}") for i in range(200)}
+        assert len(buckets) == 8
+
+
+class TestRangePartitioner:
+    def test_boundaries(self):
+        p = RangePartitioner([10, 20])
+        assert p.num_partitions == 3
+        assert p.partition(5) == 0
+        assert p.partition(10) == 1
+        assert p.partition(19) == 1
+        assert p.partition(20) == 2
+        assert p.partition(1000) == 2
+
+    def test_empty_boundaries_single_partition(self):
+        p = RangePartitioner([])
+        assert p.num_partitions == 1
+        assert p.partition(123) == 0
+
+    def test_equality(self):
+        assert RangePartitioner([1, 2]) == RangePartitioner([1, 2])
+        assert RangePartitioner([1, 2]) != RangePartitioner([1, 3])
+        assert RangePartitioner([1]) != HashPartitioner(2)
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=10, unique=True),
+           st.integers(-200, 200))
+    def test_ordering_property(self, boundaries, key):
+        boundaries = sorted(boundaries)
+        p = RangePartitioner(boundaries)
+        idx = p.partition(key)
+        # Keys below the first boundary land in 0; above the last in the
+        # final partition; and partition index is monotone in the key.
+        if idx > 0:
+            assert key >= boundaries[idx - 1]
+        if idx < len(boundaries):
+            assert key < boundaries[idx]

@@ -1,0 +1,113 @@
+"""Tests for the block store and the in-process transport."""
+
+import pytest
+
+from repro.common.errors import FetchFailed, WorkerLost
+from repro.common.metrics import COUNT_RPC_MESSAGES, MetricsRegistry
+from repro.engine.blocks import BlockStore
+from repro.engine.rpc import Transport
+
+
+class TestBlockStore:
+    def test_put_get(self):
+        store = BlockStore("w0")
+        store.put_map_output(1, 0, 2, {0: ["a"], 1: ["b", "c"]})
+        assert store.get_bucket(1, 0, 2, 1) == ["b", "c"]
+        assert store.get_bucket(1, 0, 2, 0) == ["a"]
+
+    def test_missing_reduce_bucket_is_empty(self):
+        store = BlockStore("w0")
+        store.put_map_output(1, 0, 0, {0: ["a"]})
+        assert store.get_bucket(1, 0, 0, 5) == []
+
+    def test_missing_block_raises_fetch_failed(self):
+        store = BlockStore("w0")
+        with pytest.raises(FetchFailed) as e:
+            store.get_bucket(9, 8, 7, 0)
+        assert e.value.shuffle_id == 8
+        assert e.value.map_index == 7
+        assert e.value.worker_id == "w0"
+
+    def test_has_map_output(self):
+        store = BlockStore("w0")
+        assert not store.has_map_output(1, 0, 0)
+        store.put_map_output(1, 0, 0, {})
+        assert store.has_map_output(1, 0, 0)
+
+    def test_bucket_sizes(self):
+        store = BlockStore("w0")
+        assert store.bucket_sizes(1, 0, 0) is None
+        store.put_map_output(1, 0, 0, {0: ["a"], 1: []})
+        assert store.bucket_sizes(1, 0, 0) == {0: 1, 1: 0}
+
+    def test_drop_job_scoped(self):
+        store = BlockStore("w0")
+        store.put_map_output(1, 0, 0, {})
+        store.put_map_output(2, 0, 0, {})
+        assert store.drop_job(1) == 1
+        assert not store.has_map_output(1, 0, 0)
+        assert store.has_map_output(2, 0, 0)
+
+    def test_clear_and_len(self):
+        store = BlockStore("w0")
+        store.put_map_output(1, 0, 0, {})
+        assert len(store) == 1
+        store.clear()
+        assert len(store) == 0
+
+
+class _Echo:
+    def __init__(self):
+        self.calls = []
+
+    def ping(self, x):
+        self.calls.append(x)
+        return x * 2
+
+
+class TestTransport:
+    def test_call_routes_and_counts(self):
+        metrics = MetricsRegistry()
+        t = Transport(metrics)
+        echo = _Echo()
+        t.register("w0", echo)
+        assert t.call("w0", "ping", 21) == 42
+        assert metrics.counter(COUNT_RPC_MESSAGES).value == 1
+        assert echo.calls == [21]
+
+    def test_unknown_endpoint(self):
+        t = Transport()
+        with pytest.raises(WorkerLost):
+            t.call("ghost", "ping", 1)
+
+    def test_dead_endpoint_refuses_traffic(self):
+        t = Transport()
+        t.register("w0", _Echo())
+        t.mark_dead("w0")
+        assert not t.is_alive("w0")
+        with pytest.raises(WorkerLost):
+            t.call("w0", "ping", 1)
+
+    def test_try_call_swallows_worker_lost(self):
+        t = Transport()
+        t.register("w0", _Echo())
+        t.mark_dead("w0")
+        assert t.try_call("w0", "ping", 1) is False
+        t2 = Transport()
+        echo = _Echo()
+        t2.register("w0", echo)
+        assert t2.try_call("w0", "ping", 1) is True
+        assert echo.calls == [1]
+
+    def test_reregister_revives(self):
+        t = Transport()
+        t.register("w0", _Echo())
+        t.mark_dead("w0")
+        t.register("w0", _Echo())
+        assert t.is_alive("w0")
+
+    def test_endpoints_snapshot(self):
+        t = Transport()
+        e = _Echo()
+        t.register("a", e)
+        assert t.endpoints() == {"a": e}

@@ -1,0 +1,146 @@
+"""Driver-level unit tests: ledger/tuner feeding, job GC, timeouts,
+decommissioning, and carry-over behaviour."""
+
+import pytest
+
+from repro.common.config import EngineConf, SchedulingMode, TunerConf
+from repro.common.errors import ReproError
+from repro.dag.dataset import parallelize
+from repro.dag.plan import collect_action, compile_plan, dict_action
+from repro.engine.cluster import LocalCluster
+
+from engine_test_utils import make_cluster
+
+
+def simple_plan(n=10, parts=2):
+    return compile_plan(parallelize(range(n), parts), collect_action())
+
+
+def shuffle_plan(n=20, parts=4, reds=2):
+    ds = parallelize(range(n), parts).map(lambda x: (x % 3, x)).reduce_by_key(
+        lambda a, b: a + b, reds
+    )
+    return compile_plan(ds, dict_action())
+
+
+class TestJobLifecycle:
+    def test_wait_job_timeout(self):
+        with make_cluster(SchedulingMode.DRIZZLE) as cluster:
+            # Submit a job that blocks on a slow source.
+            import time
+
+            from repro.dag.dataset import SourceDataset
+
+            plan = compile_plan(
+                SourceDataset(lambda i: time.sleep(1.0) or [i], 2), collect_action()
+            )
+            job_ids = cluster.driver.submit_group([plan])
+            with pytest.raises(ReproError, match="did not finish"):
+                cluster.driver.wait_job(job_ids[0], timeout=0.05)
+            # It does finish eventually.
+            assert sorted(cluster.driver.wait_job(job_ids[0], timeout=10)) == [0, 1]
+
+    def test_drop_job_clears_worker_blocks(self):
+        with make_cluster(SchedulingMode.DRIZZLE) as cluster:
+            plan = shuffle_plan()
+            job_ids = cluster.driver.submit_group([plan], job_keys=["k"])
+            cluster.driver.wait_job(job_ids[0])
+            blocks_before = sum(len(w.blocks) for w in cluster.workers.values())
+            assert blocks_before > 0
+            cluster.driver.drop_job(job_ids[0])
+            blocks_after = sum(len(w.blocks) for w in cluster.workers.values())
+            assert blocks_after == 0
+            assert job_ids[0] not in cluster.driver.jobs
+
+    def test_job_key_reuses_job_id(self):
+        with make_cluster(SchedulingMode.DRIZZLE) as cluster:
+            first = cluster.driver.submit_group([simple_plan()], job_keys=["b1"])
+            cluster.driver.wait_job(first[0])
+            second = cluster.driver.submit_group(
+                [simple_plan()], job_keys=["b1"], reuse=True
+            )
+            assert first == second
+            cluster.driver.wait_job(second[0])
+
+    def test_distinct_keys_get_distinct_ids(self):
+        with make_cluster(SchedulingMode.DRIZZLE) as cluster:
+            a = cluster.driver.submit_group([simple_plan()], job_keys=["a"])
+            b = cluster.driver.submit_group([simple_plan()], job_keys=["b"])
+            assert a[0] != b[0]
+            cluster.driver.wait_job(a[0])
+            cluster.driver.wait_job(b[0])
+
+
+class TestGroupLedgerAndTuner:
+    def test_run_group_populates_ledger(self):
+        with make_cluster(SchedulingMode.DRIZZLE, group_size=3) as cluster:
+            cluster.run_group([simple_plan() for _ in range(3)])
+            ledger = cluster.driver.last_group_ledger
+            assert ledger is not None
+            assert ledger.wall_s > 0
+            assert ledger.scheduling_s >= 0
+            assert 0.0 <= ledger.overhead_fraction <= 1.0
+
+    def test_tuner_fed_per_group(self):
+        conf = EngineConf(
+            num_workers=2,
+            scheduling_mode=SchedulingMode.DRIZZLE,
+            group_size=2,
+            tuner=TunerConf(enabled=True),
+        )
+        with LocalCluster(conf) as cluster:
+            cluster.run_group([simple_plan(), simple_plan()])
+            cluster.run_group([simple_plan(), simple_plan()])
+            assert len(cluster.driver.tuner.history) == 2
+
+    def test_no_tuner_by_default(self):
+        with make_cluster(SchedulingMode.DRIZZLE) as cluster:
+            assert cluster.driver.tuner is None
+            assert cluster.driver.current_group_size == cluster.conf.group_size
+
+
+class TestMembership:
+    def test_placement_excludes_draining(self):
+        with make_cluster(SchedulingMode.DRIZZLE, workers=3) as cluster:
+            cluster.driver.decommission_worker("worker-2")
+            assert "worker-2" in cluster.driver.alive_workers()
+            assert "worker-2" not in cluster.driver.placement_workers()
+
+    def test_decommissioned_worker_can_return(self):
+        with make_cluster(SchedulingMode.DRIZZLE, workers=2) as cluster:
+            cluster.driver.decommission_worker("worker-0")
+            cluster.driver.add_worker("worker-0")  # re-registers
+            assert "worker-0" in cluster.driver.placement_workers()
+
+    def test_no_workers_raises(self):
+        with make_cluster(SchedulingMode.DRIZZLE, workers=1) as cluster:
+            cluster.kill_worker("worker-0")
+            with pytest.raises(ReproError):
+                cluster.driver.submit_group([simple_plan()])
+
+    def test_notify_delivery_failed_for_live_target_is_noop(self):
+        with make_cluster(SchedulingMode.DRIZZLE, workers=2) as cluster:
+            cluster.driver.notify_delivery_failed(0, 0, 0, "worker-0", "worker-1")
+            assert len(cluster.driver.alive_workers()) == 2
+
+    def test_notify_delivery_failed_for_dead_target_triggers_recovery(self):
+        with make_cluster(SchedulingMode.DRIZZLE, workers=2) as cluster:
+            cluster.workers["worker-1"].kill()  # dead but driver not told
+            cluster.driver.notify_delivery_failed(0, 0, 0, "worker-0", "worker-1")
+            assert cluster.driver.alive_workers() == ["worker-0"]
+
+
+class TestCarryOver:
+    def test_carry_over_skips_only_live_outputs(self):
+        with make_cluster(SchedulingMode.DRIZZLE, workers=3, slots=2) as cluster:
+            plan = shuffle_plan()
+            job_ids = cluster.driver.submit_group([plan], job_keys=["x"])
+            first = cluster.driver.wait_job(job_ids[0])
+            # Kill a worker holding some map outputs, then resubmit with
+            # reuse: outputs on the dead machine must NOT be carried over.
+            cluster.kill_worker("worker-0")
+            second_ids = cluster.driver.submit_group(
+                [shuffle_plan()], job_keys=["x"], reuse=True
+            )
+            second = cluster.driver.wait_job(second_ids[0])
+            assert second == first

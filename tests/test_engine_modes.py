@@ -1,0 +1,186 @@
+"""Engine correctness across every scheduling mode (§3.1/§3.2).
+
+The central invariant: group scheduling and pre-scheduling are pure
+control-plane changes — results must be IDENTICAL to per-batch barrier
+scheduling for any DAG and any group size.
+"""
+
+import pytest
+
+from repro.common.config import SchedulingMode
+from repro.dag.dataset import from_partitions, parallelize
+from repro.dag.plan import collect_action, compile_plan, count_action, dict_action
+from repro.workloads.synthetic import expected_sum, sum_random_dataset, sum_random_with_shuffle
+
+from engine_test_utils import ALL_MODES, make_cluster
+
+
+@pytest.mark.parametrize("mode", ALL_MODES)
+class TestModeEquivalence:
+    def test_narrow_pipeline(self, mode):
+        with make_cluster(mode) as cluster:
+            ds = parallelize(range(50), 5).map(lambda x: x * 3).filter(lambda x: x % 2 == 0)
+            assert sorted(cluster.collect(ds)) == sorted(
+                x * 3 for x in range(50) if (x * 3) % 2 == 0
+            )
+
+    def test_single_shuffle(self, mode):
+        with make_cluster(mode) as cluster:
+            ds = parallelize(range(60), 6).map(lambda x: (x % 5, 1)).reduce_by_key(
+                lambda a, b: a + b, 3
+            )
+            assert dict(cluster.collect(ds)) == {k: 12 for k in range(5)}
+
+    def test_multi_stage_chain(self, mode):
+        with make_cluster(mode) as cluster:
+            ds = (
+                parallelize(range(40), 4)
+                .map(lambda x: (x % 8, x))
+                .reduce_by_key(lambda a, b: a + b, 4)
+                .map(lambda kv: (kv[0] % 2, kv[1]))
+                .reduce_by_key(lambda a, b: a + b, 2)
+            )
+            out = dict(cluster.collect(ds))
+            assert out[0] + out[1] == sum(range(40))
+
+    def test_join(self, mode):
+        with make_cluster(mode) as cluster:
+            left = from_partitions([[("a", 1), ("b", 2)], [("c", 3)]])
+            right = from_partitions([[("a", 9)], [("b", 8), ("x", 7)]])
+            out = sorted(cluster.collect(left.join(right, 2)))
+            assert out == [("a", (1, 9)), ("b", (2, 8))]
+
+    def test_tree_reduce(self, mode):
+        with make_cluster(mode) as cluster:
+            ds = parallelize(range(64), 8).tree_reduce_stage(lambda a, b: a + b, 2)
+            assert sum(cluster.collect(ds)) == sum(range(64))
+
+    def test_count_action(self, mode):
+        with make_cluster(mode) as cluster:
+            ds = parallelize(range(100), 8).filter(lambda x: x < 30)
+            from repro.dag.plan import compile_plan, count_action
+
+            plan = compile_plan(ds, count_action())
+            assert cluster.run_plan(plan) == 30
+
+    def test_synthetic_microbenchmark_workload(self, mode):
+        with make_cluster(mode) as cluster:
+            ds = sum_random_dataset(num_tasks=6, elements_per_task=100, seed=3)
+            total = sum(cluster.collect(ds))
+            assert total == pytest.approx(expected_sum(6, 100, seed=3))
+
+    def test_synthetic_shuffle_workload(self, mode):
+        with make_cluster(mode) as cluster:
+            ds = sum_random_with_shuffle(num_tasks=6, num_reducers=4, seed=3)
+            total = sum(v for _k, v in cluster.collect(ds))
+            assert total == pytest.approx(expected_sum(6, seed=3))
+
+
+class TestGroupScheduling:
+    @pytest.mark.parametrize("group_size", [1, 2, 5, 8])
+    def test_group_results_match_sequential(self, group_size):
+        def build(b):
+            ds = parallelize(range(30), 3).map(lambda x, b=b: (x % 3, x + b)).reduce_by_key(
+                lambda a, b: a + b, 2
+            )
+            return compile_plan(ds, dict_action())
+
+        with make_cluster(SchedulingMode.DRIZZLE, group_size=group_size) as cluster:
+            plans = [build(b) for b in range(6)]
+            grouped = cluster.run_group(plans, job_keys=[f"b{b}" for b in range(6)])
+        with make_cluster(SchedulingMode.PER_BATCH) as cluster:
+            sequential = [cluster.run_plan(build(b)) for b in range(6)]
+        assert grouped == sequential
+
+    def test_heterogeneous_plans_in_one_group(self):
+        """A group may contain jobs with different DAG shapes (a streaming
+        app with several output operators)."""
+        with make_cluster(SchedulingMode.DRIZZLE, group_size=4) as cluster:
+            narrow = compile_plan(parallelize(range(10), 2).map(lambda x: x), collect_action())
+            wide = compile_plan(
+                parallelize(range(10), 4).map(lambda x: (x % 2, 1)).reduce_by_key(
+                    lambda a, b: a + b, 2
+                ),
+                dict_action(),
+            )
+            out = cluster.run_group([narrow, wide])
+            assert sorted(out[0]) == list(range(10))
+            assert out[1] == {0: 5, 1: 5}
+
+    def test_group_amortizes_launch_rpcs(self):
+        """Drizzle ships one launch message per worker per group; Spark
+        ships one per task per stage.  The driver launch-RPC counts must
+        reflect that (this is the mechanism behind Figure 4)."""
+
+        def build():
+            ds = parallelize(range(24), 6).map(lambda x: (x % 3, 1)).reduce_by_key(
+                lambda a, b: a + b, 3
+            )
+            return compile_plan(ds, dict_action())
+
+        from repro.common.metrics import COUNT_LAUNCH_RPCS
+
+        with make_cluster(SchedulingMode.DRIZZLE, workers=3, group_size=8) as cluster:
+            cluster.run_group([build() for _ in range(8)])
+            drizzle_rpcs = cluster.metrics.counter(COUNT_LAUNCH_RPCS).value
+        with make_cluster(SchedulingMode.PER_BATCH, workers=3) as cluster:
+            for _ in range(8):
+                cluster.run_plan(build())
+            spark_rpcs = cluster.metrics.counter(COUNT_LAUNCH_RPCS).value
+        # Drizzle: <= one RPC per worker for the whole group.
+        assert drizzle_rpcs <= 3
+        # Spark: one RPC per task = 8 batches x (6 maps + 3 reduces).
+        assert spark_rpcs == 8 * 9
+        assert drizzle_rpcs < spark_rpcs / 10
+
+    def test_launch_message_count_exact(self):
+        """In Drizzle mode the driver sends exactly one launch_tasks call
+        per worker for a whole group."""
+        from repro.common.metrics import COUNT_GROUPS_SCHEDULED, COUNT_TASKS_LAUNCHED
+
+        def build():
+            return compile_plan(parallelize(range(8), 4).map(lambda x: x), collect_action())
+
+        with make_cluster(SchedulingMode.DRIZZLE, workers=4, group_size=5) as cluster:
+            cluster.run_group([build() for _ in range(5)])
+            assert cluster.metrics.counter(COUNT_GROUPS_SCHEDULED).value == 1
+            assert cluster.metrics.counter(COUNT_TASKS_LAUNCHED).value == 20
+
+
+class TestClusterBasics:
+    def test_context_manager_shutdown(self):
+        cluster = make_cluster(SchedulingMode.DRIZZLE)
+        with cluster:
+            pass  # shutdown must not raise
+
+    def test_run_defaults_to_collect(self):
+        with make_cluster(SchedulingMode.DRIZZLE) as cluster:
+            assert sorted(cluster.run(parallelize([3, 1, 2], 2))) == [1, 2, 3]
+
+    def test_empty_partitions_ok(self):
+        with make_cluster(SchedulingMode.DRIZZLE) as cluster:
+            ds = from_partitions([[], [1], []]).map(lambda x: x + 1)
+            assert cluster.collect(ds) == [2]
+
+    def test_empty_shuffle_ok(self):
+        with make_cluster(SchedulingMode.DRIZZLE) as cluster:
+            ds = from_partitions([[], []]).map(lambda x: (x, x)).reduce_by_key(
+                lambda a, b: a + b, 2
+            )
+            assert cluster.collect(ds) == []
+
+    def test_user_error_propagates(self):
+        from repro.common.errors import TaskError
+
+        with make_cluster(SchedulingMode.DRIZZLE) as cluster:
+            ds = parallelize(range(4), 2).map(lambda x: 1 // 0)
+            with pytest.raises(TaskError):
+                cluster.collect(ds)
+
+    def test_user_error_propagates_barrier_mode(self):
+        from repro.common.errors import TaskError
+
+        with make_cluster(SchedulingMode.PER_BATCH) as cluster:
+            ds = parallelize(range(4), 2).map(lambda x: 1 // 0)
+            with pytest.raises(TaskError):
+                cluster.collect(ds)

@@ -1,0 +1,112 @@
+"""Tests for speculative execution (straggler mitigation).
+
+A slow machine is emulated via per-worker compute delay; the speculation
+monitor must launch a second copy on a different worker, the fast copy
+wins, and results stay exactly correct (tasks are deterministic, so a
+late duplicate completion is harmless).
+"""
+
+import time
+
+import pytest
+
+from repro.common.config import EngineConf, SchedulingMode, SpeculationConf
+from repro.common.errors import ConfigError
+from repro.common.metrics import COUNT_SPECULATIVE
+from repro.dag.dataset import SourceDataset
+from repro.dag.plan import collect_action, compile_plan, dict_action
+from repro.engine.cluster import LocalCluster
+
+
+def make_spec_cluster(**spec_kwargs):
+    defaults = dict(
+        enabled=True,
+        check_interval_s=0.02,
+        multiplier=3.0,
+        min_runtime_s=0.05,
+        min_completed_fraction=0.5,
+    )
+    defaults.update(spec_kwargs)
+    conf = EngineConf(
+        num_workers=3,
+        slots_per_worker=2,
+        scheduling_mode=SchedulingMode.DRIZZLE,
+        group_size=1,
+        speculation=SpeculationConf(**defaults),
+    )
+    return LocalCluster(conf)
+
+
+class TestSpeculationConf:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"check_interval_s": 0},
+            {"multiplier": 1.0},
+            {"min_runtime_s": -1},
+            {"min_completed_fraction": 0},
+            {"min_completed_fraction": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SpeculationConf(**kwargs).validate()
+
+    def test_defaults_valid(self):
+        SpeculationConf().validate()
+
+
+class TestSpeculativeExecution:
+    def test_straggler_is_speculated_and_result_correct(self):
+        with make_spec_cluster() as cluster:
+            # worker-0 is a straggler machine: every task on it stalls.
+            cluster.workers["worker-0"].compute_delay_per_task_s = 1.5
+
+            ds = SourceDataset(lambda i: [i], 6).map(lambda x: x * 2)
+            plan = compile_plan(ds, collect_action())
+            start = time.monotonic()
+            out = cluster.run_plan(plan)
+            elapsed = time.monotonic() - start
+            assert sorted(out) == [0, 2, 4, 6, 8, 10]
+            # The speculative copies ran on fast machines: well under the
+            # 1.5 s the straggler would have cost.
+            assert elapsed < 1.4
+            assert cluster.metrics.counter(COUNT_SPECULATIVE).value >= 1
+
+    def test_speculation_with_shuffle(self):
+        with make_spec_cluster() as cluster:
+            cluster.workers["worker-1"].compute_delay_per_task_s = 1.5
+            ds = (
+                SourceDataset(lambda i: [(i % 2, i)], 6)
+                .reduce_by_key(lambda a, b: a + b, 2)
+            )
+            plan = compile_plan(ds, dict_action())
+            out = cluster.run_plan(plan)
+            assert out == {0: 0 + 2 + 4, 1: 1 + 3 + 5}
+
+    def test_no_speculation_when_uniform(self):
+        with make_spec_cluster(min_runtime_s=0.5) as cluster:
+            ds = SourceDataset(lambda i: [i], 6)
+            out = cluster.run_plan(compile_plan(ds, collect_action()))
+            assert sorted(out) == list(range(6))
+            assert cluster.metrics.counter(COUNT_SPECULATIVE).value == 0
+
+    def test_at_most_one_copy_per_task(self):
+        with make_spec_cluster() as cluster:
+            cluster.workers["worker-0"].compute_delay_per_task_s = 0.8
+            ds = SourceDataset(lambda i: [i], 6)
+            cluster.run_plan(compile_plan(ds, collect_action()))
+            # Several sweeps ran during the straggler's 0.8 s, but each
+            # straggling task may only be speculated once.
+            spec_count = cluster.metrics.counter(COUNT_SPECULATIVE).value
+            assert spec_count <= 2  # at most the straggler's 2 slots
+
+    def test_manual_pass_needs_median(self):
+        """No completed tasks -> no median -> no speculation."""
+        conf = EngineConf(
+            num_workers=2,
+            scheduling_mode=SchedulingMode.DRIZZLE,
+            speculation=SpeculationConf(enabled=True),
+        )
+        with LocalCluster(conf) as cluster:
+            assert cluster.driver.speculation_pass() == 0

@@ -1,0 +1,94 @@
+"""Calibration tests: the cost model must reproduce the paper's anchor
+numbers (see the docstring in repro/sim/costmodel.py for the anchor list).
+If someone retunes a constant and breaks an anchor, these tests catch it.
+"""
+
+import pytest
+
+from repro.sim.costmodel import DEFAULT_COST_MODEL as COST
+from repro.sim.microbench import MicroBenchConfig, run_microbenchmark
+
+
+class TestFig4aAnchors:
+    def test_spark_at_128_machines_near_195ms(self):
+        coord = COST.spark_batch_coordination(128, {0: 512})
+        assert 0.17 <= coord <= 0.22  # paper: ~195 ms
+
+    def test_drizzle_g100_under_5ms(self):
+        per_batch = COST.drizzle_per_batch_coordination(128, {0: 512}, 100)
+        assert per_batch < 5e-3  # paper: "less than 5ms per micro-batch"
+
+    def test_speedup_range_7_to_46x(self):
+        speedups = []
+        for machines in (4, 8, 16, 32, 64, 128):
+            tasks = {0: machines * 4}
+            spark = run_microbenchmark(
+                MicroBenchConfig(mode="spark", machines=machines)
+            ).time_per_batch_s
+            drizzle = run_microbenchmark(
+                MicroBenchConfig(mode="drizzle", machines=machines, group_size=100)
+            ).time_per_batch_s
+            speedups.append(spark / drizzle)
+        # Paper: 7-46x across cluster sizes; allow modest slack.
+        assert 4.0 <= min(speedups) <= 10.0
+        assert 30.0 <= max(speedups) <= 55.0
+        assert speedups == sorted(speedups)  # grows with cluster size
+
+
+class TestFig5bAnchors:
+    def test_prescheduling_alone_saves_about_20ms_at_128(self):
+        spark = COST.spark_batch_coordination(128, {0: 512, 1: 16})
+        pre = COST.prescheduled_batch_coordination(128, {0: 512, 1: 16})
+        saving = spark - pre
+        assert 0.015 <= saving <= 0.030  # paper: "limited to only 20ms"
+
+    def test_two_stage_drizzle_batch_near_45ms(self):
+        r = run_microbenchmark(
+            MicroBenchConfig(mode="drizzle", machines=128, group_size=100, num_reducers=16)
+        )
+        assert 0.035 <= r.time_per_batch_s <= 0.060  # paper: ~45 ms
+
+    def test_two_stage_speedup_2_7_to_5_5x(self):
+        ratios = []
+        for machines in (8, 32, 128):
+            spark = run_microbenchmark(
+                MicroBenchConfig(mode="spark", machines=machines, num_reducers=16)
+            ).time_per_batch_s
+            drizzle = run_microbenchmark(
+                MicroBenchConfig(
+                    mode="drizzle", machines=machines, group_size=100, num_reducers=16
+                )
+            ).time_per_batch_s
+            ratios.append(spark / drizzle)
+        assert 2.0 <= min(ratios)
+        assert max(ratios) <= 6.5  # paper: 2.7x-5.5x
+
+
+class TestScalingShape:
+    def test_spark_overhead_grows_superlinearly_in_tasks(self):
+        small = COST.spark_batch_coordination(4, {0: 16})
+        big = COST.spark_batch_coordination(128, {0: 512})
+        assert big > 15 * small
+
+    def test_group_coordination_sublinear_in_group_size(self):
+        g10 = COST.drizzle_group_coordination(128, {0: 512}, 10)
+        g100 = COST.drizzle_group_coordination(128, {0: 512}, 100)
+        assert g100 < 10 * g10  # amortization: 10x batches < 10x cost
+
+    def test_fetch_time_grows_with_maps(self):
+        assert COST.shuffle_fetch_time(512, 1e6) > COST.shuffle_fetch_time(16, 1e6)
+
+    def test_wave_time(self):
+        assert COST.stage_wave_time(512, 512, 1e-3) == pytest.approx(1e-3)
+        assert COST.stage_wave_time(513, 512, 1e-3) == pytest.approx(2e-3)
+        with pytest.raises(ValueError):
+            COST.stage_wave_time(1, 0, 1e-3)
+
+    def test_continuous_restart_grows_with_machines(self):
+        assert COST.continuous_restart_time(128) > COST.continuous_restart_time(16)
+        assert 8.0 <= COST.continuous_restart_time(128) <= 20.0
+
+    def test_with_overrides(self):
+        model = COST.with_overrides(rpc_send_s=1.0)
+        assert model.rpc_send_s == 1.0
+        assert COST.rpc_send_s != 1.0  # frozen original untouched

@@ -1,0 +1,75 @@
+"""Tests for the elasticity simulation (§3.3 group-size/adaptability
+trade-off)."""
+
+import pytest
+
+from repro.sim.elasticity import group_size_adaptation_sweep, simulate_resize
+from repro.sim.streaming import SystemConfig
+from repro.workloads.profiles import YAHOO
+
+
+class TestSimulateResize:
+    def test_resize_effective_at_group_boundary(self):
+        config = SystemConfig(kind="drizzle", machines=64, group_size=40)
+        result = simulate_resize(
+            YAHOO, config,
+            rate_before=8e6, rate_after=8e6,
+            duration_s=120.0, resize_at_s=51.0,
+            machines_after=128, batch_interval_s=0.5,
+        )
+        # Next multiple of 40 batches (20 s) after batch ceil(51/0.5)=102
+        # is batch 120 -> t=60 s.
+        assert result.resize_effective_s == pytest.approx(60.0)
+        assert result.adaptation_delay_s == pytest.approx(9.0)
+
+    def test_group_of_one_reacts_immediately(self):
+        config = SystemConfig(kind="drizzle", machines=64, group_size=1)
+        result = simulate_resize(
+            YAHOO, config,
+            rate_before=6e6, rate_after=6e6,
+            duration_s=60.0, resize_at_s=30.2,
+            machines_after=128, batch_interval_s=0.5,
+        )
+        assert result.adaptation_delay_s <= 0.5
+
+    def test_spark_reacts_per_batch(self):
+        config = SystemConfig(kind="spark", machines=64, group_size=100)
+        result = simulate_resize(
+            YAHOO, config,
+            rate_before=5e6, rate_after=5e6,
+            duration_s=60.0, resize_at_s=30.2,
+            machines_after=128, batch_interval_s=2.0,
+        )
+        # Spark has no groups: adaptation within one batch interval.
+        assert result.adaptation_delay_s <= 2.0
+
+    def test_more_machines_lower_service(self):
+        config = SystemConfig(kind="drizzle", machines=64, group_size=10)
+        result = simulate_resize(
+            YAHOO, config,
+            rate_before=8e6, rate_after=8e6,
+            duration_s=200.0, resize_at_s=100.0,
+            machines_after=128, batch_interval_s=0.5, seed=4,
+        )
+        before = [w.latency_s for w in result.run.window_latencies
+                  if 40 <= w.window_end_s <= 90]
+        after = [w.latency_s for w in result.run.window_latencies
+                 if w.window_end_s >= 140]
+        assert sum(after) / len(after) < sum(before) / len(before)
+
+
+class TestGroupSizeSweep:
+    def test_adaptation_delay_grows_with_group_size(self):
+        rows = group_size_adaptation_sweep()
+        delays = [r["adaptation_delay_s"] for r in rows]
+        assert delays == sorted(delays)
+        assert delays[-1] > delays[0] + 10
+
+    def test_spike_grows_with_group_size(self):
+        rows = group_size_adaptation_sweep()
+        assert rows[-1]["post_resize_spike_s"] > 2 * rows[0]["post_resize_spike_s"]
+
+    def test_steady_state_unaffected(self):
+        rows = group_size_adaptation_sweep()
+        # Bigger groups should not hurt (indeed slightly help) steady state.
+        assert rows[-1]["normal_median_s"] <= rows[0]["normal_median_s"] * 1.2

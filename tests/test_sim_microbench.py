@@ -1,0 +1,139 @@
+"""Tests for the micro-benchmark simulator (Figures 4 and 5)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.costmodel import DEFAULT_COST_MODEL as COST
+from repro.sim.microbench import (
+    MicroBenchConfig,
+    run_microbenchmark,
+    weak_scaling_sweep,
+)
+
+
+class TestConfigValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(SimulationError):
+            MicroBenchConfig(mode="bogus", machines=4)
+
+    def test_bad_machines(self):
+        with pytest.raises(SimulationError):
+            MicroBenchConfig(mode="spark", machines=0)
+
+    def test_bad_group(self):
+        with pytest.raises(SimulationError):
+            MicroBenchConfig(mode="drizzle", machines=4, group_size=0)
+
+    def test_tasks_per_stage(self):
+        c = MicroBenchConfig(mode="spark", machines=4, num_reducers=16)
+        assert c.tasks_per_stage == {0: 16, 1: 16}
+        c2 = MicroBenchConfig(mode="spark", machines=4)
+        assert c2.tasks_per_stage == {0: 16}
+
+
+class TestModeOrdering:
+    @pytest.mark.parametrize("machines", [4, 32, 128])
+    def test_drizzle_fastest_spark_slowest(self, machines):
+        spark = run_microbenchmark(MicroBenchConfig(mode="spark", machines=machines))
+        pre = run_microbenchmark(MicroBenchConfig(mode="only-pre", machines=machines))
+        drizzle = run_microbenchmark(
+            MicroBenchConfig(mode="drizzle", machines=machines, group_size=100)
+        )
+        assert drizzle.time_per_batch_s < pre.time_per_batch_s
+        assert pre.time_per_batch_s <= spark.time_per_batch_s
+
+    def test_larger_groups_amortize_more(self):
+        times = [
+            run_microbenchmark(
+                MicroBenchConfig(mode="drizzle", machines=128, group_size=g)
+            ).time_per_batch_s
+            for g in (1, 25, 50, 100)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_pipelined_is_max_of_exec_and_sched(self):
+        # §3.6: b*max(t_exec, t_sched). With heavy compute, pipelining
+        # hides scheduling entirely; with light compute it behaves ~Spark.
+        heavy = run_microbenchmark(
+            MicroBenchConfig(mode="pipelined", machines=16, task_compute_s=0.2)
+        )
+        assert heavy.time_per_batch_s == pytest.approx(0.2, rel=0.05)
+        light = run_microbenchmark(
+            MicroBenchConfig(mode="pipelined", machines=128, task_compute_s=1e-4)
+        )
+        spark = run_microbenchmark(
+            MicroBenchConfig(mode="spark", machines=128, task_compute_s=1e-4)
+        )
+        assert light.time_per_batch_s > 0.8 * spark.time_per_batch_s
+
+    def test_pipelined_insufficient_at_scale(self):
+        """The paper's reason for rejecting pipelining: at large clusters
+        t_sched > t_exec, so pipelining cannot approach Drizzle."""
+        pipelined = run_microbenchmark(
+            MicroBenchConfig(mode="pipelined", machines=128)
+        )
+        drizzle = run_microbenchmark(
+            MicroBenchConfig(mode="drizzle", machines=128, group_size=100)
+        )
+        assert pipelined.time_per_batch_s > 10 * drizzle.time_per_batch_s
+
+
+class TestComputeScaling:
+    def test_heavy_compute_shrinks_relative_benefit(self):
+        """Fig. 5(a): with 100x data, group size 25 captures most of the
+        benefit — larger groups barely help."""
+        heavy = 90e-3
+        g25 = run_microbenchmark(
+            MicroBenchConfig(mode="drizzle", machines=128, group_size=25,
+                             task_compute_s=heavy)
+        ).time_per_batch_s
+        g100 = run_microbenchmark(
+            MicroBenchConfig(mode="drizzle", machines=128, group_size=100,
+                             task_compute_s=heavy)
+        ).time_per_batch_s
+        assert (g25 - g100) / g100 < 0.10  # diminishing returns
+
+    def test_light_compute_keeps_group_size_relevant(self):
+        g25 = run_microbenchmark(
+            MicroBenchConfig(mode="drizzle", machines=128, group_size=25)
+        ).time_per_batch_s
+        g100 = run_microbenchmark(
+            MicroBenchConfig(mode="drizzle", machines=128, group_size=100)
+        ).time_per_batch_s
+        assert (g25 - g100) / g100 > 0.3
+
+
+class TestBreakdown:
+    def test_breakdown_sums_to_coordination(self):
+        r = run_microbenchmark(MicroBenchConfig(mode="spark", machines=128))
+        n = 512
+        coord = (r.scheduler_delay_per_task_s + r.task_transfer_per_task_s) * n
+        assert coord == pytest.approx(
+            COST.spark_batch_coordination(128, {0: 512}), rel=0.01
+        )
+
+    def test_drizzle_breakdown_much_smaller(self):
+        spark = run_microbenchmark(MicroBenchConfig(mode="spark", machines=128))
+        drizzle = run_microbenchmark(
+            MicroBenchConfig(mode="drizzle", machines=128, group_size=100)
+        )
+        assert drizzle.scheduler_delay_per_task_s < spark.scheduler_delay_per_task_s / 5
+        assert drizzle.task_transfer_per_task_s < spark.task_transfer_per_task_s / 5
+        assert drizzle.compute_per_task_s == spark.compute_per_task_s
+
+    def test_trials_bracket_the_mean(self):
+        r = run_microbenchmark(MicroBenchConfig(mode="spark", machines=16), trials=50)
+        assert r.trial_p5_s <= r.trial_median_s <= r.trial_p95_s
+        assert r.trial_p5_s <= r.time_per_batch_s * 1.2
+
+
+class TestWeakScalingSweep:
+    def test_sweep_shape(self):
+        sweep = weak_scaling_sweep("spark", [4, 16, 64])
+        assert sorted(sweep) == [4, 16, 64]
+        times = [sweep[m].time_per_batch_s for m in (4, 16, 64)]
+        assert times == sorted(times)  # coordination grows with cluster
+
+    def test_sweep_with_shuffle(self):
+        sweep = weak_scaling_sweep("drizzle", [4, 128], group_size=100, num_reducers=16)
+        assert sweep[128].time_per_batch_s > sweep[4].time_per_batch_s

@@ -1,0 +1,234 @@
+"""Tests for the streaming simulator (Figures 6-9 machinery)."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.stats import percentile
+from repro.sim.streaming import (
+    SystemConfig,
+    flink_normal_latency,
+    flink_utilization,
+    max_throughput,
+    microbatch_service_time,
+    simulate_stream,
+    tune_batch_interval,
+)
+from repro.workloads.profiles import VIDEO, YAHOO
+
+RATE = 20e6
+
+
+class TestSystemConfig:
+    def test_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            SystemConfig(kind="storm")
+
+    def test_needs_two_machines(self):
+        with pytest.raises(SimulationError):
+            SystemConfig(kind="drizzle", machines=1)
+
+    def test_total_slots(self):
+        assert SystemConfig(kind="drizzle", machines=8, slots_per_machine=4).total_slots == 32
+
+    def test_with_override(self):
+        c = SystemConfig(kind="drizzle").with_(optimized=True)
+        assert c.optimized
+
+
+class TestServiceTime:
+    def test_components_positive_and_sum(self):
+        service, parts = microbatch_service_time(YAHOO, SystemConfig(kind="drizzle"), RATE, 0.25)
+        assert service == pytest.approx(sum(parts.values()))
+        assert all(v >= 0 for v in parts.values())
+
+    def test_spark_pays_more_coordination(self):
+        _, spark = microbatch_service_time(YAHOO, SystemConfig(kind="spark"), RATE, 0.5)
+        _, drizzle = microbatch_service_time(YAHOO, SystemConfig(kind="drizzle"), RATE, 0.5)
+        assert spark["coordination"] > 20 * drizzle["coordination"]
+        assert spark["map_compute"] == pytest.approx(drizzle["map_compute"])
+
+    def test_optimization_cuts_map_and_shuffle(self):
+        _, plain = microbatch_service_time(YAHOO, SystemConfig(kind="drizzle"), RATE, 0.25)
+        _, opt = microbatch_service_time(
+            YAHOO, SystemConfig(kind="drizzle", optimized=True), RATE, 0.25
+        )
+        assert opt["map_compute"] < plain["map_compute"]
+        assert opt["fetch_data"] < plain["fetch_data"] / 5
+        assert opt["reduce_compute"] < plain["reduce_compute"]
+
+    def test_flink_rejected(self):
+        with pytest.raises(SimulationError):
+            microbatch_service_time(YAHOO, SystemConfig(kind="flink"), RATE, 0.25)
+
+
+class TestIntervalTuning:
+    def test_spark_needs_larger_interval_than_drizzle(self):
+        t_spark = tune_batch_interval(YAHOO, SystemConfig(kind="spark"), RATE)
+        t_drizzle = tune_batch_interval(YAHOO, SystemConfig(kind="drizzle"), RATE)
+        assert t_spark is not None and t_drizzle is not None
+        assert t_spark > 2 * t_drizzle
+
+    def test_overload_returns_none(self):
+        assert tune_batch_interval(YAHOO, SystemConfig(kind="drizzle"), 1e9) is None
+
+    def test_stability_guarantee(self):
+        interval = tune_batch_interval(YAHOO, SystemConfig(kind="drizzle"), RATE)
+        service, _ = microbatch_service_time(
+            YAHOO, SystemConfig(kind="drizzle"), RATE, interval
+        )
+        assert service < interval
+
+
+class TestSteadyStateRuns:
+    def test_fig6a_ordering(self):
+        """Fig. 6(a): Drizzle ~= Flink, both several-x faster than Spark."""
+        medians = {}
+        for kind in ("drizzle", "spark", "flink"):
+            r = simulate_stream(YAHOO, SystemConfig(kind=kind), RATE, 300, seed=1)
+            assert r.stable
+            medians[kind] = percentile(r.latencies(), 50)
+        assert medians["spark"] > 2.5 * medians["drizzle"]
+        assert medians["spark"] < 6.0 * medians["drizzle"]
+        assert 0.5 < medians["drizzle"] / medians["flink"] < 2.0
+        # Sub-second for Drizzle, 1-3 s for Spark (paper: 0.35 vs 1.2 s).
+        assert medians["drizzle"] < 1.0
+        assert 1.0 < medians["spark"] < 3.0
+
+    def test_fig8a_optimized_ordering(self):
+        """Fig. 8(a): with §3.5 optimizations Drizzle goes sub-100 ms and
+        beats BOTH baselines (Flink cannot combine pre-window)."""
+        r_drizzle = simulate_stream(
+            YAHOO, SystemConfig(kind="drizzle", optimized=True), 10e6, 300, seed=1
+        )
+        r_spark = simulate_stream(
+            YAHOO, SystemConfig(kind="spark", optimized=True), 10e6, 300, seed=1
+        )
+        r_flink = simulate_stream(YAHOO, SystemConfig(kind="flink"), 10e6, 300, seed=1)
+        m = lambda r: percentile(r.latencies(), 50)
+        assert m(r_drizzle) < 0.1
+        assert m(r_spark) > 2 * m(r_drizzle)
+        assert m(r_flink) > 2 * m(r_drizzle)
+
+    def test_unstable_at_excessive_rate(self):
+        r = simulate_stream(YAHOO, SystemConfig(kind="drizzle"), 1e9, 60, seed=0)
+        assert not r.stable
+        assert r.latencies() == []
+
+    def test_deterministic_given_seed(self):
+        a = simulate_stream(YAHOO, SystemConfig(kind="drizzle"), RATE, 120, seed=7)
+        b = simulate_stream(YAHOO, SystemConfig(kind="drizzle"), RATE, 120, seed=7)
+        assert a.latencies() == b.latencies()
+
+    def test_window_latency_positive_and_counted(self):
+        r = simulate_stream(YAHOO, SystemConfig(kind="drizzle"), RATE, 300, seed=1)
+        assert len(r.window_latencies) == 30  # 300 s / 10 s windows
+        assert all(w.latency_s >= 0 for w in r.window_latencies)
+
+    def test_fig9_video_fatter_tail(self):
+        yahoo = simulate_stream(YAHOO, SystemConfig(kind="drizzle"), RATE, 300, seed=3)
+        video = simulate_stream(VIDEO, SystemConfig(kind="drizzle"), 7.5e6, 300, seed=3)
+        y_ratio = percentile(yahoo.latencies(), 95) / percentile(yahoo.latencies(), 50)
+        v_ratio = percentile(video.latencies(), 95) / percentile(video.latencies(), 50)
+        assert v_ratio > 1.3 * y_ratio  # session skew inflates the tail
+        # Medians comparable (paper: ~350 vs ~400 ms).
+        m_y = percentile(yahoo.latencies(), 50)
+        m_v = percentile(video.latencies(), 50)
+        assert 0.5 < m_v / m_y < 2.0
+
+
+class TestFlinkModel:
+    def test_utilization_monotone_in_rate(self):
+        c = SystemConfig(kind="flink")
+        assert flink_utilization(YAHOO, c, 2e7) > flink_utilization(YAHOO, c, 1e7)
+
+    def test_latency_grows_with_rate(self):
+        c = SystemConfig(kind="flink")
+        assert flink_normal_latency(YAHOO, c, 2.5e7) > flink_normal_latency(YAHOO, c, 1e7)
+
+    def test_overload_returns_none(self):
+        assert flink_normal_latency(YAHOO, SystemConfig(kind="flink"), 1e9) is None
+
+    def test_smaller_flush_lower_latency_higher_cost(self):
+        base = SystemConfig(kind="flink")
+        small = base.with_(flink_flush_s=0.03)
+        assert flink_normal_latency(YAHOO, small, 1e7) < flink_normal_latency(
+            YAHOO, base, 1e7
+        )
+        assert flink_utilization(YAHOO, small, 1e7) > flink_utilization(YAHOO, base, 1e7)
+
+
+class TestFailureRuns:
+    def test_fig7_shapes(self):
+        """The paper's headline recovery claims, as shape assertions:
+        Drizzle disrupted ~1 window with a ~1 s spike; Spark ~1 window at
+        ~3x its normal latency; Flink spikes >10 s and needs several
+        windows to drain the replay backlog."""
+        results = {}
+        for kind in ("drizzle", "spark", "flink"):
+            r = simulate_stream(
+                YAHOO, SystemConfig(kind=kind), RATE, 400, seed=2, failure_at_s=240.0
+            )
+            post = [w for w in r.window_latencies if w.window_end_s >= 240.0]
+            disrupted = [w for w in post if w.latency_s > 2 * r.normal_median_latency_s]
+            results[kind] = (r, max(w.latency_s for w in post), len(disrupted))
+        _r, spike_d, n_d = results["drizzle"]
+        _r, spike_s, n_s = results["spark"]
+        _r, spike_f, n_f = results["flink"]
+        assert 0.6 <= spike_d <= 2.0 and n_d <= 2  # ~1 s, one window
+        assert 2.0 <= spike_s <= 6.0 and n_s <= 2  # ~3x normal, one window
+        assert spike_f > 10.0 and n_f >= 3  # ~18 s, ~4 windows
+        # Headline ratios: recovery ~4x faster than Flink, >=10x lower
+        # latency during recovery.
+        assert spike_f / spike_d >= 8.0
+        assert n_f / max(n_d, 1) >= 2.0
+
+    def test_recovery_returns_to_normal(self):
+        r = simulate_stream(
+            YAHOO, SystemConfig(kind="flink"), RATE, 400, seed=2, failure_at_s=240.0
+        )
+        tail = [w.latency_s for w in r.window_latencies if w.window_end_s > 350]
+        assert max(tail) < 3 * r.normal_median_latency_s
+
+    def test_failure_before_any_checkpoint(self):
+        r = simulate_stream(
+            YAHOO, SystemConfig(kind="flink"), RATE, 120, seed=2, failure_at_s=5.0
+        )
+        assert r.stable  # replays from the beginning but still completes
+
+
+class TestMaxThroughput:
+    def test_fig6b_spark_cannot_meet_250ms(self):
+        assert max_throughput(YAHOO, SystemConfig(kind="spark"), 0.25) == 0.0
+
+    def test_fig6b_drizzle_and_flink_similar_at_250ms(self):
+        d = max_throughput(YAHOO, SystemConfig(kind="drizzle"), 0.25)
+        f = max_throughput(YAHOO, SystemConfig(kind="flink"), 0.25)
+        assert d > 1e7 and f > 1e7  # both in the ~20M events/s regime
+        assert 0.5 < d / f < 2.0
+
+    def test_fig6b_gap_shrinks_with_target(self):
+        ratios = []
+        for target in (0.5, 1.0, 2.0):
+            d = max_throughput(YAHOO, SystemConfig(kind="drizzle"), target)
+            s = max_throughput(YAHOO, SystemConfig(kind="spark"), target)
+            ratios.append(d / s)
+        assert ratios[0] > ratios[-1]
+        assert 1.5 < ratios[0] < 3.5  # paper: 1.5-3x, shrinking
+        assert ratios[-1] > 1.0  # Drizzle never loses
+
+    def test_fig8b_only_drizzle_meets_100ms(self):
+        d = max_throughput(YAHOO, SystemConfig(kind="drizzle", optimized=True), 0.1)
+        s = max_throughput(YAHOO, SystemConfig(kind="spark", optimized=True), 0.1)
+        f = max_throughput(YAHOO, SystemConfig(kind="flink"), 0.1)
+        assert d > 1e7
+        assert s == 0.0
+        assert f == 0.0
+
+    def test_fig8b_optimization_improves_drizzle_2_to_3x(self):
+        plain = max_throughput(YAHOO, SystemConfig(kind="drizzle"), 0.25)
+        opt = max_throughput(YAHOO, SystemConfig(kind="drizzle", optimized=True), 0.25)
+        assert 2.0 < opt / plain < 4.5
+
+    def test_monotone_in_target(self):
+        c = SystemConfig(kind="drizzle")
+        assert max_throughput(YAHOO, c, 1.0) >= max_throughput(YAHOO, c, 0.3)

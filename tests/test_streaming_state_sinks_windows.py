@@ -1,0 +1,160 @@
+"""Tests for state stores, checkpoints, sinks, and window helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.streaming.sinks import AppendSink, IdempotentSink
+from repro.streaming.state import Checkpoint, CheckpointStore, StateStore
+from repro.streaming.windows import WindowEmitter, window_end, window_for
+
+
+class TestStateStore:
+    def test_put_get_delete(self):
+        store = StateStore("s")
+        store.put("a", 1)
+        assert store.get("a") == 1
+        assert store.get("missing", 7) == 7
+        store.delete("a")
+        assert store.get("a") is None
+        store.delete("a")  # idempotent
+
+    def test_update_many_merges(self):
+        store = StateStore("s")
+        store.update_many({"a": 1, "b": 2}, merge=lambda x, y: x + y)
+        store.update_many({"a": 10}, merge=lambda x, y: x + y)
+        assert dict(store.items()) == {"a": 11, "b": 2}
+
+    def test_snapshot_is_deep(self):
+        store = StateStore("s")
+        store.put("a", [1, 2])
+        snap = store.snapshot()
+        store.get("a").append(3)
+        assert snap["a"] == [1, 2]
+
+    def test_restore_replaces_contents(self):
+        store = StateStore("s")
+        store.put("a", 1)
+        store.restore({"b": 2})
+        assert dict(store.items()) == {"b": 2}
+        assert len(store) == 1
+
+    def test_restore_is_deep(self):
+        store = StateStore("s")
+        snapshot = {"a": [1]}
+        store.restore(snapshot)
+        store.get("a").append(2)
+        assert snapshot["a"] == [1]
+
+
+class TestCheckpointStore:
+    def test_latest(self):
+        cps = CheckpointStore()
+        assert cps.latest() is None
+        cps.save(Checkpoint(0, {}))
+        cps.save(Checkpoint(5, {}))
+        assert cps.latest().batch_index == 5
+
+    def test_keep_limit(self):
+        cps = CheckpointStore(keep=2)
+        for i in range(5):
+            cps.save(Checkpoint(i, {}))
+        assert len(cps) == 2
+        assert cps.latest().batch_index == 4
+
+    def test_keep_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(keep=0)
+
+
+class TestIdempotentSink:
+    def test_commit_and_read(self):
+        sink = IdempotentSink()
+        assert sink.commit(0, ["a"]) is True
+        assert sink.commit(1, ["b", "c"]) is True
+        assert sink.all_records() == ["a", "b", "c"]
+        assert sink.committed_batches() == [0, 1]
+        assert sink.records_for(1) == ["b", "c"]
+
+    def test_duplicate_suppressed(self):
+        sink = IdempotentSink()
+        sink.commit(0, ["a"])
+        assert sink.commit(0, ["DUPLICATE"]) is False
+        assert sink.all_records() == ["a"]
+        assert sink.duplicate_commits == 1
+
+    def test_ordering_by_batch_id(self):
+        sink = IdempotentSink()
+        sink.commit(2, ["late"])
+        sink.commit(0, ["early"])
+        assert sink.all_records() == ["early", "late"]
+
+
+class TestAppendSink:
+    def test_no_dedup(self):
+        sink = AppendSink()
+        sink.commit(0, ["a"])
+        sink.commit(0, ["a"])
+        assert sink.all_records() == ["a", "a"]
+        assert sink.commits() == [(0, "a"), (0, "a")]
+
+
+class TestWindowMath:
+    def test_window_for(self):
+        assert window_for(0.0, 10.0) == 0
+        assert window_for(9.99, 10.0) == 0
+        assert window_for(10.0, 10.0) == 1
+        assert window_for(25.0, 10.0) == 2
+
+    def test_window_with_offset(self):
+        assert window_for(12.0, 10.0, offset=5.0) == 0
+        assert window_for(15.0, 10.0, offset=5.0) == 1
+
+    def test_window_end(self):
+        assert window_end(0, 10.0) == 10.0
+        assert window_end(2, 10.0) == 30.0
+        assert window_end(0, 10.0, offset=5.0) == 15.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            window_for(0.0, 0.0)
+
+    @given(st.floats(-1e6, 1e6), st.floats(0.001, 1e4))
+    def test_event_inside_its_window(self, t, size):
+        w = window_for(t, size)
+        assert w * size <= t + 1e-6
+        assert t <= window_end(w, size) + 1e-6
+
+
+class TestWindowEmitter:
+    def test_emits_closed_windows_only(self):
+        store = StateStore("w")
+        store.put(("c1", 0), 5)   # window [0, 10)
+        store.put(("c1", 1), 3)   # window [10, 20)
+        emitter = WindowEmitter(window_size=10.0, watermark_for=lambda b: 10.0 * (b + 1))
+        out = emitter(store, batch_index=0)  # watermark = 10
+        assert out == [("c1", 0, 5)]
+        assert dict(store.items()) == {("c1", 1): 3}
+
+    def test_each_window_emitted_once(self):
+        store = StateStore("w")
+        store.put(("c1", 0), 5)
+        emitter = WindowEmitter(window_size=10.0, watermark_for=lambda b: 100.0)
+        assert emitter(store, 0) == [("c1", 0, 5)]
+        assert emitter(store, 1) == []
+
+    def test_allowed_lateness_delays_close(self):
+        store = StateStore("w")
+        store.put(("c1", 0), 5)
+        emitter = WindowEmitter(
+            window_size=10.0, watermark_for=lambda b: 12.0, allowed_lateness=5.0
+        )
+        assert emitter(store, 0) == []  # effective watermark 7 < 10
+
+    def test_output_sorted(self):
+        store = StateStore("w")
+        store.put(("b", 0), 1)
+        store.put(("a", 0), 2)
+        store.put(("a", 1), 3)
+        emitter = WindowEmitter(window_size=10.0, watermark_for=lambda b: 100.0)
+        out = emitter(store, 0)
+        assert out == [("a", 0, 2), ("b", 0, 1), ("a", 1, 3)]
