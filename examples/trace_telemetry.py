@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""End-to-end tracing: record a traced streaming run, export it for
+Perfetto, and print the per-phase latency breakdown from real spans.
+
+Runs the quickstart word-count workload with ``TracingConf(enabled=True)``,
+so every micro-batch becomes one span tree — driver-side scheduling and
+launch-RPC windows, worker-side fetch/compute/report spans, checkpoints —
+then:
+
+* writes a Chrome/Perfetto ``trace_event`` JSON (open in ui.perfetto.dev),
+* prints the Fig. 4b-style scheduling/transfer/compute decomposition per
+  batch and per worker via the ``repro.obs`` analyzer,
+* cross-checks span totals against the MetricsRegistry counters.
+
+    python examples/trace_telemetry.py
+"""
+
+import os
+import tempfile
+
+from repro.common.config import EngineConf, SchedulingMode, TracingConf
+from repro.common.metrics import TIME_COMPUTE, TIME_SCHEDULING, TIME_TASK_TRANSFER
+from repro.engine.cluster import LocalCluster
+from repro.obs import load_trace, phase_totals, summarize
+from repro.streaming.context import StreamingContext
+from repro.streaming.sinks import IdempotentSink
+from repro.streaming.sources import LogSource, RecordLog
+
+
+def main() -> None:
+    conf = EngineConf(
+        num_workers=3,
+        slots_per_worker=2,
+        scheduling_mode=SchedulingMode.DRIZZLE,
+        group_size=3,
+        tracing=TracingConf(enabled=True),
+    )
+    with LocalCluster(conf) as cluster:
+        log = RecordLog(num_partitions=4)
+        ctx = StreamingContext(cluster, LogSource(log), batch_interval_s=0.1)
+        counts = ctx.state_store("word_counts")
+        stream = (
+            ctx.stream()
+            .flat_map(str.split)
+            .map(lambda word: (word, 1))
+            .reduce_by_key(lambda a, b: a + b, num_partitions=3)
+        )
+        stream.update_state(counts, merge=lambda a, b: a + b)
+        stream.sink_to(IdempotentSink())
+
+        sentences = [
+            "the quick brown fox jumps over the lazy dog",
+            "the dog barks",
+            "a quick dog",
+        ]
+        for _ in range(2):
+            log.append_round_robin(sentences)
+            ctx.run_batches(3)
+
+        out = os.path.join(tempfile.mkdtemp(prefix="repro-trace-"), "trace.json")
+        n = cluster.export_trace(out, fmt="perfetto")
+        print(f"exported {n} span events to {out}")
+        print("(open in https://ui.perfetto.dev or chrome://tracing)\n")
+
+        events = load_trace(out)
+        print(summarize(events))
+
+        # Span windows share timestamps with the counter adds, so the
+        # trace-derived totals agree with the aggregate metrics.
+        totals = phase_totals(events)
+        counters = cluster.metrics.counters_snapshot()
+        pairs = [
+            ("task.schedule", TIME_SCHEDULING),
+            ("task.launch_rpc", TIME_TASK_TRANSFER),
+            ("task.compute", TIME_COMPUTE),
+        ]
+        agree = True
+        for span_name, metric in pairs:
+            counter = counters.get(metric, 0.0)
+            span_total = totals.get(span_name, 0.0)
+            close = abs(span_total - counter) <= 0.05 * max(counter, 1e-9)
+            agree = agree and close
+            print(
+                f"{span_name:16s} spans {span_total * 1e3:8.2f} ms | "
+                f"{metric:20s} {counter * 1e3:8.2f} ms"
+            )
+        print("span totals agree with counters:", agree)
+
+
+if __name__ == "__main__":
+    main()

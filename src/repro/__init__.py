@@ -21,6 +21,6 @@ Layers (bottom-up):
 
 __version__ = "1.0.0"
 
-from repro.common.config import EngineConf, SchedulingMode, TunerConf
+from repro.common.config import EngineConf, SchedulingMode, TracingConf, TunerConf
 
-__all__ = ["EngineConf", "SchedulingMode", "TunerConf", "__version__"]
+__all__ = ["EngineConf", "SchedulingMode", "TracingConf", "TunerConf", "__version__"]

@@ -3,6 +3,7 @@
     python -m repro.bench                 # print all experiment tables
     python -m repro.bench --markdown out.md   # write EXPERIMENTS-style report
     python -m repro.bench --only fig4a fig7   # subset
+    python -m repro.bench --json outdir       # BENCH_<name>.json per experiment
 
 Each experiment mirrors one table/figure of the paper's §5; the paper's
 reported numbers are quoted alongside so the shapes can be compared at a
@@ -12,6 +13,7 @@ glance.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, List, Tuple
 
@@ -29,7 +31,8 @@ from repro.bench.figures import (
     throughput_vs_latency,
     yahoo_latency_cdf,
 )
-from repro.bench.reporting import render_cdf, render_table
+from repro.bench.reporting import render_cdf, render_table, write_bench_json
+from repro.common.metrics import MetricsRegistry
 from repro.sim.elasticity import group_size_adaptation_sweep
 from repro.workloads.queries import TABLE2_DISTRIBUTION
 
@@ -222,6 +225,9 @@ def main(argv: List[str] | None = None) -> int:
                         help="experiment ids to run (default: all)")
     parser.add_argument("--markdown", metavar="PATH", default=None,
                         help="also write the report as markdown to PATH")
+    parser.add_argument("--json", metavar="DIR", default=None, dest="json_dir",
+                        help="also write BENCH_<name>.json (report + metric "
+                             "snapshot) per experiment into DIR")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
 
@@ -234,12 +240,24 @@ def main(argv: List[str] | None = None) -> int:
         if unknown:
             parser.error(f"unknown experiments: {sorted(unknown)}")
 
+    if args.json_dir:
+        os.makedirs(args.json_dir, exist_ok=True)
+    registry = MetricsRegistry()
     sections: List[str] = []
     for name, fn in EXPERIMENTS:
         if args.only and name not in args.only:
             continue
         print(f"[{name}] running...", file=sys.stderr)
-        sections.append(fn())
+        # timed() feeds both the counter and a same-named histogram, so
+        # the JSON snapshot carries per-experiment wall-time percentiles.
+        with registry.timed(f"bench.{name}"):
+            section = fn()
+        sections.append(section)
+        if args.json_dir:
+            path = write_bench_json(
+                name, {"report": section}, metrics=registry, out_dir=args.json_dir
+            )
+            print(f"[{name}] wrote {path}", file=sys.stderr)
     report = "\n\n".join(sections)
     print(report)
     if args.markdown:

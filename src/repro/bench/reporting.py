@@ -1,13 +1,20 @@
-"""Plain-text table/CDF rendering for benchmark output.
+"""Plain-text table/CDF rendering and JSON reports for benchmark output.
 
 Benchmarks print the same rows/series the paper's tables and figures
 report, so a run's stdout can be compared against the paper directly.
+:func:`write_bench_json` additionally persists a machine-readable
+``BENCH_<name>.json`` with the experiment payload and a full
+:meth:`~repro.common.metrics.MetricsRegistry.snapshot` embedded, so runs
+can be diffed/regressed without re-parsing tables.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.common.metrics import MetricsRegistry
 from repro.common.stats import percentile
 
 
@@ -70,3 +77,25 @@ def render_cdf(
         rows.append(row)
     label = f"{title} (latency in {unit})" if title else f"(latency in {unit})"
     return render_table(headers, rows, title=label)
+
+
+def write_bench_json(
+    name: str,
+    payload: Any,
+    metrics: Optional[MetricsRegistry] = None,
+    out_dir: str = ".",
+) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``payload`` is the experiment's result (rows, rendered report, ...);
+    when a registry is supplied its full snapshot — counters, gauges,
+    histogram/series percentile summaries — is embedded alongside.
+    """
+    doc: Dict[str, Any] = {"experiment": name, "payload": payload}
+    if metrics is not None:
+        doc["metrics"] = metrics.snapshot()
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2, default=str)
+        f.write("\n")
+    return path

@@ -1,7 +1,7 @@
 """Shared infrastructure: clocks, config, metrics, stats, errors."""
 
 from repro.common.clock import Clock, ManualClock, WallClock
-from repro.common.config import EngineConf, SchedulingMode, TunerConf
+from repro.common.config import EngineConf, SchedulingMode, TracingConf, TunerConf
 from repro.common.errors import (
     CheckpointError,
     ConfigError,
@@ -14,7 +14,7 @@ from repro.common.errors import (
     TaskError,
     WorkerLost,
 )
-from repro.common.metrics import MetricsRegistry
+from repro.common.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
 from repro.common.stats import ExponentialAverage, Summary, cdf_points, percentile
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "EngineConf",
     "SchedulingMode",
     "TunerConf",
+    "TracingConf",
     "CheckpointError",
     "ConfigError",
     "FetchFailed",
@@ -35,6 +36,10 @@ __all__ = [
     "TaskError",
     "WorkerLost",
     "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
     "ExponentialAverage",
     "Summary",
     "cdf_points",

@@ -65,6 +65,26 @@ class TunerConf:
 
 
 @dataclass
+class TracingConf:
+    """End-to-end tracing (``repro.obs``).
+
+    Off by default: when disabled every component holds the shared no-op
+    recorder, so the instrumented paths cost one attribute access.  When
+    enabled, the cluster wires one :class:`repro.obs.trace.TraceRecorder`
+    through the driver, transport, and workers; spans are kept in memory
+    (bounded by ``max_events``) and exported on demand.
+    """
+
+    enabled: bool = False
+    # Upper bound on retained span events; overflow is counted, not kept.
+    max_events: int = 200_000
+
+    def validate(self) -> None:
+        if self.max_events < 1:
+            raise ConfigError("tracing max_events must be >= 1")
+
+
+@dataclass
 class SpeculationConf:
     """Speculative execution (straggler mitigation).
 
@@ -114,6 +134,7 @@ class EngineConf:
     reuse_intermediate_on_recovery: bool = True
     tuner: TunerConf = field(default_factory=TunerConf)
     speculation: SpeculationConf = field(default_factory=SpeculationConf)
+    tracing: TracingConf = field(default_factory=TracingConf)
     # Deterministic seed used by hash partitioners and workload generators.
     seed: int = 0
 
@@ -132,6 +153,7 @@ class EngineConf:
             raise ConfigError("heartbeat_timeout_s must be >= heartbeat_interval_s")
         self.tuner.validate()
         self.speculation.validate()
+        self.tracing.validate()
         if (
             self.scheduling_mode is SchedulingMode.PER_BATCH
             and self.group_size != 1

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator, List
+from typing import Any, Dict, Iterator, List
 
 from repro.common.clock import Clock, WallClock
+from repro.common.stats import percentile
 
 
 class Counter:
@@ -62,13 +63,89 @@ class TimeSeries:
             return len(self._samples)
 
 
+class Gauge:
+    """A thread-safe last-value metric (e.g. current group size)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float = 1.0) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+def _summarize(samples: List[float]) -> Dict[str, float]:
+    """p50/p95/p99 summary used for histogram and series snapshots."""
+    if not samples:
+        return {"count": 0}
+    return {
+        "count": len(samples),
+        "sum": sum(samples),
+        "mean": sum(samples) / len(samples),
+        "p50": percentile(samples, 50),
+        "p95": percentile(samples, 95),
+        "p99": percentile(samples, 99),
+        "max": max(samples),
+    }
+
+
+class Histogram:
+    """A thread-safe sample accumulator with percentile summaries.
+
+    Samples are kept exactly (these are control-plane events — thousands,
+    not billions); ``summary()`` reports p50/p95/p99 via
+    :func:`repro.common.stats.percentile`.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[float] = []
+        self._lock = threading.Lock()
+
+    def record(self, sample: float) -> None:
+        with self._lock:
+            self._samples.append(float(sample))
+
+    def snapshot(self) -> List[float]:
+        with self._lock:
+            return list(self._samples)
+
+    def summary(self) -> Dict[str, float]:
+        return _summarize(self.snapshot())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
 class MetricsRegistry:
-    """Named counters and series, created on first use."""
+    """Named counters, series, gauges, and histograms, created on first use."""
 
     def __init__(self, clock: Clock | None = None):
         self._clock = clock or WallClock()
         self._counters: Dict[str, Counter] = {}
         self._series: Dict[str, TimeSeries] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -83,18 +160,49 @@ class MetricsRegistry:
                 self._series[name] = TimeSeries(name)
             return self._series[name]
 
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name)
+            return self._histograms[name]
+
     @contextmanager
     def timed(self, name: str) -> Iterator[None]:
-        """Accumulate elapsed wall time into counter ``name``."""
+        """Accumulate elapsed wall time into counter ``name`` AND record
+        the individual sample into a same-named histogram, so timers
+        yield percentiles rather than just totals."""
         start = self._clock.now()
         try:
             yield
         finally:
-            self.counter(name).add(self._clock.now() - start)
+            elapsed = self._clock.now() - start
+            self.counter(name).add(elapsed)
+            self.histogram(name).record(elapsed)
 
     def counters_snapshot(self) -> Dict[str, float]:
         with self._lock:
             return {name: c.value for name, c in self._counters.items()}
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """One unified snapshot: counters, gauges, and p50/p95/p99
+        summaries of every histogram and series (JSON-serializable)."""
+        with self._lock:
+            counters = {name: c.value for name, c in self._counters.items()}
+            gauges = {name: g.value for name, g in self._gauges.items()}
+            histograms = {name: h.summary() for name, h in self._histograms.items()}
+            series = {name: _summarize(s.snapshot()) for name, s in self._series.items()}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "series": series,
+        }
 
     def reset(self) -> None:
         with self._lock:
@@ -102,6 +210,10 @@ class MetricsRegistry:
                 c.reset()
             for s in self._series.values():
                 s.reset()
+            for g in self._gauges.values():
+                g.reset()
+            for h in self._histograms.values():
+                h.reset()
 
 
 # Canonical metric names shared between the engine and the tuner.

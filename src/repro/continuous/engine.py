@@ -33,6 +33,8 @@ from repro.common.errors import StreamingError
 from repro.continuous.messages import BarrierMsg, DataMsg, EndMsg, WatermarkMsg
 from repro.continuous.operators import Operator, OperatorSpec
 from repro.dag.partitioning import _stable_hash
+from repro.obs.names import SPAN_CHECKPOINT, SPAN_RECOVERY
+from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.streaming.sinks import Sink
 from repro.streaming.sources import RecordLog
 
@@ -314,6 +316,7 @@ class ContinuousJob:
         sink: Sink,
         sink_parallelism: int = 1,
         aligned_checkpoints: bool = True,
+        tracer: Optional[Recorder] = None,
     ):
         if not operators:
             raise StreamingError("need at least one operator")
@@ -321,6 +324,7 @@ class ContinuousJob:
         self.operator_specs = operators
         self.user_sink = sink
         self.sink_parallelism = sink_parallelism
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
         # Aligned barriers block already-barriered channels until the
         # barrier arrives everywhere: a consistent cut, hence exactly-once
         # (Flink's default).  Unaligned mode keeps processing while waiting
@@ -346,6 +350,9 @@ class ContinuousJob:
         self._started = False
         self.recoveries = 0
         self.checkpoint_times: List[float] = []
+        # checkpoint_id -> open ``checkpoint`` span (barrier injection to
+        # commit, i.e. the paper's "checkpoint duration").
+        self._cp_spans: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------
     # Topology wiring
@@ -452,6 +459,14 @@ class ContinuousJob:
             self._next_checkpoint_id += 1
             self._pending_acks[checkpoint_id] = {}
             self._pending_sink_staged[checkpoint_id] = {}
+            if self.tracer.enabled:
+                self._cp_spans[checkpoint_id] = self.tracer.start_span(
+                    SPAN_CHECKPOINT,
+                    root=True,
+                    actor="jobmanager",
+                    checkpoint_id=checkpoint_id,
+                    aligned=self.aligned_checkpoints,
+                )
         for src in self._sources:
             src.request_barrier(checkpoint_id)
         return checkpoint_id
@@ -495,6 +510,10 @@ class ContinuousJob:
         for idx in sorted(staged_by_sink):
             records.extend(staged_by_sink[idx])
         self.user_sink.commit(checkpoint_id, records)
+        span = self._cp_spans.pop(checkpoint_id, None)
+        if span is not None:
+            span.annotate(instances=len(acks), committed_records=len(records))
+            span.end()
 
     def completed_checkpoints(self) -> int:
         with self._lock:
@@ -541,16 +560,27 @@ class ContinuousJob:
 
     def recover(self) -> None:
         """Stop-the-world rollback to the last completed checkpoint."""
-        self._stop_all()
-        with self._lock:
-            self.recoveries += 1
-            restore = self._completed[-1] if self._completed else None
-            # Uncommitted checkpoints and staged sink output are discarded.
-            self._pending_acks.clear()
-            self._pending_sink_staged.clear()
-            self._sink_ended.clear()
-        self._started = False
-        self.start(restore_from=restore)
+        with self.tracer.start_span(
+            SPAN_RECOVERY, root=True, actor="jobmanager", kind="global_restart"
+        ) as span:
+            self._stop_all()
+            with self._lock:
+                self.recoveries += 1
+                restore = self._completed[-1] if self._completed else None
+                # Uncommitted checkpoints and staged sink output (and their
+                # open checkpoint spans) are discarded.
+                for cp_id, cp_span in list(self._cp_spans.items()):
+                    cp_span.annotate(aborted=True)
+                    cp_span.end()
+                    del self._cp_spans[cp_id]
+                self._pending_acks.clear()
+                self._pending_sink_staged.clear()
+                self._sink_ended.clear()
+            self._started = False
+            self.start(restore_from=restore)
+            span.annotate(
+                restored_checkpoint=None if restore is None else restore.checkpoint_id
+            )
 
     def _stop_all(self) -> None:
         for src in self._sources:

@@ -20,7 +20,7 @@ size.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.common.config import TunerConf
 from repro.common.stats import ExponentialAverage
@@ -35,6 +35,16 @@ class TunerDecision:
     previous_group_size: int
     new_group_size: int
     action: str  # "increase" | "decrease" | "hold"
+
+    def as_annotation(self) -> Dict[str, Any]:
+        """Flat payload for span annotations / trace instants."""
+        return {
+            "overhead": round(self.observed_overhead, 6),
+            "smoothed_overhead": round(self.smoothed_overhead, 6),
+            "group_size_old": self.previous_group_size,
+            "group_size_new": self.new_group_size,
+            "action": self.action,
+        }
 
 
 class GroupSizeTuner:

@@ -20,6 +20,8 @@ from repro.dag.plan import Action, PhysicalPlan, collect_action, compile_plan
 from repro.engine.driver import Driver
 from repro.engine.rpc import Transport
 from repro.engine.worker import Worker
+from repro.obs.export import write_jsonl, write_perfetto
+from repro.obs.trace import NULL_RECORDER, Recorder, TraceRecorder
 
 
 class LocalCluster:
@@ -44,8 +46,17 @@ class LocalCluster:
         self.conf.validate()
         self.clock = clock or WallClock()
         self.metrics = MetricsRegistry(self.clock)
-        self.transport = Transport(self.metrics, latency_s=rpc_latency_s, clock=self.clock)
-        self.driver = Driver(self.transport, self.conf, self.metrics, self.clock)
+        self.tracer: Recorder = (
+            TraceRecorder(clock=self.clock, max_events=self.conf.tracing.max_events)
+            if self.conf.tracing.enabled
+            else NULL_RECORDER
+        )
+        self.transport = Transport(
+            self.metrics, latency_s=rpc_latency_s, clock=self.clock, tracer=self.tracer
+        )
+        self.driver = Driver(
+            self.transport, self.conf, self.metrics, self.clock, tracer=self.tracer
+        )
         self.workers: dict[str, Worker] = {}
         self._worker_seq = 0
         self._lock = threading.Lock()
@@ -73,6 +84,7 @@ class LocalCluster:
                 self.metrics,
                 self.clock,
                 enable_heartbeats=self._enable_heartbeats,
+                tracer=self.tracer,
             )
             self.workers[worker_id] = worker
         worker.start()
@@ -151,6 +163,25 @@ class LocalCluster:
         for _p, chunk in sorted(parts):
             ordered.extend(chunk)
         return ordered
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def export_trace(self, path: str, fmt: str = "perfetto") -> int:
+        """Write the recorded trace to ``path``; returns the event count.
+
+        ``fmt`` is ``"perfetto"`` (Chrome/Perfetto ``trace_event`` JSON,
+        loadable in ``ui.perfetto.dev``) or ``"jsonl"`` (one raw span
+        event per line).  Requires ``conf.tracing.enabled``.
+        """
+        events = self.tracer.events()
+        if fmt == "perfetto":
+            write_perfetto(events, path)
+        elif fmt == "jsonl":
+            write_jsonl(events, path)
+        else:
+            raise ValueError(f"unknown trace format: {fmt!r}")
+        return len(events)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -47,6 +47,17 @@ from repro.core.prescheduling import DepKey
 from repro.core.tuner import GroupSizeTuner
 from repro.dag.plan import PhysicalPlan, StageSpec
 from repro.engine.task import TaskDescriptor, TaskId, TaskReport
+from repro.obs.names import (
+    EVENT_TASK_RESUBMIT,
+    EVENT_TUNER_DECISION,
+    SPAN_BATCH,
+    SPAN_GROUP,
+    SPAN_RECOVERY,
+    SPAN_STAGE,
+    SPAN_TASK_LAUNCH_RPC,
+    SPAN_TASK_SCHEDULE,
+)
+from repro.obs.trace import NULL_RECORDER, Recorder, SpanContext
 
 DRIVER_ID = "driver"
 
@@ -78,6 +89,10 @@ class JobState:
     # shuffle_id -> consumer stage index / producer (map) stage index
     consumers: Dict[int, int] = field(default_factory=dict)
     producers: Dict[int, int] = field(default_factory=dict)
+    # Tracing: the batch's root span and one child span per stage (empty
+    # when tracing is disabled).
+    batch_span: Any = None
+    stage_spans: Dict[int, Any] = field(default_factory=dict)
 
     def stage_complete(self, stage_index: int) -> bool:
         return not self.stage_remaining.get(stage_index)
@@ -99,12 +114,14 @@ class Driver:
         conf: EngineConf,
         metrics: Optional[MetricsRegistry] = None,
         clock: Optional[Clock] = None,
+        tracer: Optional[Recorder] = None,
     ):
         conf.validate()
         self.conf = conf
         self.transport = transport
         self.metrics = metrics or MetricsRegistry()
         self.clock = clock or WallClock()
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
         self.jobs: Dict[int, JobState] = {}
         self._job_ids_by_key: Dict[Any, int] = {}
         self._alive: Set[str] = set()
@@ -280,30 +297,53 @@ class Driver:
         Feeds the group-size tuner with the measured coordination ledger.
         """
         keys = list(job_keys) if job_keys is not None else [None] * len(plans)
+        group_span = self.tracer.start_span(
+            SPAN_GROUP,
+            root=True,
+            actor=DRIVER_ID,
+            num_batches=len(plans),
+            mode=self.conf.scheduling_mode.value,
+        )
         start = self.clock.now()
         sched_before = self.metrics.counter(TIME_SCHEDULING).value
         xfer_before = self.metrics.counter(TIME_TASK_TRANSFER).value
 
-        if self.conf.scheduling_mode in (
-            SchedulingMode.PER_BATCH,
-            SchedulingMode.PIPELINED,
-        ):
-            results = [
-                self._run_barrier(plan, job_key=key, reuse=reuse)
-                for plan, key in zip(plans, keys)
-            ]
-        else:
-            job_ids = self.submit_group(plans, job_keys=keys, reuse=reuse)
-            results = [self.wait_job(job_id) for job_id in job_ids]
-
-        ledger = CoordinationLedger(
-            scheduling_s=self.metrics.counter(TIME_SCHEDULING).value - sched_before,
-            task_transfer_s=self.metrics.counter(TIME_TASK_TRANSFER).value - xfer_before,
-            wall_s=self.clock.now() - start,
-        )
-        self.last_group_ledger = ledger
-        if self.tuner is not None and ledger.wall_s > 0:
-            self.tuner.observe(ledger.coordination_s, ledger.wall_s)
+        with group_span:
+            try:
+                if self.conf.scheduling_mode in (
+                    SchedulingMode.PER_BATCH,
+                    SchedulingMode.PIPELINED,
+                ):
+                    results = [
+                        self._run_barrier(plan, job_key=key, reuse=reuse)
+                        for plan, key in zip(plans, keys)
+                    ]
+                else:
+                    job_ids = self.submit_group(plans, job_keys=keys, reuse=reuse)
+                    results = [self.wait_job(job_id) for job_id in job_ids]
+            finally:
+                # Runs before the span closes so the annotations are kept.
+                ledger = CoordinationLedger(
+                    scheduling_s=self.metrics.counter(TIME_SCHEDULING).value
+                    - sched_before,
+                    task_transfer_s=self.metrics.counter(TIME_TASK_TRANSFER).value
+                    - xfer_before,
+                    wall_s=self.clock.now() - start,
+                )
+                self.last_group_ledger = ledger
+                group_span.annotate(
+                    scheduling_s=ledger.scheduling_s,
+                    task_transfer_s=ledger.task_transfer_s,
+                    wall_s=ledger.wall_s,
+                )
+                if self.tuner is not None and ledger.wall_s > 0:
+                    decision = self.tuner.observe(ledger.coordination_s, ledger.wall_s)
+                    self.tracer.instant(
+                        EVENT_TUNER_DECISION,
+                        parent=group_span,
+                        actor=DRIVER_ID,
+                        **decision.as_annotation(),
+                    )
         return results
 
     def wait_job(self, job_id: int, timeout: Optional[float] = None) -> Any:
@@ -362,7 +402,39 @@ class Driver:
             self.jobs[job_id] = job
             if job_key is not None:
                 self._job_ids_by_key[job_key] = job_id
+            if self.tracer.enabled:
+                if prior is not None:
+                    self._finish_job_spans(prior, superseded=True)
+                job.batch_span = self.tracer.start_span(
+                    SPAN_BATCH,
+                    root=True,
+                    actor=DRIVER_ID,
+                    job_id=job.job_id,
+                    job_key=None if job_key is None else str(job_key),
+                    mode=self.conf.scheduling_mode.value,
+                    pre_scheduled=pre_scheduled,
+                )
+                for stage in plan.stages:
+                    job.stage_spans[stage.stage_index] = self.tracer.start_span(
+                        SPAN_STAGE,
+                        parent=job.batch_span,
+                        actor=DRIVER_ID,
+                        stage=stage.stage_index,
+                        num_tasks=stage.num_tasks,
+                    )
             return job
+
+    def _finish_job_spans(self, job: JobState, superseded: bool = False) -> None:
+        """End a job's batch/stage spans (idempotent; lock held)."""
+        if job.batch_span is None:
+            return
+        for span in job.stage_spans.values():
+            span.end()
+        if superseded:
+            job.batch_span.annotate(superseded=True)
+        if job.error is not None:
+            job.batch_span.annotate(error=repr(job.error))
+        job.batch_span.end()
 
     def _carry_over_outputs(self, job: JobState, prior: JobState) -> None:
         """Reuse intermediate map outputs from a prior attempt of the same
@@ -470,9 +542,22 @@ class Driver:
                     job, job_assignments[job.job_id]
                 ):
                     per_worker.setdefault(worker_id, []).append(desc)
-        self.metrics.counter(TIME_SCHEDULING).add(self.clock.now() - sched_start)
+        sched_end = self.clock.now()
+        self.metrics.counter(TIME_SCHEDULING).add(sched_end - sched_start)
         self.metrics.counter(COUNT_GROUPS_SCHEDULED).add(1)
         self.metrics.counter(COUNT_BATCHES_EXECUTED).add(len(plans))
+        if self.tracer.enabled:
+            # Exact same window as the TIME_SCHEDULING counter add above,
+            # so trace totals and counters agree.  The span is group-wide;
+            # ``batches`` lets the analyzer attribute its cost per batch.
+            self.tracer.record_span(
+                SPAN_TASK_SCHEDULE,
+                sched_start,
+                sched_end,
+                actor=DRIVER_ID,
+                batches=list(job_ids),
+                tasks=sum(len(d) for d in per_worker.values()),
+            )
 
         xfer_start = self.clock.now()
         for worker_id in sorted(per_worker):
@@ -486,7 +571,17 @@ class Driver:
         for job_id, completed in prepopulate.items():
             for worker_id in self.alive_workers():
                 self.transport.try_call(worker_id, "pre_populate", job_id, completed)
-        self.metrics.counter(TIME_TASK_TRANSFER).add(self.clock.now() - xfer_start)
+        xfer_end = self.clock.now()
+        self.metrics.counter(TIME_TASK_TRANSFER).add(xfer_end - xfer_start)
+        if self.tracer.enabled:
+            self.tracer.record_span(
+                SPAN_TASK_LAUNCH_RPC,
+                xfer_start,
+                xfer_end,
+                actor=DRIVER_ID,
+                batches=list(job_ids),
+                rpcs=len(per_worker),
+            )
 
         # A job whose result partitions were all carried over (rare: zero
         # remaining everywhere) completes immediately.
@@ -532,7 +627,14 @@ class Driver:
             pre_scheduled=True,
             deps=deps,
             downstream=downstream,
+            trace_ctx=self._stage_ctx(job, stage.stage_index),
         )
+
+    @staticmethod
+    def _stage_ctx(job: JobState, stage_index: int) -> Optional[SpanContext]:
+        """Trace context a task descriptor for this stage should carry."""
+        span = job.stage_spans.get(stage_index)
+        return span.context if span is not None else None
 
     # ------------------------------------------------------------------
     # Barrier (Spark) path
@@ -575,21 +677,43 @@ class Driver:
             pre_scheduled=False,
             deps=frozenset(),
             map_locations={d: job.map_status[d] for d in deps},
+            trace_ctx=self._stage_ctx(job, stage_index),
         )
         job.task_locations[(stage_index, partition)] = worker_id
         job.task_started[(stage_index, partition)] = self.clock.now()
         job.blocked.discard((stage_index, partition))
-        self.metrics.counter(TIME_SCHEDULING).add(self.clock.now() - sched_start)
+        sched_end = self.clock.now()
+        self.metrics.counter(TIME_SCHEDULING).add(sched_end - sched_start)
         self.metrics.counter(COUNT_TASKS_LAUNCHED).add(1)
         self.metrics.counter(COUNT_LAUNCH_RPCS).add(1)
+        if self.tracer.enabled:
+            self.tracer.record_span(
+                SPAN_TASK_SCHEDULE,
+                sched_start,
+                sched_end,
+                parent=desc.trace_ctx,
+                actor=DRIVER_ID,
+                stage=stage_index,
+                partition=partition,
+            )
         xfer_start = self.clock.now()
         try:
             self.transport.call(worker_id, "launch_tasks", [desc])
-        except WorkerLost:
-            # Retry from the monitor path.
-            self.metrics.counter(TIME_TASK_TRANSFER).add(self.clock.now() - xfer_start)
-            raise
-        self.metrics.counter(TIME_TASK_TRANSFER).add(self.clock.now() - xfer_start)
+        finally:
+            # WorkerLost propagates; the monitor path retries the task.
+            xfer_end = self.clock.now()
+            self.metrics.counter(TIME_TASK_TRANSFER).add(xfer_end - xfer_start)
+            if self.tracer.enabled:
+                self.tracer.record_span(
+                    SPAN_TASK_LAUNCH_RPC,
+                    xfer_start,
+                    xfer_end,
+                    parent=desc.trace_ctx,
+                    actor=DRIVER_ID,
+                    stage=stage_index,
+                    partition=partition,
+                    worker=worker_id,
+                )
 
     def _await_stage(self, job: JobState, stage_index: int) -> None:
         with self._cv:
@@ -616,6 +740,10 @@ class Driver:
             if partition not in job.stage_remaining[stage_index]:
                 return  # stale duplicate from an old attempt
             job.stage_remaining[stage_index].discard(partition)
+            if not job.stage_remaining[stage_index]:
+                span = job.stage_spans.get(stage_index)
+                if span is not None:
+                    span.end()
             started = job.task_started.get((stage_index, partition))
             if started is not None:
                 job.task_durations.setdefault(stage_index, []).append(
@@ -673,9 +801,11 @@ class Driver:
     def _check_job_done(self, job: JobState) -> None:
         if job.error is not None:
             job.done.set()
+            self._finish_job_spans(job)
             return
         if all(not rem for rem in job.stage_remaining.values()):
             job.done.set()
+            self._finish_job_spans(job)
 
     def _handle_task_failure(self, job: JobState, report: TaskReport) -> None:
         err = report.error
@@ -699,6 +829,7 @@ class Driver:
             return
         job.error = TaskError(str(report.task_id), err or ReproError("unknown"))
         job.done.set()
+        self._finish_job_spans(job)
 
     def _invalidate_map_output(
         self, job: JobState, shuffle_id: int, map_index: int
@@ -738,15 +869,30 @@ class Driver:
                 if not job.is_finished():
                     job.error = WorkerLost(worker_id, "last worker lost")
                     job.done.set()
+                    self._finish_job_spans(job)
             return
         # Recovery tasks across all in-flight micro-batches are resubmitted
         # together — this is the paper's parallel recovery.
-        for job in self.jobs.values():
-            if job.is_finished():
-                continue
-            self._recover_job(job, worker_id)
+        recovery_span = self.tracer.start_span(
+            SPAN_RECOVERY, root=True, actor=DRIVER_ID, worker=worker_id
+        )
+        with recovery_span:
+            resubmitted = 0
+            jobs_touched = 0
+            for job in self.jobs.values():
+                if job.is_finished():
+                    continue
+                count = self._recover_job(job, worker_id)
+                resubmitted += count
+                jobs_touched += 1 if count else 0
+            recovery_span.annotate(
+                resubmitted=resubmitted, jobs_recovered=jobs_touched
+            )
 
-    def _recover_job(self, job: JobState, worker_id: str) -> None:
+    def _recover_job(self, job: JobState, worker_id: str) -> int:
+        """Resubmit a job's work lost with ``worker_id``; returns how many
+        tasks were resubmitted."""
+        resubmitted = 0
         # 1. Map outputs lost with the machine, still needed downstream.
         lost_deps = [d for d, w in job.map_status.items() if w == worker_id]
         for shuffle_id, map_index in lost_deps:
@@ -764,6 +910,7 @@ class Driver:
                     job.attempts.get((producer, map_index), 0) + 1
                 )
                 self._resubmit_task(job, producer, map_index)
+                resubmitted += 1
         # 2. Unfinished tasks that were placed on the lost machine.
         for (stage_index, partition), where in sorted(job.task_locations.items()):
             if where != worker_id:
@@ -774,6 +921,8 @@ class Driver:
                 job.attempts.get((stage_index, partition), 0) + 1
             )
             self._resubmit_task(job, stage_index, partition)
+            resubmitted += 1
+        return resubmitted
 
     def _resubmit_task(
         self,
@@ -784,6 +933,18 @@ class Driver:
     ) -> None:
         """Re-place one task on a live worker (caller holds the lock)."""
         stage = job.plan.stages[stage_index]
+        if self.tracer.enabled:
+            # Parent to the batch span so resubmissions (and the recovered
+            # tasks' compute spans, via the stage context on the new
+            # descriptor) stay inside the batch's trace tree.
+            self.tracer.instant(
+                EVENT_TASK_RESUBMIT,
+                parent=job.batch_span,
+                actor=DRIVER_ID,
+                stage=stage_index,
+                partition=partition,
+                attempt=job.attempts.get((stage_index, partition), 0),
+            )
         if job.pre_scheduled:
             worker_id = self._pick_worker(exclude=exclude)
             # Recompute downstream pointers against *current* locations of
@@ -813,6 +974,7 @@ class Driver:
                 pre_scheduled=True,
                 deps=stage.task_dependencies(partition),
                 downstream=downstream,
+                trace_ctx=self._stage_ctx(job, stage_index),
             )
             job.task_locations[(stage_index, partition)] = worker_id
             job.task_started[(stage_index, partition)] = self.clock.now()

@@ -5,16 +5,35 @@ All cross-node communication in the engine flows through
 amortization claims of §3.1 are observable as message counts, (b) optional
 per-message latency can be injected, and (c) a dead endpoint behaves like
 a crashed machine: calls to it raise :class:`WorkerLost`.
+
+When tracing is enabled, every message is wrapped in an
+:class:`Envelope` carrying the sender's current span context, which is
+re-activated on the receiving side — that is how a trace started on the
+driver continues through worker-side handlers (and would survive a move
+to a genuinely remote transport, where the envelope is what goes on the
+wire).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
 
 from repro.common.clock import Clock, WallClock
 from repro.common.errors import WorkerLost
 from repro.common.metrics import COUNT_RPC_MESSAGES, MetricsRegistry
+from repro.obs.trace import NULL_RECORDER, Recorder, SpanContext
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One routed message: destination, method, and the trace context the
+    sender was in when it sent (None when tracing is disabled)."""
+
+    dst: str
+    method: str
+    trace_ctx: Optional[SpanContext]
 
 
 class Transport:
@@ -25,10 +44,12 @@ class Transport:
         metrics: MetricsRegistry | None = None,
         latency_s: float = 0.0,
         clock: Clock | None = None,
+        tracer: Recorder | None = None,
     ):
         self.metrics = metrics or MetricsRegistry()
         self.latency_s = latency_s
         self._clock = clock or WallClock()
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
         self._endpoints: Dict[str, Any] = {}
         self._dead: set = set()
         self._lock = threading.Lock()
@@ -63,7 +84,18 @@ class Transport:
         self.metrics.counter(COUNT_RPC_MESSAGES).add(1)
         if self.latency_s > 0:
             self._clock.sleep(self.latency_s)
-        return getattr(target, method)(*args, **kwargs)
+        if not self.tracer.enabled:
+            return getattr(target, method)(*args, **kwargs)
+        envelope = Envelope(dst_id, method, self.tracer.current())
+        return self._deliver(envelope, target, args, kwargs)
+
+    def _deliver(
+        self, envelope: Envelope, target: Any, args: Tuple, kwargs: Dict[str, Any]
+    ) -> Any:
+        """Dispatch with the envelope's trace context re-established on
+        the receiving side (trace propagation through RPC)."""
+        with self.tracer.activate(envelope.trace_ctx):
+            return getattr(target, envelope.method)(*args, **kwargs)
 
     def try_call(self, dst_id: str, method: str, *args: Any, **kwargs: Any) -> bool:
         """Best-effort delivery (used for notifications): swallow

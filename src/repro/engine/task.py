@@ -17,6 +17,7 @@ from typing import Any, Dict, FrozenSet, Optional, Tuple
 
 from repro.core.prescheduling import DepKey
 from repro.dag.plan import PhysicalPlan
+from repro.obs.trace import SpanContext
 
 # Identifies a map output block: (job_id, shuffle_id, map_index).
 MapOutputId = Tuple[int, int, int]
@@ -58,6 +59,9 @@ class TaskDescriptor:
     # Per-batch (barrier) reduce tasks: (shuffle_id, map_index) -> worker
     # holding that block, supplied by the driver after the barrier.
     map_locations: Dict[DepKey, str] = field(default_factory=dict)
+    # Trace context of the owning stage span: the driver -> worker half of
+    # end-to-end trace propagation (None when tracing is disabled).
+    trace_ctx: Optional[SpanContext] = None
 
     @property
     def stage(self):
@@ -81,3 +85,7 @@ class TaskReport:
     result: Any = None
     error: Optional[BaseException] = None
     compute_time_s: float = 0.0
+    # Context of the worker-side ``task.compute`` span: the worker ->
+    # driver half of trace propagation, so the driver (and tests) can
+    # stitch reports back into the batch's span tree.
+    trace_ctx: Optional[SpanContext] = None

@@ -29,6 +29,8 @@ from repro.core.prescheduling import DepKey, PendingTaskTable
 from repro.engine.blocks import BlockStore
 from repro.engine.rpc import Transport
 from repro.engine.task import TaskDescriptor, TaskReport
+from repro.obs.names import SPAN_TASK_COMPUTE, SPAN_TASK_FETCH, SPAN_TASK_REPORT
+from repro.obs.trace import NULL_RECORDER, Recorder
 
 DRIVER_ID = "driver"
 
@@ -44,12 +46,14 @@ class Worker:
         metrics: MetricsRegistry,
         clock: Optional[Clock] = None,
         enable_heartbeats: bool = False,
+        tracer: Optional[Recorder] = None,
     ):
         self.worker_id = worker_id
         self.transport = transport
         self.conf = conf
         self.metrics = metrics
         self.clock = clock or WallClock()
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
         self.blocks = BlockStore(worker_id)
         self.enable_heartbeats = enable_heartbeats
 
@@ -204,8 +208,20 @@ class Worker:
         if self.is_dead:
             return
         started = self.clock.now()
+        # Parent the compute span to the stage context carried by the
+        # descriptor, so worker-side work lands in the batch's trace tree.
+        span = self.tracer.start_span(
+            SPAN_TASK_COMPUTE,
+            parent=desc.trace_ctx,
+            actor=self.worker_id,
+            start_s=started,
+            task=str(desc.task_id),
+            stage=desc.task_id.stage_index,
+            partition=desc.task_id.partition,
+        )
         try:
-            report = self._execute(desc)
+            with self.tracer.activate(span.context):
+                report = self._execute(desc)
         except (FetchFailed, WorkerLost) as err:
             fetch = (
                 err
@@ -227,9 +243,24 @@ class Worker:
             )
         report.compute_time_s = self.clock.now() - started
         self.metrics.counter(TIME_COMPUTE).add(report.compute_time_s)
+        if not report.succeeded:
+            span.annotate(error=repr(report.error))
+        # Same window as the TIME_COMPUTE counter add (exact agreement).
+        span.end(started + report.compute_time_s)
+        report.trace_ctx = span.context
         if self.is_dead:
             return  # crashed mid-task: effects are discarded
+        report_start = self.clock.now()
         self.transport.try_call(DRIVER_ID, "task_finished", report)
+        if self.tracer.enabled:
+            self.tracer.record_span(
+                SPAN_TASK_REPORT,
+                report_start,
+                self.clock.now(),
+                parent=span,
+                actor=self.worker_id,
+                task=str(desc.task_id),
+            )
 
     def _execute(self, desc: TaskDescriptor) -> TaskReport:
         stage = desc.stage
@@ -316,6 +347,8 @@ class Worker:
         stage = desc.stage
         job_id = desc.task_id.job_id
         partition = desc.task_id.partition
+        fetch_start = self.clock.now()
+        buckets_pulled = 0
         fetched: List[List[List]] = []
         for spec in stage.input_shuffles:
             streams: List[List] = []
@@ -348,5 +381,16 @@ class Worker:
                             spec.shuffle_id, map_index, err.worker_id
                         ) from err
                 streams.append(bucket)
+                buckets_pulled += 1
             fetched.append(streams)
+        if self.tracer.enabled:
+            # Parent defaults to the active task.compute context.
+            self.tracer.record_span(
+                SPAN_TASK_FETCH,
+                fetch_start,
+                self.clock.now(),
+                actor=self.worker_id,
+                task=str(desc.task_id),
+                buckets=buckets_pulled,
+            )
         return fetched

@@ -1,0 +1,58 @@
+"""repro.obs — end-to-end tracing and telemetry.
+
+Per-task structured spans with trace-context propagation through the RPC
+layer (driver -> envelope -> worker -> task report), so one micro-batch's
+control-plane timeline (§3.1-§3.4, Fig. 4b) is reconstructable as a span
+tree.  Exports Chrome/Perfetto ``trace_event`` JSON and JSONL; analyze
+traces with ``python -m repro.obs summarize <trace>``.
+
+Tracing is off by default and zero-cost when disabled: components hold
+the shared :data:`NULL_RECORDER` unless ``EngineConf.tracing.enabled``
+is set, in which case :class:`repro.engine.cluster.LocalCluster` wires a
+real :class:`TraceRecorder` through the driver, transport, and workers.
+"""
+
+from repro.obs.analyze import (
+    per_batch_breakdown,
+    per_worker_breakdown,
+    phase_totals,
+    render_tree,
+    summarize,
+)
+from repro.obs.export import load_trace, to_trace_events, write_jsonl, write_perfetto
+from repro.obs.names import (
+    EVENT_NAMES,
+    METRIC_NAMES,
+    PHASE_SPANS,
+    SPAN_NAMES,
+    SPAN_TO_METRIC,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    Span,
+    SpanContext,
+    TraceRecorder,
+)
+
+__all__ = [
+    "TraceRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Span",
+    "SpanContext",
+    "SPAN_NAMES",
+    "EVENT_NAMES",
+    "METRIC_NAMES",
+    "PHASE_SPANS",
+    "SPAN_TO_METRIC",
+    "to_trace_events",
+    "write_perfetto",
+    "write_jsonl",
+    "load_trace",
+    "phase_totals",
+    "per_batch_breakdown",
+    "per_worker_breakdown",
+    "render_tree",
+    "summarize",
+]

@@ -1,0 +1,81 @@
+"""Trace-analysis CLI.
+
+    python -m repro.obs summarize trace.json        # per-phase / per-batch / per-worker
+    python -m repro.obs tree trace.jsonl            # ASCII span trees
+    python -m repro.obs tree trace.json --trace t7  # one trace only
+    python -m repro.obs convert trace.jsonl -o trace.json   # JSONL -> Perfetto
+
+Accepts either export format (Perfetto ``trace_event`` JSON or JSONL);
+the format is auto-detected.  ``summarize`` prints the Fig. 4(b)
+scheduling / transfer / compute decomposition computed from real spans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.obs.analyze import render_tree, summarize
+from repro.obs.export import load_trace, write_jsonl, write_perfetto
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyze and convert engine traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize", help="per-phase latency breakdowns")
+    p_sum.add_argument("trace", help="trace file (Perfetto JSON or JSONL)")
+
+    p_tree = sub.add_parser("tree", help="print span trees")
+    p_tree.add_argument("trace", help="trace file (Perfetto JSON or JSONL)")
+    p_tree.add_argument("--trace-id", default=None, help="only this trace id")
+
+    p_conv = sub.add_parser("convert", help="convert between trace formats")
+    p_conv.add_argument("trace", help="input trace file")
+    p_conv.add_argument("-o", "--output", required=True, help="output path")
+    p_conv.add_argument(
+        "--format",
+        choices=("perfetto", "jsonl"),
+        default="perfetto",
+        help="output format (default: perfetto)",
+    )
+
+    args = parser.parse_args(argv)
+    try:
+        events = load_trace(args.trace)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}")
+        return 1
+    except ValueError as exc:  # includes json.JSONDecodeError
+        print(f"not a trace file (expected Perfetto JSON or JSONL): {exc}")
+        return 1
+    if not events:
+        print("trace is empty")
+        return 1
+
+    if args.command == "summarize":
+        print(summarize(events))
+    elif args.command == "tree":
+        print(render_tree(events, trace_id=args.trace_id))
+    elif args.command == "convert":
+        if args.format == "perfetto":
+            write_perfetto(events, args.output)
+        else:
+            write_jsonl(events, args.output)
+        print(f"wrote {len(events)} events to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Piping into e.g. ``head`` closes stdout early; exit quietly
+        # (and keep the interpreter's shutdown flush from re-raising).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(1)

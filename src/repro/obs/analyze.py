@@ -1,0 +1,270 @@
+"""Trace analysis: turn raw span events into the paper's decompositions.
+
+The headline query is the Figure 4(b) breakdown — where does each
+micro-batch's wall time go between scheduling, task launch RPCs, shuffle
+fetches, compute, and reporting — computed from *measured spans* rather
+than the simulator's cost model, per batch and per worker.
+
+All functions take the plain event dicts produced by
+:class:`repro.obs.trace.TraceRecorder` (or loaded back via
+:func:`repro.obs.export.load_trace`) and are side-effect free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.names import (
+    PHASE_SPANS,
+    SPAN_BATCH,
+    SPAN_TASK_COMPUTE,
+    SPAN_TASK_FETCH,
+    SPAN_TASK_LAUNCH_RPC,
+    SPAN_TASK_REPORT,
+    SPAN_TASK_SCHEDULE,
+)
+
+Event = Dict[str, Any]
+
+
+def spans(events: Sequence[Event], name: Optional[str] = None) -> List[Event]:
+    """Duration spans, optionally filtered by name."""
+    return [
+        e for e in events if e.get("ph", "X") == "X" and (name is None or e["name"] == name)
+    ]
+
+
+def phase_totals(events: Sequence[Event]) -> Dict[str, float]:
+    """Total seconds per control-plane phase across the whole trace."""
+    totals = {phase: 0.0 for phase in PHASE_SPANS}
+    for e in spans(events):
+        if e["name"] in totals:
+            totals[e["name"]] += e["dur"]
+    return totals
+
+
+def batch_spans(events: Sequence[Event]) -> List[Event]:
+    """Root ``batch`` spans, ordered by job id then start time."""
+    batches = spans(events, SPAN_BATCH)
+    return sorted(batches, key=lambda e: (e["attrs"].get("job_id", -1), e["ts"]))
+
+
+def _group_share(events: Sequence[Event]) -> Dict[Any, Dict[str, float]]:
+    """Per-job share of group-level scheduling/launch spans.
+
+    Under group scheduling, placement and the launch RPCs happen once for
+    the whole group; those spans carry a ``batches`` attribute listing the
+    job ids they cover, and their cost is attributed evenly.
+    """
+    shares: Dict[Any, Dict[str, float]] = {}
+    for e in spans(events):
+        if e["name"] not in (SPAN_TASK_SCHEDULE, SPAN_TASK_LAUNCH_RPC):
+            continue
+        jobs = e["attrs"].get("batches")
+        if not jobs:
+            continue
+        per_job = e["dur"] / len(jobs)
+        for job_id in jobs:
+            row = shares.setdefault(job_id, {SPAN_TASK_SCHEDULE: 0.0, SPAN_TASK_LAUNCH_RPC: 0.0})
+            row[e["name"]] += per_job
+    return shares
+
+
+def per_batch_breakdown(events: Sequence[Event]) -> List[Dict[str, Any]]:
+    """One row per micro-batch: the Fig. 4(b) decomposition from spans.
+
+    Scheduling and launch-RPC time is taken from per-batch spans inside
+    the batch's trace (barrier modes) plus an even share of any
+    group-level spans covering the batch (Drizzle modes).  Fetch, compute,
+    and report time comes from the task spans stitched into the batch's
+    tree via descriptor/report context propagation.
+    """
+    by_trace: Dict[str, List[Event]] = {}
+    for e in events:
+        by_trace.setdefault(e["trace_id"], []).append(e)
+    shares = _group_share(events)
+
+    rows: List[Dict[str, Any]] = []
+    for root in batch_spans(events):
+        job_id = root["attrs"].get("job_id")
+        in_tree = by_trace.get(root["trace_id"], [])
+        row: Dict[str, Any] = {
+            "job_id": job_id,
+            "job_key": root["attrs"].get("job_key"),
+            "mode": root["attrs"].get("mode"),
+            "trace_id": root["trace_id"],
+            "wall_s": root["dur"],
+            "tasks": 0,
+        }
+        for phase in PHASE_SPANS:
+            row[phase] = 0.0
+        for e in in_tree:
+            if e.get("ph") != "X":
+                continue
+            if e["name"] in PHASE_SPANS:
+                row[e["name"]] += e["dur"]
+            if e["name"] == SPAN_TASK_COMPUTE:
+                row["tasks"] += 1
+        share = shares.get(job_id)
+        if share is not None:
+            row[SPAN_TASK_SCHEDULE] += share[SPAN_TASK_SCHEDULE]
+            row[SPAN_TASK_LAUNCH_RPC] += share[SPAN_TASK_LAUNCH_RPC]
+        rows.append(row)
+    return rows
+
+
+def per_worker_breakdown(events: Sequence[Event]) -> List[Dict[str, Any]]:
+    """One row per worker: task counts and fetch/compute/report seconds."""
+    rows: Dict[str, Dict[str, Any]] = {}
+    for e in spans(events):
+        if e["name"] not in (SPAN_TASK_FETCH, SPAN_TASK_COMPUTE, SPAN_TASK_REPORT):
+            continue
+        row = rows.setdefault(
+            e["actor"],
+            {
+                "worker": e["actor"],
+                "tasks": 0,
+                SPAN_TASK_FETCH: 0.0,
+                SPAN_TASK_COMPUTE: 0.0,
+                SPAN_TASK_REPORT: 0.0,
+            },
+        )
+        row[e["name"]] += e["dur"]
+        if e["name"] == SPAN_TASK_COMPUTE:
+            row["tasks"] += 1
+    return [rows[w] for w in sorted(rows)]
+
+
+def build_trees(events: Sequence[Event]) -> Dict[str, List[Dict[str, Any]]]:
+    """trace_id -> list of root nodes; node = {"event", "children"}."""
+    nodes: Dict[int, Dict[str, Any]] = {}
+    for e in events:
+        nodes[e["span_id"]] = {"event": e, "children": []}
+    roots: Dict[str, List[Dict[str, Any]]] = {}
+    for node in nodes.values():
+        parent_id = node["event"].get("parent_id")
+        parent = nodes.get(parent_id) if parent_id is not None else None
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.setdefault(node["event"]["trace_id"], []).append(node)
+    for children in roots.values():
+        children.sort(key=lambda n: n["event"]["ts"])
+    for node in nodes.values():
+        node["children"].sort(key=lambda n: n["event"]["ts"])
+    return roots
+
+
+def render_tree(events: Sequence[Event], trace_id: Optional[str] = None) -> str:
+    """ASCII span trees, one per trace (optionally a single trace)."""
+    roots = build_trees(events)
+    lines: List[str] = []
+
+    def walk(node: Dict[str, Any], depth: int) -> None:
+        e = node["event"]
+        marker = "•" if e.get("ph") == "i" else "▸"
+        attrs = e.get("attrs", {})
+        label = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs)) if attrs else ""
+        lines.append(
+            f"{'  ' * depth}{marker} {e['name']} [{e['actor']}] "
+            f"{e['dur'] * 1e3:.3f}ms{(' ' + label) if label else ''}"
+        )
+        for child in node["children"]:
+            walk(child, depth + 1)
+
+    for tid in sorted(roots):
+        if trace_id is not None and tid != trace_id:
+            continue
+        lines.append(f"trace {tid}")
+        for root in roots[tid]:
+            walk(root, 1)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Plain-text report (kept dependency-free: obs only imports repro.common)
+# ----------------------------------------------------------------------
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: str = "") -> str:
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def summarize(events: Sequence[Event]) -> str:
+    """The full ``repro.obs summarize`` report as a string."""
+    sections: List[str] = []
+
+    totals = phase_totals(events)
+    sections.append(
+        _table(
+            ["phase", "total_ms"],
+            [[phase, totals[phase] * 1e3] for phase in PHASE_SPANS],
+            title="Per-phase totals (all batches)",
+        )
+    )
+
+    batch_rows = per_batch_breakdown(events)
+    if batch_rows:
+        sections.append(
+            _table(
+                ["job", "key", "mode", "tasks", "sched_ms", "launch_ms", "fetch_ms",
+                 "compute_ms", "report_ms", "wall_ms"],
+                [
+                    [
+                        r["job_id"],
+                        r["job_key"],
+                        r["mode"],
+                        r["tasks"],
+                        r[SPAN_TASK_SCHEDULE] * 1e3,
+                        r[SPAN_TASK_LAUNCH_RPC] * 1e3,
+                        r[SPAN_TASK_FETCH] * 1e3,
+                        r[SPAN_TASK_COMPUTE] * 1e3,
+                        r[SPAN_TASK_REPORT] * 1e3,
+                        r["wall_s"] * 1e3,
+                    ]
+                    for r in batch_rows
+                ],
+                title="Per-batch breakdown (Fig. 4b decomposition from spans)",
+            )
+        )
+
+    worker_rows = per_worker_breakdown(events)
+    if worker_rows:
+        sections.append(
+            _table(
+                ["worker", "tasks", "fetch_ms", "compute_ms", "report_ms"],
+                [
+                    [
+                        r["worker"],
+                        r["tasks"],
+                        r[SPAN_TASK_FETCH] * 1e3,
+                        r[SPAN_TASK_COMPUTE] * 1e3,
+                        r[SPAN_TASK_REPORT] * 1e3,
+                    ]
+                    for r in worker_rows
+                ],
+                title="Per-worker breakdown",
+            )
+        )
+
+    n_spans = len(spans(events))
+    n_instants = sum(1 for e in events if e.get("ph") == "i")
+    sections.append(f"{n_spans} spans, {n_instants} instant events, "
+                    f"{len(batch_rows)} batches")
+    return "\n\n".join(sections)

@@ -1,0 +1,133 @@
+"""Trace exporters and loaders.
+
+Two on-disk formats, both lossless with respect to the recorder's event
+schema:
+
+* **Perfetto / Chrome ``trace_event`` JSON** — open the file directly in
+  https://ui.perfetto.dev (or ``chrome://tracing``).  Actors (driver,
+  worker-N, jobmanager) map to processes; span ids, parent ids and
+  annotations ride in ``args`` so nothing is lost in the round trip.
+* **JSONL** — one event object per line, for ``grep``/``jq`` pipelines
+  and incremental appends.
+
+``load_trace`` auto-detects the format, so the CLI accepts either.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+_US = 1e6  # trace_event timestamps are microseconds
+
+
+def _actor_pids(events: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    """Stable actor -> pid mapping: driver first, then sorted actors."""
+    actors = sorted({e.get("actor", "driver") for e in events})
+    if "driver" in actors:
+        actors.remove("driver")
+        actors.insert(0, "driver")
+    return {actor: pid for pid, actor in enumerate(actors, start=1)}
+
+
+def to_trace_events(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert recorder events to a Chrome/Perfetto ``trace_event`` doc."""
+    pids = _actor_pids(events)
+    out: List[Dict[str, Any]] = []
+    for actor, pid in pids.items():
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": actor},
+            }
+        )
+    for e in events:
+        pid = pids[e.get("actor", "driver")]
+        entry: Dict[str, Any] = {
+            "name": e["name"],
+            "cat": e.get("cat", e["name"].split(".", 1)[0]),
+            "ph": e.get("ph", "X"),
+            "pid": pid,
+            "tid": pid,
+            "ts": e["ts"] * _US,
+            "args": {
+                "trace_id": e["trace_id"],
+                "span_id": e["span_id"],
+                "parent_id": e.get("parent_id"),
+                **e.get("attrs", {}),
+            },
+        }
+        if entry["ph"] == "X":
+            entry["dur"] = e.get("dur", 0.0) * _US
+        else:
+            entry["s"] = "t"  # thread-scoped instant
+        out.append(entry)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(events: Sequence[Dict[str, Any]], path: str) -> str:
+    with open(path, "w") as f:
+        json.dump(to_trace_events(events), f, default=str)
+    return path
+
+
+def write_jsonl(events: Sequence[Dict[str, Any]], path: str) -> str:
+    with open(path, "w") as f:
+        for e in events:
+            f.write(json.dumps(e, default=str) + "\n")
+    return path
+
+
+def _from_trace_events(doc: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Reconstruct recorder events from a ``trace_event`` document."""
+    raw = doc.get("traceEvents", [])
+    actor_by_pid: Dict[int, str] = {}
+    for entry in raw:
+        if entry.get("ph") == "M" and entry.get("name") == "process_name":
+            actor_by_pid[entry["pid"]] = entry["args"]["name"]
+    events: List[Dict[str, Any]] = []
+    for entry in raw:
+        if entry.get("ph") not in ("X", "i"):
+            continue
+        args = dict(entry.get("args", {}))
+        events.append(
+            {
+                "name": entry["name"],
+                "cat": entry.get("cat", entry["name"].split(".", 1)[0]),
+                "ph": entry["ph"],
+                "trace_id": args.pop("trace_id", "?"),
+                "span_id": args.pop("span_id", 0),
+                "parent_id": args.pop("parent_id", None),
+                "actor": actor_by_pid.get(entry.get("pid"), "driver"),
+                "ts": entry["ts"] / _US,
+                "dur": entry.get("dur", 0.0) / _US,
+                "attrs": args,
+            }
+        )
+    return events
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a trace from either supported format (auto-detected)."""
+    with open(path) as f:
+        text = f.read()
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            # Multiple objects -> JSONL.
+            return [json.loads(line) for line in text.splitlines() if line.strip()]
+        if "traceEvents" in doc:
+            return _from_trace_events(doc)
+        # A single JSONL line that happens to be the whole file.
+        return [doc]
+    if stripped.startswith("["):
+        # Bare trace_event array form.
+        return _from_trace_events({"traceEvents": json.loads(text)})
+    return [json.loads(line) for line in text.splitlines() if line.strip()]

@@ -1,0 +1,121 @@
+"""Canonical span, instant-event, and metric names.
+
+Every instrumented name in the engine comes from this module so that a
+typo is an import error, not a silently empty trace query.  Tests and the
+``python -m repro.obs`` CLI match against these same constants, and
+``SPAN_NAMES`` / ``EVENT_NAMES`` / ``METRIC_NAMES`` give linters and
+analysis code one authoritative registry.
+"""
+
+from __future__ import annotations
+
+from repro.common.metrics import (
+    COUNT_BATCHES_EXECUTED,
+    COUNT_CHECKPOINTS,
+    COUNT_GROUPS_SCHEDULED,
+    COUNT_LAUNCH_RPCS,
+    COUNT_RECOVERIES,
+    COUNT_RPC_MESSAGES,
+    COUNT_SPECULATIVE,
+    COUNT_TASKS_LAUNCHED,
+    TIME_COMPUTE,
+    TIME_COORDINATION,
+    TIME_SCHEDULING,
+    TIME_TASK_TRANSFER,
+)
+
+# ----------------------------------------------------------------------
+# Span names (duration events).  The dot prefix is the Perfetto category:
+# "task.compute" renders under category "task".
+# ----------------------------------------------------------------------
+SPAN_BATCH = "batch"  # one micro-batch (= one job), driver-side root
+SPAN_GROUP = "group"  # one group-scheduling round (§3.1)
+SPAN_STAGE = "stage"  # one stage of one micro-batch
+SPAN_TASK_SCHEDULE = "task.schedule"  # placement + descriptor building
+SPAN_TASK_LAUNCH_RPC = "task.launch_rpc"  # driver -> worker launch messages
+SPAN_TASK_FETCH = "task.fetch"  # reduce-side shuffle pull
+SPAN_TASK_COMPUTE = "task.compute"  # one task attempt on a worker
+SPAN_TASK_REPORT = "task.report"  # worker -> driver completion report
+SPAN_CHECKPOINT = "checkpoint"  # synchronous group-boundary checkpoint
+SPAN_RECOVERY = "recovery"  # worker-loss / replay recovery window
+
+SPAN_NAMES = frozenset(
+    {
+        SPAN_BATCH,
+        SPAN_GROUP,
+        SPAN_STAGE,
+        SPAN_TASK_SCHEDULE,
+        SPAN_TASK_LAUNCH_RPC,
+        SPAN_TASK_FETCH,
+        SPAN_TASK_COMPUTE,
+        SPAN_TASK_REPORT,
+        SPAN_CHECKPOINT,
+        SPAN_RECOVERY,
+    }
+)
+
+# The control-plane phases of the Fig. 4(b) decomposition, in display
+# order; ``python -m repro.obs summarize`` reports these per batch.
+PHASE_SPANS = (
+    SPAN_TASK_SCHEDULE,
+    SPAN_TASK_LAUNCH_RPC,
+    SPAN_TASK_FETCH,
+    SPAN_TASK_COMPUTE,
+    SPAN_TASK_REPORT,
+)
+
+# ----------------------------------------------------------------------
+# Instant events (zero-duration annotations).
+# ----------------------------------------------------------------------
+EVENT_TUNER_DECISION = "tuner.decision"  # §3.4 AIMD step, on the group span
+EVENT_TASK_RESUBMIT = "task.resubmit"  # recovery/speculation re-placement
+
+EVENT_NAMES = frozenset({EVENT_TUNER_DECISION, EVENT_TASK_RESUBMIT})
+
+# ----------------------------------------------------------------------
+# Metric names (re-exported so one import site covers spans AND metrics).
+# ----------------------------------------------------------------------
+METRIC_NAMES = frozenset(
+    {
+        TIME_SCHEDULING,
+        TIME_TASK_TRANSFER,
+        TIME_COMPUTE,
+        TIME_COORDINATION,
+        COUNT_TASKS_LAUNCHED,
+        COUNT_RPC_MESSAGES,
+        COUNT_LAUNCH_RPCS,
+        COUNT_GROUPS_SCHEDULED,
+        COUNT_BATCHES_EXECUTED,
+        COUNT_CHECKPOINTS,
+        COUNT_RECOVERIES,
+        COUNT_SPECULATIVE,
+    }
+)
+
+# Span name -> metric counter that times the same code region; the CLI
+# uses this to cross-check span totals against the counter values.
+SPAN_TO_METRIC = {
+    SPAN_TASK_SCHEDULE: TIME_SCHEDULING,
+    SPAN_TASK_LAUNCH_RPC: TIME_TASK_TRANSFER,
+    SPAN_TASK_COMPUTE: TIME_COMPUTE,
+}
+
+__all__ = [
+    "SPAN_BATCH",
+    "SPAN_GROUP",
+    "SPAN_STAGE",
+    "SPAN_TASK_SCHEDULE",
+    "SPAN_TASK_LAUNCH_RPC",
+    "SPAN_TASK_FETCH",
+    "SPAN_TASK_COMPUTE",
+    "SPAN_TASK_REPORT",
+    "SPAN_CHECKPOINT",
+    "SPAN_RECOVERY",
+    "SPAN_NAMES",
+    "PHASE_SPANS",
+    "EVENT_TUNER_DECISION",
+    "EVENT_TASK_RESUBMIT",
+    "EVENT_NAMES",
+    "METRIC_NAMES",
+    "SPAN_TO_METRIC",
+]

@@ -1,0 +1,386 @@
+"""Structured span recording with explicit trace-context propagation.
+
+The Drizzle argument is about *where control-plane microseconds go*
+(§3.1-§3.4); aggregate counters can say "scheduling took 40ms total" but
+not "batch 17's reduce stage waited 3ms on worker-2's launch RPC".  The
+:class:`TraceRecorder` fills that gap: every instrumented code region
+becomes a span event ``{name, trace_id, span_id, parent_id, actor, ts,
+dur, attrs}`` and the driver/worker/RPC layers thread span contexts
+through descriptors, message envelopes, and task reports so one
+micro-batch is reconstructable end-to-end as a tree.
+
+Design points:
+
+* **Zero cost when disabled.**  :data:`NULL_RECORDER` implements the same
+  API as no-ops; instrumentation sites either use it directly or guard
+  with ``recorder.enabled``.
+* **Thread safe.**  Spans are recorded from the driver, worker executor
+  pools, and monitor threads concurrently; the event log is append-only
+  under a lock and ids come from an atomic counter.
+* **Deterministic time source.**  The recorder shares the engine's
+  :class:`~repro.common.clock.Clock`, so traces from ``ManualClock``
+  tests are exact.
+* **Bounded.**  At most ``max_events`` events are retained; overflow is
+  counted in :attr:`TraceRecorder.dropped`, never silently ignored.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.common.clock import Clock, WallClock
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The portable part of a span: what child spans need to parent to.
+
+    This is what travels inside RPC envelopes, task descriptors, and task
+    reports — never the :class:`Span` object itself.
+    """
+
+    trace_id: str
+    span_id: int
+
+
+ParentLike = Union["Span", SpanContext, None]
+
+
+class Span:
+    """One in-flight span; recorded into the event log on :meth:`end`.
+
+    Usable as a context manager: entering pushes the span as the calling
+    thread's *current* context (so nested spans and outbound RPCs pick it
+    up implicitly), exiting pops and ends it.
+    """
+
+    __slots__ = (
+        "name",
+        "actor",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_s",
+        "attrs",
+        "_recorder",
+        "_ended",
+    )
+
+    def __init__(
+        self,
+        recorder: "TraceRecorder",
+        name: str,
+        actor: str,
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start_s: float,
+        attrs: Dict[str, Any],
+    ):
+        self._recorder = recorder
+        self.name = name
+        self.actor = actor
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.attrs = attrs
+        self._ended = False
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach key/value annotations (e.g. tuner decisions, §3.4)."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self, end_s: Optional[float] = None) -> None:
+        """Finish the span and append it to the recorder (idempotent)."""
+        if self._ended:
+            return
+        self._ended = True
+        self._recorder._finish(self, end_s)
+
+    def __enter__(self) -> "Span":
+        self._recorder._push(self.context)
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", repr(exc))
+        self._recorder._pop()
+        self.end()
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by :class:`NullRecorder`."""
+
+    __slots__ = ()
+    context: Optional[SpanContext] = None
+    name = ""
+    attrs: Dict[str, Any] = {}
+
+    def annotate(self, **_attrs: Any) -> "_NullSpan":
+        return self
+
+    def end(self, _end_s: Optional[float] = None) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """No-op recorder used when tracing is disabled (``EngineConf``).
+
+    Every method is a constant-time no-op so instrumented code paths pay
+    a single attribute access + call, keeping the disabled-mode overhead
+    unmeasurable next to real scheduling/RPC work.
+    """
+
+    enabled = False
+    dropped = 0
+
+    def start_span(self, _name: str, **_kwargs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(self, *_args: Any, **_kwargs: Any) -> None:
+        return None
+
+    def instant(self, _name: str, **_kwargs: Any) -> None:
+        pass
+
+    def current(self) -> None:
+        return None
+
+    def activate(self, _ctx: Optional[SpanContext]) -> _NullSpan:
+        return _NULL_SPAN
+
+    def events(self) -> List[Dict[str, Any]]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """Collects structured span events from every engine component."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Clock] = None, max_events: int = 200_000):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self._clock = clock or WallClock()
+        self._max_events = max_events
+        self._events: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        # itertools.count.__next__ is atomic in CPython; ids are unique
+        # across threads without taking the event-log lock.
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Current-context stack (per thread) — the in-process "envelope".
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[SpanContext]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _push(self, ctx: SpanContext) -> None:
+        self._stack().append(ctx)
+
+    def _pop(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def current(self) -> Optional[SpanContext]:
+        """The calling thread's innermost active span context."""
+        stack = getattr(self._tls, "stack", None)
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def activate(self, ctx: ParentLike) -> Iterator[None]:
+        """Establish ``ctx`` as the current context for a code block.
+
+        This is how a trace context carried by an RPC envelope or a task
+        descriptor is re-established on the receiving side.
+        """
+        if isinstance(ctx, Span):
+            ctx = ctx.context
+        if ctx is None:
+            yield
+            return
+        self._push(ctx)
+        try:
+            yield
+        finally:
+            self._pop()
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve(parent: ParentLike) -> Optional[SpanContext]:
+        if isinstance(parent, Span):
+            return parent.context
+        return parent
+
+    def start_span(
+        self,
+        name: str,
+        *,
+        parent: ParentLike = None,
+        root: bool = False,
+        actor: str = "driver",
+        start_s: Optional[float] = None,
+        trace_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span.
+
+        ``parent`` may be a :class:`Span`, a :class:`SpanContext`, or
+        ``None`` — in which case the thread's current context is used
+        unless ``root=True`` forces a new trace.
+        """
+        parent_ctx = self._resolve(parent)
+        if parent_ctx is None and not root:
+            parent_ctx = self.current()
+        span_id = next(self._ids)
+        if parent_ctx is not None:
+            tid, parent_id = parent_ctx.trace_id, parent_ctx.span_id
+        else:
+            tid, parent_id = (trace_id or f"t{span_id}"), None
+        return Span(
+            self,
+            name,
+            actor,
+            tid,
+            span_id,
+            parent_id,
+            self._clock.now() if start_s is None else start_s,
+            attrs,
+        )
+
+    def record_span(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        *,
+        parent: ParentLike = None,
+        root: bool = False,
+        actor: str = "driver",
+        **attrs: Any,
+    ) -> SpanContext:
+        """Record an already-measured region as a completed span.
+
+        Instrumentation that must share exact window boundaries with a
+        metrics counter (the 5%-agreement contract of the CLI) measures
+        once and records both from the same timestamps.
+        """
+        span = self.start_span(
+            name, parent=parent, root=root, actor=actor, start_s=start_s, **attrs
+        )
+        span.end(end_s)
+        return span.context
+
+    def instant(
+        self,
+        name: str,
+        *,
+        parent: ParentLike = None,
+        actor: str = "driver",
+        **attrs: Any,
+    ) -> None:
+        """Record a zero-duration annotation event (e.g. a tuner step)."""
+        parent_ctx = self._resolve(parent)
+        if parent_ctx is None:
+            parent_ctx = self.current()
+        span_id = next(self._ids)
+        now = self._clock.now()
+        self._append(
+            {
+                "name": name,
+                "cat": name.split(".", 1)[0],
+                "ph": "i",
+                "trace_id": parent_ctx.trace_id if parent_ctx else f"t{span_id}",
+                "span_id": span_id,
+                "parent_id": parent_ctx.span_id if parent_ctx else None,
+                "actor": actor,
+                "ts": now,
+                "dur": 0.0,
+                "attrs": dict(attrs),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Event log
+    # ------------------------------------------------------------------
+    def _finish(self, span: Span, end_s: Optional[float]) -> None:
+        end = self._clock.now() if end_s is None else end_s
+        self._append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "actor": span.actor,
+                "ts": span.start_s,
+                "dur": max(end - span.start_s, 0.0),
+                "attrs": dict(span.attrs),
+            }
+        )
+
+    def _append(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            if len(self._events) >= self._max_events:
+                self.dropped += 1
+                return
+            self._events.append(event)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """A snapshot copy of all recorded events."""
+        with self._lock:
+            return list(self._events)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __bool__(self) -> bool:
+        # An *empty* recorder must still be truthy — ``__len__`` above
+        # would otherwise make ``tracer or NULL_RECORDER`` silently drop
+        # a freshly constructed recorder.
+        return True
+
+
+Recorder = Union[TraceRecorder, NullRecorder]

@@ -23,6 +23,8 @@ from repro.common.errors import StreamingError
 from repro.common.metrics import COUNT_CHECKPOINTS
 from repro.dag.plan import PhysicalPlan, collect_action, compile_plan
 from repro.engine.cluster import LocalCluster
+from repro.obs.names import SPAN_CHECKPOINT, SPAN_RECOVERY
+from repro.obs.trace import NULL_RECORDER
 from repro.streaming.dstream import DStream, SourceDStream
 from repro.streaming.sources import LogSource, StreamSource
 from repro.streaming.state import Checkpoint, CheckpointStore, StateStore
@@ -68,6 +70,8 @@ class StreamingContext:
         self.batch_interval_s = batch_interval_s
         self.checkpoints = checkpoint_store or CheckpointStore()
         self.clock = clock or WallClock()
+        tracer = getattr(cluster, "tracer", None)
+        self.tracer = tracer if tracer is not None else NULL_RECORDER
         self.output_ops: List[OutputOp] = []
         self.state_stores: Dict[str, StateStore] = {}
         self.next_batch = 0
@@ -166,19 +170,23 @@ class StreamingContext:
     # ------------------------------------------------------------------
     def checkpoint(self) -> Checkpoint:
         """Synchronous checkpoint at a group boundary."""
-        cp = Checkpoint(
-            batch_index=self.next_batch - 1,
-            state_snapshots={
-                name: store.snapshot() for name, store in self.state_stores.items()
-            },
-            extra={"next_batch": self.next_batch},
-        )
-        self.checkpoints.save(cp)
-        self._batches_since_checkpoint = 0
-        self.cluster.metrics.counter(COUNT_CHECKPOINTS).add(1)
-        # Shuffle data at or before the checkpoint is no longer needed for
-        # recovery; GC it cluster-wide.
-        self._gc_through(cp.batch_index)
+        with self.tracer.start_span(
+            SPAN_CHECKPOINT, root=True, actor="driver", batch_index=self.next_batch - 1
+        ) as span:
+            cp = Checkpoint(
+                batch_index=self.next_batch - 1,
+                state_snapshots={
+                    name: store.snapshot() for name, store in self.state_stores.items()
+                },
+                extra={"next_batch": self.next_batch},
+            )
+            self.checkpoints.save(cp)
+            self._batches_since_checkpoint = 0
+            self.cluster.metrics.counter(COUNT_CHECKPOINTS).add(1)
+            # Shuffle data at or before the checkpoint is no longer needed
+            # for recovery; GC it cluster-wide.
+            self._gc_through(cp.batch_index)
+            span.annotate(stores=len(cp.state_snapshots))
         return cp
 
     def _gc_through(self, batch_index: int) -> None:
@@ -193,20 +201,28 @@ class StreamingContext:
         """Recover as after a driver/state loss: restore the latest
         checkpoint, roll the source back, and replay every batch after it.
         Returns the number of batches replayed."""
-        cp = self.checkpoints.latest()
-        restored_through = cp.batch_index if cp is not None else -1
-        for name, store in self.state_stores.items():
-            if cp is not None and name in cp.state_snapshots:
-                store.restore(cp.state_snapshots[name])
-            else:
-                store.restore({})
-        if isinstance(self.source, LogSource):
-            self.source.forget_after(restored_through)
-        first_replay = restored_through + 1
-        last = self.next_batch - 1
-        if first_replay > last:
-            return 0
-        # Parallel recovery: the whole suffix is replayed as one group,
-        # reusing any intermediate outputs that survived (§3.3).
-        self._run_group(range(first_replay, last + 1), reuse=True)
+        with self.tracer.start_span(
+            SPAN_RECOVERY, root=True, actor="driver", kind="restore_and_replay"
+        ) as span:
+            cp = self.checkpoints.latest()
+            restored_through = cp.batch_index if cp is not None else -1
+            for name, store in self.state_stores.items():
+                if cp is not None and name in cp.state_snapshots:
+                    store.restore(cp.state_snapshots[name])
+                else:
+                    store.restore({})
+            if isinstance(self.source, LogSource):
+                self.source.forget_after(restored_through)
+            first_replay = restored_through + 1
+            last = self.next_batch - 1
+            if first_replay > last:
+                span.annotate(restored_through=restored_through, replayed=0)
+                return 0
+            # Parallel recovery: the whole suffix is replayed as one group,
+            # reusing any intermediate outputs that survived (§3.3).
+            self._run_group(range(first_replay, last + 1), reuse=True)
+            span.annotate(
+                restored_through=restored_through,
+                replayed=last - first_replay + 1,
+            )
         return last - first_replay + 1

@@ -5,7 +5,7 @@ import threading
 import pytest
 
 from repro.common.clock import ManualClock, WallClock
-from repro.common.config import EngineConf, SchedulingMode, TunerConf
+from repro.common.config import EngineConf, SchedulingMode, TracingConf, TunerConf
 from repro.common.errors import ConfigError
 from repro.common.metrics import MetricsRegistry
 
@@ -72,19 +72,77 @@ class TestMetricsRegistry:
             clock.advance(3.0)
         assert m.counter("t").value == 3.0
 
+    def test_timed_feeds_same_named_histogram(self):
+        clock = ManualClock()
+        m = MetricsRegistry(clock)
+        for elapsed in (1.0, 2.0, 4.0):
+            with m.timed("t"):
+                clock.advance(elapsed)
+        assert m.counter("t").value == 7.0
+        assert m.histogram("t").snapshot() == [1.0, 2.0, 4.0]
+        assert m.histogram("t").summary()["count"] == 3
+
+    def test_gauge_set_and_add(self):
+        m = MetricsRegistry()
+        g = m.gauge("group_size")
+        assert g is m.gauge("group_size")
+        g.set(4)
+        g.add(2)
+        assert g.value == 6.0
+        g.reset()
+        assert g.value == 0.0
+
+    def test_histogram_percentiles(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat")
+        for v in range(1, 101):
+            h.record(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["sum"] == pytest.approx(5050.0)
+        assert s["p50"] == pytest.approx(50, abs=1)
+        assert s["p99"] == pytest.approx(99, abs=1)
+        assert s["max"] == 100.0
+        assert len(h) == 100
+
+    def test_empty_histogram_summary(self):
+        assert MetricsRegistry().histogram("h").summary() == {"count": 0}
+
     def test_reset(self):
         m = MetricsRegistry()
         m.counter("x").add(1)
         m.series("s").record(1.0)
+        m.gauge("g").set(5)
+        m.histogram("h").record(2.0)
         m.reset()
         assert m.counter("x").value == 0
         assert m.series("s").snapshot() == []
+        assert m.gauge("g").value == 0
+        assert len(m.histogram("h")) == 0
 
     def test_snapshot(self):
         m = MetricsRegistry()
         m.counter("a").add(1)
         m.counter("b").add(2)
         assert m.counters_snapshot() == {"a": 1, "b": 2}
+
+    def test_unified_snapshot(self):
+        m = MetricsRegistry()
+        m.counter("c").add(3)
+        m.gauge("g").set(7)
+        m.histogram("h").record(1.0)
+        m.histogram("h").record(3.0)
+        m.series("s").record(2.0)
+        snap = m.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms", "series"}
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 2
+        assert snap["histograms"]["h"]["mean"] == pytest.approx(2.0)
+        assert snap["series"]["s"]["count"] == 1
+        import json
+
+        json.dumps(snap)  # must be JSON-serializable as exported by bench
 
     def test_thread_safety(self):
         m = MetricsRegistry()
@@ -133,6 +191,20 @@ class TestEngineConf:
         assert conf.effective_checkpoint_interval() == 7
         conf2 = EngineConf(group_size=7, checkpoint_interval_batches=3)
         assert conf2.effective_checkpoint_interval() == 3
+
+
+class TestTracingConf:
+    def test_defaults_off(self):
+        conf = EngineConf()
+        conf.validate()
+        assert conf.tracing.enabled is False
+
+    def test_invalid_max_events_rejected(self):
+        with pytest.raises(ConfigError):
+            EngineConf(tracing=TracingConf(enabled=True, max_events=0)).validate()
+
+    def test_enabled_conf_valid(self):
+        EngineConf(tracing=TracingConf(enabled=True, max_events=100)).validate()
 
 
 class TestTunerConf:

@@ -15,6 +15,7 @@ CHECKS = {
     "batch_analytics.py": ["tree-reduced sum of squares", "partial-merge share"],
     "group_size_tuning.py": ["final group size", "tuner actions"],
     "adaptive_streaming.py": ["final reducer count", "elasticity decisions"],
+    "trace_telemetry.py": ["span totals agree with counters: True"],
 }
 
 SLOW_CHECKS = {

@@ -1,0 +1,278 @@
+"""Unit tests for the tracing core (`repro.obs.trace`) and the new metric
+types: span lifecycle, context propagation primitives, the no-op disabled
+path, bounded retention, and thread safety of concurrent recorder /
+histogram writes."""
+
+import threading
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.metrics import Gauge, Histogram, MetricsRegistry
+from repro.obs.names import (
+    EVENT_TUNER_DECISION,
+    PHASE_SPANS,
+    SPAN_BATCH,
+    SPAN_NAMES,
+    SPAN_TASK_COMPUTE,
+    SPAN_TO_METRIC,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullRecorder,
+    SpanContext,
+    TraceRecorder,
+)
+
+
+class TestSpanLifecycle:
+    def test_root_span_records_on_end(self):
+        clock = ManualClock()
+        rec = TraceRecorder(clock=clock)
+        span = rec.start_span(SPAN_BATCH, root=True, job_id=7)
+        clock.advance(2.5)
+        span.end()
+        (event,) = rec.events()
+        assert event["name"] == SPAN_BATCH
+        assert event["ph"] == "X"
+        assert event["dur"] == pytest.approx(2.5)
+        assert event["parent_id"] is None
+        assert event["attrs"] == {"job_id": 7}
+
+    def test_end_is_idempotent(self):
+        rec = TraceRecorder(clock=ManualClock())
+        span = rec.start_span("stage")
+        span.end()
+        span.end()
+        assert len(rec.events()) == 1
+
+    def test_explicit_end_timestamp(self):
+        rec = TraceRecorder(clock=ManualClock())
+        ctx = rec.record_span(SPAN_TASK_COMPUTE, 10.0, 12.0, actor="worker-0")
+        assert isinstance(ctx, SpanContext)
+        (event,) = rec.events()
+        assert event["ts"] == 10.0
+        assert event["dur"] == pytest.approx(2.0)
+        assert event["actor"] == "worker-0"
+
+    def test_context_manager_nesting_sets_parent(self):
+        rec = TraceRecorder(clock=ManualClock())
+        with rec.start_span("batch", root=True) as outer:
+            with rec.start_span("stage") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        events = {e["name"]: e for e in rec.events()}
+        assert events["stage"]["parent_id"] == events["batch"]["span_id"]
+
+    def test_root_ignores_current_context(self):
+        rec = TraceRecorder(clock=ManualClock())
+        with rec.start_span("group", root=True) as group:
+            batch = rec.start_span("batch", root=True)
+            assert batch.parent_id is None
+            assert batch.trace_id != group.trace_id
+            batch.end()
+
+    def test_exception_annotates_error(self):
+        rec = TraceRecorder(clock=ManualClock())
+        with pytest.raises(ValueError):
+            with rec.start_span("stage"):
+                raise ValueError("boom")
+        (event,) = rec.events()
+        assert "boom" in event["attrs"]["error"]
+
+    def test_annotations_survive_until_end(self):
+        rec = TraceRecorder(clock=ManualClock())
+        span = rec.start_span("group", root=True)
+        span.annotate(wall_s=1.25)
+        span.end()
+        (event,) = rec.events()
+        assert event["attrs"]["wall_s"] == 1.25
+
+    def test_instant_event(self):
+        rec = TraceRecorder(clock=ManualClock())
+        with rec.start_span("group", root=True) as group:
+            rec.instant(EVENT_TUNER_DECISION, action="increase")
+        instants = [e for e in rec.events() if e["ph"] == "i"]
+        (event,) = instants
+        assert event["parent_id"] == group.span_id
+        assert event["attrs"] == {"action": "increase"}
+
+
+class TestContextPropagation:
+    def test_activate_reestablishes_remote_context(self):
+        rec = TraceRecorder(clock=ManualClock())
+        ctx = SpanContext("t99", 42)
+        with rec.activate(ctx):
+            child = rec.start_span("task.compute", actor="worker-1")
+            assert child.trace_id == "t99"
+            assert child.parent_id == 42
+            child.end()
+        assert rec.current() is None
+
+    def test_activate_none_is_noop(self):
+        rec = TraceRecorder(clock=ManualClock())
+        with rec.activate(None):
+            assert rec.current() is None
+
+    def test_parent_accepts_span_or_context(self):
+        rec = TraceRecorder(clock=ManualClock())
+        parent = rec.start_span("batch", root=True)
+        via_span = rec.start_span("stage", parent=parent)
+        via_ctx = rec.start_span("stage", parent=parent.context)
+        assert via_span.parent_id == via_ctx.parent_id == parent.span_id
+
+
+class TestDisabledPath:
+    def test_null_recorder_is_shared_and_inert(self):
+        assert NULL_RECORDER.enabled is False
+        span = NULL_RECORDER.start_span("batch", root=True)
+        with span:
+            span.annotate(x=1)
+        assert span.context is None
+        assert NULL_RECORDER.record_span("s", 0.0, 1.0) is None
+        NULL_RECORDER.instant("e")
+        assert NULL_RECORDER.events() == []
+        assert NULL_RECORDER.current() is None
+        with NULL_RECORDER.activate(SpanContext("t1", 1)):
+            pass
+
+    def test_null_span_is_singleton(self):
+        a = NULL_RECORDER.start_span("a")
+        b = NullRecorder().start_span("b")
+        assert a is b
+
+    def test_empty_recorder_is_truthy(self):
+        # TraceRecorder defines __len__; a fresh (empty) recorder must not
+        # be falsy or ``tracer or NULL_RECORDER`` wiring silently disables
+        # tracing.
+        rec = TraceRecorder(clock=ManualClock())
+        assert len(rec) == 0
+        assert bool(rec)
+
+
+class TestBoundedRetention:
+    def test_overflow_counted_not_kept(self):
+        rec = TraceRecorder(clock=ManualClock(), max_events=3)
+        for i in range(5):
+            rec.instant(f"e{i}")
+        assert len(rec) == 3
+        assert rec.dropped == 2
+        rec.reset()
+        assert len(rec) == 0
+        assert rec.dropped == 0
+
+    def test_max_events_validated(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_events=0)
+
+
+class TestNames:
+    def test_phase_spans_are_known_span_names(self):
+        assert set(PHASE_SPANS) <= SPAN_NAMES
+
+    def test_span_to_metric_keys_are_phases(self):
+        assert set(SPAN_TO_METRIC) <= set(PHASE_SPANS)
+
+
+class TestThreadSafety:
+    def test_concurrent_span_recording_loses_nothing(self):
+        """The satellite contract: concurrent TraceRecorder writes from
+        many threads produce no lost or torn events and no duplicate span
+        ids."""
+        rec = TraceRecorder()
+        threads_n, spans_each = 8, 200
+        start = threading.Barrier(threads_n)
+
+        def worker(tid: int) -> None:
+            start.wait()
+            for i in range(spans_each):
+                with rec.start_span("batch", root=True, actor=f"w{tid}", i=i):
+                    rec.instant("mark", actor=f"w{tid}")
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        events = rec.events()
+        assert len(events) == threads_n * spans_each * 2
+        span_ids = [e["span_id"] for e in events]
+        assert len(span_ids) == len(set(span_ids))
+        # Torn events would miss keys or mix actors within a trace.
+        for e in events:
+            assert {"name", "trace_id", "span_id", "actor", "ts", "dur", "attrs"} <= set(e)
+        per_actor = {}
+        for e in events:
+            if e["ph"] == "X":
+                per_actor[e["actor"]] = per_actor.get(e["actor"], 0) + 1
+        assert all(v == spans_each for v in per_actor.values())
+
+    def test_thread_local_context_stacks_are_independent(self):
+        rec = TraceRecorder()
+        seen = {}
+        gate = threading.Barrier(2)
+
+        def worker(name: str) -> None:
+            with rec.start_span("batch", root=True, actor=name) as span:
+                gate.wait()  # both threads hold their own current context
+                seen[name] = (rec.current(), span.context)
+                gate.wait()
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen["a"][0] == seen["a"][1]
+        assert seen["b"][0] == seen["b"][1]
+        assert seen["a"][0] != seen["b"][0]
+
+    def test_concurrent_histogram_records_lose_nothing(self):
+        hist = Histogram("h")
+        threads_n, each = 8, 500
+
+        def worker() -> None:
+            for i in range(each):
+                hist.record(float(i))
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(hist) == threads_n * each
+        assert hist.summary()["count"] == threads_n * each
+
+    def test_concurrent_gauge_adds(self):
+        gauge = Gauge("g")
+        threads_n, each = 8, 500
+
+        def worker() -> None:
+            for _ in range(each):
+                gauge.add(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gauge.value == threads_n * each
+
+    def test_concurrent_registry_access(self):
+        registry = MetricsRegistry()
+
+        def worker() -> None:
+            for i in range(300):
+                registry.counter("c").add(1)
+                registry.histogram("h").record(i)
+                registry.gauge("g").set(i)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 1800
+        assert snap["histograms"]["h"]["count"] == 1800

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.sim",
     "repro.workloads",
     "repro.bench",
+    "repro.obs",
 ]
 
 
@@ -60,6 +61,10 @@ def test_all_exports_resolve(name):
         "repro.workloads.YahooWorkload",
         "repro.workloads.VideoWorkload",
         "repro.workloads.QueryCorpusGenerator",
+        "repro.obs.TraceRecorder",
+        "repro.obs.SpanContext",
+        "repro.obs.load_trace",
+        "repro.obs.summarize",
     ],
 )
 def test_key_symbols_have_docstrings(path):
@@ -73,6 +78,37 @@ def test_version():
     import repro
 
     assert repro.__version__ == "1.0.0"
+
+
+def test_obs_only_imports_common():
+    """repro.obs sits below the engine: it may depend on repro.common but
+    never on the layers it instruments (engine/streaming/continuous/dag)."""
+    import ast
+
+    import repro.obs.analyze
+    import repro.obs.export
+    import repro.obs.names
+    import repro.obs.trace
+
+    modules = (
+        repro.obs.trace,
+        repro.obs.export,
+        repro.obs.analyze,
+        repro.obs.names,
+    )
+    for module in modules:
+        tree = ast.parse(inspect.getsource(module))
+        for node in ast.walk(tree):
+            names = []
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            for name in names:
+                if name.startswith("repro."):
+                    assert name.startswith(("repro.common", "repro.obs")), (
+                        f"{module.__name__} imports {name}"
+                    )
 
 
 def test_public_classes_in_core_are_pure():
