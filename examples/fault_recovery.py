@@ -22,7 +22,7 @@ import time
 
 from repro.bench.figures import fig7_fault_tolerance
 from repro.bench.reporting import render_table
-from repro.common.config import EngineConf, SchedulingMode
+from repro.common.config import EngineConf, MonitorConf, SchedulingMode
 from repro.engine.cluster import LocalCluster
 from repro.streaming.context import StreamingContext
 from repro.streaming.sinks import IdempotentSink
@@ -37,8 +37,11 @@ def microbatch_scenario() -> None:
         slots_per_worker=1,
         scheduling_mode=SchedulingMode.DRIZZLE,
         group_size=3,
-        heartbeat_interval_s=0.03,
-        heartbeat_timeout_s=0.12,
+        monitor=MonitorConf(
+            enable_heartbeats=True,
+            heartbeat_interval_s=0.03,
+            heartbeat_timeout_s=0.12,
+        ),
     )
     words = ["fox", "dog", "cat", "fox", "dog", "fox"]
     batches = [[words[(b + i) % 6] for i in range(60)] for b in range(6)]
@@ -47,7 +50,7 @@ def microbatch_scenario() -> None:
         for w in batch:
             expected[w] = expected.get(w, 0) + 1
 
-    with LocalCluster(conf, enable_heartbeats=True) as cluster:
+    with LocalCluster(conf) as cluster:
         ctx = StreamingContext(cluster, FixedBatchSource(batches, 4), 0.05)
         counts = ctx.state_store("counts")
         ctx.stream().map(lambda w: (w, 1)).reduce_by_key(

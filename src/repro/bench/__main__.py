@@ -20,6 +20,7 @@ from typing import Callable, List, Tuple
 from repro.bench.figures import (
     ablation_pipelined,
     ablation_treereduce,
+    executor_backend_comparison,
     fig4a_group_scheduling,
     fig4b_breakdown,
     fig5a_heavy_compute,
@@ -186,6 +187,17 @@ def _treereduce() -> str:
     )
 
 
+def _executors() -> str:
+    rows = executor_backend_comparison()
+    return render_table(
+        ["backend", "cpu_count", "wall_s", "records_per_s", "speedup_vs_thread"],
+        [[r["backend"], r["cpu_count"], r["wall_s"], r["records_per_s"],
+          r["speedup_vs_thread"]] for r in rows],
+        title="Executor backends — CPU-bound map on the real engine "
+              "(process escapes the GIL on multi-core hosts)",
+    )
+
+
 def _adaptability() -> str:
     rows = group_size_adaptation_sweep()
     return render_table(
@@ -213,6 +225,7 @@ EXPERIMENTS: List[Tuple[str, Callable[[], str]]] = [
     ("ablation-pipelined", _pipelined),
     ("ablation-treereduce", _treereduce),
     ("ablation-adaptability", _adaptability),
+    ("executors", _executors),
 ]
 
 

@@ -1,7 +1,16 @@
 """Shared infrastructure: clocks, config, metrics, stats, errors."""
 
 from repro.common.clock import Clock, ManualClock, WallClock
-from repro.common.config import EngineConf, SchedulingMode, TracingConf, TunerConf
+from repro.common.config import (
+    EngineConf,
+    ExecutorConf,
+    MonitorConf,
+    SchedulingMode,
+    SpeculationConf,
+    TracingConf,
+    TransportConf,
+    TunerConf,
+)
 from repro.common.errors import (
     CheckpointError,
     ConfigError,
@@ -9,6 +18,7 @@ from repro.common.errors import (
     PlanError,
     RecoverableError,
     ReproError,
+    SerializationError,
     SimulationError,
     StreamingError,
     TaskError,
@@ -25,12 +35,17 @@ __all__ = [
     "SchedulingMode",
     "TunerConf",
     "TracingConf",
+    "ExecutorConf",
+    "TransportConf",
+    "MonitorConf",
+    "SpeculationConf",
     "CheckpointError",
     "ConfigError",
     "FetchFailed",
     "PlanError",
     "RecoverableError",
     "ReproError",
+    "SerializationError",
     "SimulationError",
     "StreamingError",
     "TaskError",

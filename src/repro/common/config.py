@@ -7,8 +7,12 @@ eagerly, in ``validate`` (called by the cluster constructors).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+import warnings
+from dataclasses import MISSING as _MISSING
+from dataclasses import dataclass, field, fields, is_dataclass
 from enum import Enum
+from typing import Any, Dict, Optional
 
 from repro.common.errors import ConfigError
 
@@ -115,9 +119,78 @@ class SpeculationConf:
             raise ConfigError("min_completed_fraction must be in (0, 1]")
 
 
+EXECUTOR_BACKENDS = ("inline", "thread", "process")
+
+
+def _default_backend() -> str:
+    # CI matrices force a backend for a whole pytest run via the
+    # environment instead of editing every EngineConf construction.
+    return os.environ.get("REPRO_EXECUTOR_BACKEND", "thread")
+
+
+@dataclass
+class ExecutorConf:
+    """How each worker runs its task slots (see ``docs/executors.md``).
+
+    * ``inline`` — tasks run synchronously in the submitting thread:
+      deterministic scheduling, ideal for tests and sim calibration.
+    * ``thread`` — a thread pool per worker (the default): cheap, shares
+      the GIL, fine for I/O-bound or tiny tasks.
+    * ``process`` — a spawn-safe ``multiprocessing`` pool per worker:
+      task closures cross the boundary as pickled bytes
+      (:mod:`repro.dag.serde`), CPU-bound user code gets true
+      multi-core parallelism.
+    """
+
+    backend: str = field(default_factory=_default_backend)
+    # Start method for the process backend; "spawn" is the only one that
+    # is safe with the engine's own threads in the parent.
+    start_method: str = "spawn"
+
+    def validate(self) -> None:
+        if self.backend not in EXECUTOR_BACKENDS:
+            raise ConfigError(
+                f"executor backend must be one of {EXECUTOR_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.start_method not in ("spawn", "fork", "forkserver"):
+            raise ConfigError(
+                f"executor start_method must be spawn/fork/forkserver, "
+                f"got {self.start_method!r}"
+            )
+
+
+@dataclass
+class TransportConf:
+    """Message-transport knobs (previously ``LocalCluster`` kwargs)."""
+
+    # Injected per-message latency, used by coordination benchmarks to
+    # model a real network.
+    rpc_latency_s: float = 0.0
+
+    def validate(self) -> None:
+        if self.rpc_latency_s < 0:
+            raise ConfigError("rpc_latency_s must be >= 0")
+
+
+@dataclass
+class MonitorConf:
+    """Failure-detection (heartbeat) settings (§3.3)."""
+
+    enable_heartbeats: bool = False
+    heartbeat_interval_s: float = 0.05
+    heartbeat_timeout_s: float = 0.25
+
+    def validate(self) -> None:
+        if self.heartbeat_interval_s <= 0 or self.heartbeat_timeout_s <= 0:
+            raise ConfigError("heartbeat intervals must be positive")
+        if self.heartbeat_timeout_s < self.heartbeat_interval_s:
+            raise ConfigError("heartbeat_timeout_s must be >= heartbeat_interval_s")
+
+
 @dataclass
 class EngineConf:
-    """Configuration for the threaded BSP engine and the simulator."""
+    """Configuration for the local BSP engine and the simulator."""
 
     num_workers: int = 4
     slots_per_worker: int = 4
@@ -126,8 +199,10 @@ class EngineConf:
     # Checkpoint every N micro-batches; group boundaries are the natural
     # choice (§3.3), so this defaults to 0 meaning "at group boundaries".
     checkpoint_interval_batches: int = 0
-    heartbeat_interval_s: float = 0.05
-    heartbeat_timeout_s: float = 0.25
+    # Deprecated aliases for monitor.heartbeat_*; non-None values are
+    # copied into ``monitor`` by validate() with a DeprecationWarning.
+    heartbeat_interval_s: Optional[float] = None
+    heartbeat_timeout_s: Optional[float] = None
     # Map-side partial aggregation (§3.5) for reduce_by_key.
     map_side_combine: bool = True
     # Reuse map outputs from earlier micro-batches during recovery (§3.3).
@@ -135,6 +210,9 @@ class EngineConf:
     tuner: TunerConf = field(default_factory=TunerConf)
     speculation: SpeculationConf = field(default_factory=SpeculationConf)
     tracing: TracingConf = field(default_factory=TracingConf)
+    executor: ExecutorConf = field(default_factory=ExecutorConf)
+    transport: TransportConf = field(default_factory=TransportConf)
+    monitor: MonitorConf = field(default_factory=MonitorConf)
     # Deterministic seed used by hash partitioners and workload generators.
     seed: int = 0
 
@@ -147,13 +225,30 @@ class EngineConf:
             raise ConfigError("group_size must be >= 1")
         if self.checkpoint_interval_batches < 0:
             raise ConfigError("checkpoint_interval_batches must be >= 0")
-        if self.heartbeat_interval_s <= 0 or self.heartbeat_timeout_s <= 0:
-            raise ConfigError("heartbeat intervals must be positive")
-        if self.heartbeat_timeout_s < self.heartbeat_interval_s:
-            raise ConfigError("heartbeat_timeout_s must be >= heartbeat_interval_s")
+        if self.heartbeat_interval_s is not None:
+            warnings.warn(
+                "EngineConf.heartbeat_interval_s is deprecated; use "
+                "EngineConf(monitor=MonitorConf(heartbeat_interval_s=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.monitor.heartbeat_interval_s = self.heartbeat_interval_s
+            self.heartbeat_interval_s = None
+        if self.heartbeat_timeout_s is not None:
+            warnings.warn(
+                "EngineConf.heartbeat_timeout_s is deprecated; use "
+                "EngineConf(monitor=MonitorConf(heartbeat_timeout_s=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.monitor.heartbeat_timeout_s = self.heartbeat_timeout_s
+            self.heartbeat_timeout_s = None
         self.tuner.validate()
         self.speculation.validate()
         self.tracing.validate()
+        self.executor.validate()
+        self.transport.validate()
+        self.monitor.validate()
         if (
             self.scheduling_mode is SchedulingMode.PER_BATCH
             and self.group_size != 1
@@ -172,3 +267,59 @@ class EngineConf:
         if self.checkpoint_interval_batches > 0:
             return self.checkpoint_interval_batches
         return self.group_size
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (nested sub-confs included); the inverse of
+        :meth:`from_dict`, so bench sweeps and CI matrices can declare
+        configurations as data."""
+        return _conf_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EngineConf":
+        """Build an EngineConf from a (possibly nested) plain dict.
+
+        Unknown keys — at any nesting level — raise :class:`ConfigError`
+        listing the valid ones."""
+        return _conf_from_dict(cls, data)
+
+
+def _conf_to_dict(conf: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for f in fields(conf):
+        value = getattr(conf, f.name)
+        if is_dataclass(value) and not isinstance(value, type):
+            out[f.name] = _conf_to_dict(value)
+        elif isinstance(value, Enum):
+            out[f.name] = value.value
+        else:
+            out[f.name] = value
+    return out
+
+
+def _conf_from_dict(cls: type, data: Any) -> Any:
+    if not isinstance(data, dict):
+        raise ConfigError(f"{cls.__name__} expects a dict, got {type(data).__name__}")
+    valid = {f.name: f for f in fields(cls)}
+    unknown = sorted(set(data) - set(valid))
+    if unknown:
+        raise ConfigError(
+            f"unknown {cls.__name__} key(s) {unknown}; "
+            f"valid keys: {sorted(valid)}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for name, value in data.items():
+        f = valid[name]
+        sub_cls = f.default_factory if f.default_factory is not _MISSING else None
+        if sub_cls is not None and is_dataclass(sub_cls) and isinstance(value, dict):
+            kwargs[name] = _conf_from_dict(sub_cls, value)
+        elif name == "scheduling_mode" and not isinstance(value, SchedulingMode):
+            try:
+                kwargs[name] = SchedulingMode(value)
+            except ValueError as err:
+                raise ConfigError(
+                    f"unknown scheduling_mode {value!r}; valid: "
+                    f"{[m.value for m in SchedulingMode]}"
+                ) from err
+        else:
+            kwargs[name] = value
+    return cls(**kwargs)

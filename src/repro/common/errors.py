@@ -51,6 +51,17 @@ class FetchFailed(RecoverableError):
         self.worker_id = worker_id
 
 
+class SerializationError(ReproError):
+    """A task payload (closure, capture, or record) cannot cross a process
+    boundary.
+
+    Raised by the closure serializer in :mod:`repro.dag.serde` with a
+    message that names the offending capture, so users see
+    "captured variable 'lock' ... is not picklable" instead of a raw
+    :class:`pickle.PicklingError` surfacing from a worker pool.
+    """
+
+
 class TaskError(ReproError):
     """A task raised a non-recoverable exception from user code."""
 

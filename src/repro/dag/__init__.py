@@ -13,6 +13,7 @@ from repro.dag.dataset import (
     parallelize,
 )
 from repro.dag.partitioning import HashPartitioner, Partitioner, RangePartitioner
+from repro.dag.serde import dumps_closure, loads_closure
 from repro.dag.plan import (
     Action,
     PhysicalPlan,
@@ -51,4 +52,6 @@ __all__ = [
     "dict_action",
     "foreach_action",
     "reduce_action",
+    "dumps_closure",
+    "loads_closure",
 ]

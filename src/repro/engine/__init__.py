@@ -1,13 +1,23 @@
-"""The real (threaded) BSP execution engine.
+"""The real (multi-backend) BSP execution engine.
 
 Substrate equivalent to the Apache Spark core the paper modified:
 a centralized :class:`~repro.engine.driver.Driver`, worker machines with
 executor slots and a pre-scheduling local scheduler, an in-memory shuffle
-block store, and worker-loss recovery per §3.3 of the paper.
+block store, and worker-loss recovery per §3.3 of the paper.  Each
+worker's slots run on a pluggable :class:`ExecutorBackend` (inline,
+thread, or true multi-core process pools — see ``docs/executors.md``).
 """
 
 from repro.engine.cluster import LocalCluster
 from repro.engine.driver import Driver, JobState
+from repro.engine.executors import (
+    ComputeOutcome,
+    ComputeRequest,
+    ExecutorBackend,
+    InlineExecutor,
+    ProcessExecutor,
+    ThreadExecutor,
+)
 from repro.engine.rpc import Transport
 from repro.engine.task import TaskDescriptor, TaskId, TaskReport
 from repro.engine.worker import Worker
@@ -21,4 +31,10 @@ __all__ = [
     "TaskId",
     "TaskReport",
     "Worker",
+    "ExecutorBackend",
+    "InlineExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "ComputeRequest",
+    "ComputeOutcome",
 ]

@@ -10,6 +10,7 @@ correctness, API examples, and fault-injection tests; use
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Any, List, Optional, Sequence
 
 from repro.common.clock import Clock, WallClock
@@ -39,10 +40,27 @@ class LocalCluster:
         self,
         conf: Optional[EngineConf] = None,
         clock: Optional[Clock] = None,
-        enable_heartbeats: bool = False,
-        rpc_latency_s: float = 0.0,
+        enable_heartbeats: Optional[bool] = None,
+        rpc_latency_s: Optional[float] = None,
     ):
         self.conf = conf or EngineConf()
+        # Deprecated kwargs, folded into the conf for one release.
+        if enable_heartbeats is not None:
+            warnings.warn(
+                "LocalCluster(enable_heartbeats=...) is deprecated; use "
+                "EngineConf(monitor=MonitorConf(enable_heartbeats=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.conf.monitor.enable_heartbeats = bool(enable_heartbeats)
+        if rpc_latency_s is not None:
+            warnings.warn(
+                "LocalCluster(rpc_latency_s=...) is deprecated; use "
+                "EngineConf(transport=TransportConf(rpc_latency_s=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.conf.transport.rpc_latency_s = rpc_latency_s
         self.conf.validate()
         self.clock = clock or WallClock()
         self.metrics = MetricsRegistry(self.clock)
@@ -52,7 +70,10 @@ class LocalCluster:
             else NULL_RECORDER
         )
         self.transport = Transport(
-            self.metrics, latency_s=rpc_latency_s, clock=self.clock, tracer=self.tracer
+            self.metrics,
+            latency_s=self.conf.transport.rpc_latency_s,
+            clock=self.clock,
+            tracer=self.tracer,
         )
         self.driver = Driver(
             self.transport, self.conf, self.metrics, self.clock, tracer=self.tracer
@@ -60,10 +81,9 @@ class LocalCluster:
         self.workers: dict[str, Worker] = {}
         self._worker_seq = 0
         self._lock = threading.Lock()
-        self._enable_heartbeats = enable_heartbeats
         for _ in range(self.conf.num_workers):
             self.add_worker()
-        if enable_heartbeats:
+        if self.conf.monitor.enable_heartbeats:
             self.driver.start_monitor()
         if self.conf.speculation.enabled:
             self.driver.start_speculation()
@@ -83,7 +103,6 @@ class LocalCluster:
                 self.conf,
                 self.metrics,
                 self.clock,
-                enable_heartbeats=self._enable_heartbeats,
                 tracer=self.tracer,
             )
             self.workers[worker_id] = worker

@@ -30,7 +30,13 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.clock import Clock, WallClock
 from repro.common.config import EngineConf, SchedulingMode
-from repro.common.errors import FetchFailed, ReproError, TaskError, WorkerLost
+from repro.common.errors import (
+    FetchFailed,
+    ReproError,
+    SerializationError,
+    TaskError,
+    WorkerLost,
+)
 from repro.common.metrics import (
     COUNT_BATCHES_EXECUTED,
     COUNT_GROUPS_SCHEDULED,
@@ -249,7 +255,7 @@ class Driver:
                 self._last_heartbeat[worker_id] = self.clock.now()
 
     def _monitor_loop(self) -> None:
-        interval = self.conf.heartbeat_interval_s
+        interval = self.conf.monitor.heartbeat_interval_s
         while not self._stop_monitor.wait(interval):
             now = self.clock.now()
             with self._lock:
@@ -257,7 +263,7 @@ class Driver:
                     w
                     for w in self._alive
                     if now - self._last_heartbeat.get(w, now)
-                    > self.conf.heartbeat_timeout_s
+                    > self.conf.monitor.heartbeat_timeout_s
                 ]
             for worker_id in expired:
                 self.on_worker_lost(worker_id)
@@ -827,7 +833,13 @@ class Driver:
                 )
                 self._resubmit_task(job, stage_index, partition)
             return
-        job.error = TaskError(str(report.task_id), err or ReproError("unknown"))
+        if isinstance(err, SerializationError):
+            # A payload that cannot cross the executor boundary is a
+            # configuration/programming error, not a task fault: surface
+            # it unwrapped so callers see the named capture directly.
+            job.error = err
+        else:
+            job.error = TaskError(str(report.task_id), err or ReproError("unknown"))
         job.done.set()
         self._finish_job_spans(job)
 

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.clock import Clock, WallClock
@@ -27,9 +26,15 @@ from repro.common.errors import FetchFailed, WorkerLost
 from repro.common.metrics import TIME_COMPUTE, MetricsRegistry
 from repro.core.prescheduling import DepKey, PendingTaskTable
 from repro.engine.blocks import BlockStore
+from repro.engine.executors import ComputeRequest, create_backend
 from repro.engine.rpc import Transport
 from repro.engine.task import TaskDescriptor, TaskReport
-from repro.obs.names import SPAN_TASK_COMPUTE, SPAN_TASK_FETCH, SPAN_TASK_REPORT
+from repro.obs.names import (
+    SPAN_TASK_COMPUTE,
+    SPAN_TASK_EXEC,
+    SPAN_TASK_FETCH,
+    SPAN_TASK_REPORT,
+)
 from repro.obs.trace import NULL_RECORDER, Recorder
 
 DRIVER_ID = "driver"
@@ -45,7 +50,7 @@ class Worker:
         conf: EngineConf,
         metrics: MetricsRegistry,
         clock: Optional[Clock] = None,
-        enable_heartbeats: bool = False,
+        enable_heartbeats: Optional[bool] = None,
         tracer: Optional[Recorder] = None,
     ):
         self.worker_id = worker_id
@@ -55,12 +60,13 @@ class Worker:
         self.clock = clock or WallClock()
         self.tracer = tracer if tracer is not None else NULL_RECORDER
         self.blocks = BlockStore(worker_id)
-        self.enable_heartbeats = enable_heartbeats
-
-        self._pool = ThreadPoolExecutor(
-            max_workers=conf.slots_per_worker,
-            thread_name_prefix=f"{worker_id}-slot",
+        self.enable_heartbeats = (
+            conf.monitor.enable_heartbeats
+            if enable_heartbeats is None
+            else enable_heartbeats
         )
+
+        self._backend = create_backend(conf, worker_id)
         self._lock = threading.Lock()
         self._pending: Dict[int, PendingTaskTable] = {}  # job_id -> table
         self._parked: Dict[Tuple[int, str], TaskDescriptor] = {}
@@ -96,7 +102,7 @@ class Worker:
 
     def shutdown(self) -> None:
         self._stop_hb.set()
-        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._backend.shutdown(wait=True)
 
     @property
     def is_dead(self) -> bool:
@@ -104,7 +110,7 @@ class Worker:
             return self._dead
 
     def _heartbeat_loop(self) -> None:
-        while not self._stop_hb.wait(self.conf.heartbeat_interval_s):
+        while not self._stop_hb.wait(self.conf.monitor.heartbeat_interval_s):
             if self.is_dead:
                 return
             self.transport.try_call(DRIVER_ID, "heartbeat", self.worker_id, time.monotonic())
@@ -133,7 +139,7 @@ class Worker:
                     self._parked[(job_id, key)] = desc
                     return
                 # All deps were already satisfied by early notifications.
-        self._pool.submit(self._run_task, desc)
+        self._backend.submit(self._run_task, desc)
 
     def pre_populate(
         self, job_id: int, completed: List[Tuple[DepKey, str]]
@@ -152,7 +158,7 @@ class Worker:
                     if desc is not None:
                         to_run.append(desc)
         for desc in to_run:
-            self._pool.submit(self._run_task, desc)
+            self._backend.submit(self._run_task, desc)
 
     def cancel_job(self, job_id: int) -> None:
         with self._lock:
@@ -186,7 +192,7 @@ class Worker:
                 if desc is not None:
                     to_run.append(desc)
         for desc in to_run:
-            self._pool.submit(self._run_task, desc)
+            self._backend.submit(self._run_task, desc)
 
     def fetch_bucket(
         self, job_id: int, shuffle_id: int, map_index: int, reduce_index: int
@@ -263,26 +269,47 @@ class Worker:
             )
 
     def _execute(self, desc: TaskDescriptor) -> TaskReport:
+        """Run one task attempt, split into the backend-facing protocol:
+        transport-side input fetch (parent process), the pure compute core
+        (delegated to the executor backend), then transport-side output
+        publication and reporting."""
         stage = desc.stage
         job_id = desc.task_id.job_id
         partition = desc.task_id.partition
 
-        if stage.source_fn is not None:
-            records = iter(stage.source_fn(partition))
-        else:
+        fetched = None
+        if stage.source_fn is None:
             fetched = self._fetch_inputs(desc)
-            assert stage.input_merge is not None
-            records = stage.input_merge(partition, fetched)
 
-        records = stage.pipeline(partition, records)
+        request = ComputeRequest(
+            job_id=job_id,
+            stage=stage,
+            partition=partition,
+            fetched=fetched,
+            compute_delay_s=self.compute_delay_per_task_s,
+            trace_ctx=self.tracer.current() if self.tracer.enabled else None,
+        )
+        exec_start = self.clock.now()
+        outcome = self._backend.run_compute(request)
+        if self.tracer.enabled and outcome.backend == "process":
+            # The context crossed the process boundary inside the payload
+            # and came back with the outcome (Envelope-style): parent the
+            # exec span to it so child-side work lands in the batch tree.
+            self.tracer.record_span(
+                SPAN_TASK_EXEC,
+                exec_start,
+                self.clock.now(),
+                parent=outcome.trace_ctx,
+                actor=self.worker_id,
+                task=str(desc.task_id),
+                backend=outcome.backend,
+                child_compute_s=outcome.elapsed_s,
+            )
 
-        if self.compute_delay_per_task_s > 0:
-            time.sleep(self.compute_delay_per_task_s)
-
-        if stage.output_shuffle is not None:
-            assert stage.map_output_fn is not None
+        if outcome.kind == "map":
+            assert stage.output_shuffle is not None
             spec = stage.output_shuffle
-            buckets = stage.map_output_fn(partition, records)
+            buckets = outcome.buckets or {}
             if self.is_dead:
                 raise WorkerLost(self.worker_id, "died mid-task")
             self.blocks.put_map_output(job_id, spec.shuffle_id, partition, buckets)
@@ -295,13 +322,11 @@ class Worker:
                 output_sizes=sizes,
             )
 
-        assert stage.action_fn is not None
-        result = stage.action_fn(partition, records)
         return TaskReport(
             task_id=desc.task_id,
             worker_id=self.worker_id,
             succeeded=True,
-            result=result,
+            result=outcome.result,
         )
 
     def _notify_downstream(

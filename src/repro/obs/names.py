@@ -35,6 +35,8 @@ SPAN_TASK_SCHEDULE = "task.schedule"  # placement + descriptor building
 SPAN_TASK_LAUNCH_RPC = "task.launch_rpc"  # driver -> worker launch messages
 SPAN_TASK_FETCH = "task.fetch"  # reduce-side shuffle pull
 SPAN_TASK_COMPUTE = "task.compute"  # one task attempt on a worker
+SPAN_TASK_EXEC = "task.exec"  # the compute core on an executor backend
+# (recorded when the stage crossed a process boundary)
 SPAN_TASK_REPORT = "task.report"  # worker -> driver completion report
 SPAN_CHECKPOINT = "checkpoint"  # synchronous group-boundary checkpoint
 SPAN_RECOVERY = "recovery"  # worker-loss / replay recovery window
@@ -48,6 +50,7 @@ SPAN_NAMES = frozenset(
         SPAN_TASK_LAUNCH_RPC,
         SPAN_TASK_FETCH,
         SPAN_TASK_COMPUTE,
+        SPAN_TASK_EXEC,
         SPAN_TASK_REPORT,
         SPAN_CHECKPOINT,
         SPAN_RECOVERY,

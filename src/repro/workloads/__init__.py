@@ -10,6 +10,7 @@ from repro.workloads.queries import (
     WorkloadAnalyzer,
 )
 from repro.workloads.synthetic import (
+    cpu_burn,
     expected_sum,
     sum_random_dataset,
     sum_random_with_shuffle,
@@ -36,6 +37,7 @@ __all__ = [
     "AnalysisResult",
     "QueryCorpusGenerator",
     "WorkloadAnalyzer",
+    "cpu_burn",
     "expected_sum",
     "sum_random_dataset",
     "sum_random_with_shuffle",

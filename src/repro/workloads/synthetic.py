@@ -58,3 +58,13 @@ def expected_sum(num_tasks: int, elements_per_task: int = 1000, seed: int = 0) -
         rng = random.Random(seed * 1_000_003 + index)
         total += sum(rng.random() for _ in range(elements_per_task))
     return total
+
+
+def cpu_burn(value: float, iterations: int = 400) -> float:
+    """A deliberately CPU-bound per-record transform for executor-backend
+    benchmarks: pure-Python arithmetic that holds the GIL, so thread-pool
+    executors serialize while process pools scale with cores."""
+    acc = float(value)
+    for i in range(iterations):
+        acc = (acc * 31.0 + i) % 1000003.0
+    return acc

@@ -6,10 +6,36 @@ breaks when tests/ and benchmarks/ are collected in one pytest run."""
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
+import time
+
 import pytest
 
 from repro.common.config import EngineConf, SchedulingMode
 from repro.engine.cluster import LocalCluster
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_executors():
+    """Fail any test that leaves stray non-daemon threads or live child
+    processes behind (leaked executor backends, forgotten shutdowns)."""
+    before = {t for t in threading.enumerate() if not t.daemon}
+    yield
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        threads = [
+            t
+            for t in threading.enumerate()
+            if not t.daemon and t.is_alive() and t not in before
+        ]
+        children = multiprocessing.active_children()
+        if not threads and not children:
+            return
+        time.sleep(0.05)
+    leaks = [f"thread {t.name!r}" for t in threads]
+    leaks += [f"process pid={p.pid}" for p in children]
+    pytest.fail(f"test leaked executor resources: {', '.join(leaks)}")
 
 
 @pytest.fixture

@@ -2,17 +2,28 @@
 
 from __future__ import annotations
 
-from repro.common.config import EngineConf, SchedulingMode
+from typing import Optional
+
+from repro.common.config import EXECUTOR_BACKENDS, EngineConf, ExecutorConf, SchedulingMode
 from repro.engine.cluster import LocalCluster
 
 ALL_MODES = list(SchedulingMode)
+ALL_BACKENDS = list(EXECUTOR_BACKENDS)
 
 
-def make_cluster(mode: SchedulingMode, workers: int = 3, slots: int = 2, **kwargs):
+def make_cluster(
+    mode: SchedulingMode,
+    workers: int = 3,
+    slots: int = 2,
+    backend: Optional[str] = None,
+    **kwargs,
+):
     conf = EngineConf(
         num_workers=workers,
         slots_per_worker=slots,
         scheduling_mode=mode,
         **kwargs,
     )
+    if backend is not None:
+        conf.executor = ExecutorConf(backend=backend)
     return LocalCluster(conf)

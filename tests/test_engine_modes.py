@@ -12,7 +12,7 @@ from repro.dag.dataset import from_partitions, parallelize
 from repro.dag.plan import collect_action, compile_plan, count_action, dict_action
 from repro.workloads.synthetic import expected_sum, sum_random_dataset, sum_random_with_shuffle
 
-from engine_test_utils import ALL_MODES, make_cluster
+from engine_test_utils import ALL_BACKENDS, ALL_MODES, make_cluster
 
 
 @pytest.mark.parametrize("mode", ALL_MODES)
@@ -181,6 +181,52 @@ class TestClusterBasics:
         from repro.common.errors import TaskError
 
         with make_cluster(SchedulingMode.PER_BATCH) as cluster:
+            ds = parallelize(range(4), 2).map(lambda x: 1 // 0)
+            with pytest.raises(TaskError):
+                cluster.collect(ds)
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+class TestExecutorBackendEquivalence:
+    """A representative slice of the mode-equivalence suite, run on every
+    executor backend: the backend is a data-plane choice and must never
+    change results, counters aside."""
+
+    def test_narrow_pipeline_all_modes(self, backend):
+        for mode in ALL_MODES:
+            with make_cluster(mode, workers=2, slots=2, backend=backend) as cluster:
+                ds = parallelize(range(30), 4).map(lambda x: x * 3).filter(
+                    lambda x: x % 2 == 0
+                )
+                assert sorted(cluster.collect(ds)) == sorted(
+                    x * 3 for x in range(30) if (x * 3) % 2 == 0
+                )
+
+    def test_shuffle_chain_all_modes(self, backend):
+        for mode in ALL_MODES:
+            with make_cluster(mode, workers=2, slots=2, backend=backend) as cluster:
+                ds = (
+                    parallelize(range(40), 4)
+                    .map(lambda x: (x % 8, x))
+                    .reduce_by_key(lambda a, b: a + b, 4)
+                    .map(lambda kv: (kv[0] % 2, kv[1]))
+                    .reduce_by_key(lambda a, b: a + b, 2)
+                )
+                out = dict(cluster.collect(ds))
+                assert out[0] + out[1] == sum(range(40))
+
+    def test_join_all_modes(self, backend):
+        for mode in ALL_MODES:
+            with make_cluster(mode, workers=2, slots=2, backend=backend) as cluster:
+                left = from_partitions([[("a", 1), ("b", 2)], [("c", 3)]])
+                right = from_partitions([[("a", 9)], [("b", 8), ("x", 7)]])
+                out = sorted(cluster.collect(left.join(right, 2)))
+                assert out == [("a", (1, 9)), ("b", (2, 8))]
+
+    def test_user_error_propagates(self, backend):
+        from repro.common.errors import TaskError
+
+        with make_cluster(SchedulingMode.DRIZZLE, backend=backend) as cluster:
             ds = parallelize(range(4), 2).map(lambda x: 1 // 0)
             with pytest.raises(TaskError):
                 cluster.collect(ds)

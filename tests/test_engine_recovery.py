@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from repro.common.config import EngineConf, SchedulingMode
+from repro.common.config import EngineConf, MonitorConf, SchedulingMode
 from repro.common.errors import WorkerLost
 from repro.common.metrics import COUNT_RECOVERIES
 from repro.dag.dataset import SourceDataset, parallelize
@@ -211,10 +211,13 @@ class TestHeartbeatDetection:
             num_workers=3,
             slots_per_worker=1,
             scheduling_mode=SchedulingMode.DRIZZLE,
-            heartbeat_interval_s=0.03,
-            heartbeat_timeout_s=0.12,
+            monitor=MonitorConf(
+                enable_heartbeats=True,
+                heartbeat_interval_s=0.03,
+                heartbeat_timeout_s=0.12,
+            ),
         )
-        with LocalCluster(conf, enable_heartbeats=True) as cluster:
+        with LocalCluster(conf) as cluster:
             ds = slow_source(6, delay_s=0.2).map(lambda x: (x % 2, x)).reduce_by_key(
                 lambda a, b: a + b, 2
             )
@@ -235,3 +238,25 @@ class TestHeartbeatDetection:
             cluster.driver.on_worker_lost("worker-0")
             assert cluster.metrics.counter(COUNT_RECOVERIES).value == 1
             assert len(cluster.alive_workers()) == 2
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+class TestBackendRecovery:
+    """Kill-mid-job recovery on the concurrent backends (the inline
+    backend runs tasks synchronously, so a mid-job kill has nothing to
+    race against)."""
+
+    def test_kill_worker_mid_map(self, backend):
+        with make_cluster(
+            SchedulingMode.DRIZZLE, workers=4, slots=1, backend=backend
+        ) as cluster:
+            ds = slow_source(8).map(lambda x: (x % 4, x)).reduce_by_key(
+                lambda a, b: a + b, 4
+            )
+            plan = compile_plan(ds, dict_action())
+            killer = threading.Timer(0.05, lambda: cluster.kill_worker("worker-1"))
+            killer.start()
+            result = cluster.run_plan(plan)
+            killer.join()
+            assert result == keyed_sum_expected(80, 4)
+            assert cluster.metrics.counter(COUNT_RECOVERIES).value >= 1

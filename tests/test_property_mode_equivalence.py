@@ -10,9 +10,10 @@ under Drizzle; the outputs must match exactly.
 
 from typing import List
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.common.config import EngineConf, SchedulingMode
+from repro.common.config import EngineConf, ExecutorConf, SchedulingMode
 from repro.dag.dataset import Dataset, parallelize
 from repro.dag.plan import collect_action, compile_plan
 from repro.engine.cluster import LocalCluster
@@ -62,6 +63,14 @@ def canonical(result) -> List:
     return sorted(result, key=repr)
 
 
+# Every executor backend must preserve the equivalence: the backend is a
+# data-plane choice, the SchedulingMode a control-plane one, and neither
+# may change results.  The process backend gets fewer examples — each one
+# pays for real child-process pools.
+BACKENDS = ["inline", "thread", "process"]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 @settings(deadline=None, max_examples=25)
 @given(
     data=st.lists(st.integers(-100, 100), min_size=0, max_size=40),
@@ -69,7 +78,7 @@ def canonical(result) -> List:
     op_indices=st.lists(st.integers(0, len(OPS) - 1), min_size=0, max_size=5),
     group_size=st.integers(1, 4),
 )
-def test_random_dag_mode_equivalence(data, num_partitions, op_indices, group_size):
+def test_random_dag_mode_equivalence(backend, data, num_partitions, op_indices, group_size):
     dag_data = data if data else [0]
     plan_factory = lambda: compile_plan(
         build_dag(dag_data, num_partitions, op_indices), collect_action()
@@ -77,13 +86,15 @@ def test_random_dag_mode_equivalence(data, num_partitions, op_indices, group_siz
 
     with LocalCluster(
         EngineConf(num_workers=2, slots_per_worker=2,
-                   scheduling_mode=SchedulingMode.PER_BATCH)
+                   scheduling_mode=SchedulingMode.PER_BATCH,
+                   executor=ExecutorConf(backend=backend))
     ) as cluster:
         barrier_result = canonical(cluster.run_plan(plan_factory()))
 
     with LocalCluster(
         EngineConf(num_workers=3, slots_per_worker=1,
-                   scheduling_mode=SchedulingMode.DRIZZLE, group_size=group_size)
+                   scheduling_mode=SchedulingMode.DRIZZLE, group_size=group_size,
+                   executor=ExecutorConf(backend=backend))
     ) as cluster:
         drizzle_result = canonical(cluster.run_plan(plan_factory()))
 

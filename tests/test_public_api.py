@@ -41,6 +41,15 @@ def test_all_exports_resolve(name):
         "repro.engine.LocalCluster",
         "repro.engine.Driver",
         "repro.engine.Worker",
+        "repro.engine.ExecutorBackend",
+        "repro.engine.InlineExecutor",
+        "repro.engine.ThreadExecutor",
+        "repro.engine.ProcessExecutor",
+        "repro.common.ExecutorConf",
+        "repro.common.TransportConf",
+        "repro.common.MonitorConf",
+        "repro.common.SerializationError",
+        "repro.dag.dumps_closure",
         "repro.streaming.StreamingContext",
         "repro.streaming.IdempotentSink",
         "repro.streaming.RecordLog",
