@@ -30,12 +30,18 @@ from repro.bench.figures import (
     group_tuning_trace,
     table2_query_analysis,
     throughput_vs_latency,
+    transport_coordination,
     yahoo_latency_cdf,
 )
 from repro.bench.reporting import render_cdf, render_table, write_bench_json
 from repro.common.metrics import MetricsRegistry
 from repro.sim.elasticity import group_size_adaptation_sweep
 from repro.workloads.queries import TABLE2_DISTRIBUTION
+
+
+# Experiments that want structured rows in their BENCH_<name>.json (not
+# just the rendered table) deposit them here keyed by experiment id.
+_STRUCTURED_ROWS: dict = {}
 
 
 def _fig4a() -> str:
@@ -198,6 +204,20 @@ def _executors() -> str:
     )
 
 
+def _transport() -> str:
+    rows = transport_coordination()
+    _STRUCTURED_ROWS["transport"] = rows
+    return render_table(
+        ["transport", "group_size", "ms_per_batch", "rpc_messages",
+         "bytes_sent", "bytes_received", "rpc_p50_ms", "rpc_p95_ms"],
+        [[r["transport"], r["group_size"], r["ms_per_batch"], r["rpc_messages"],
+          r["bytes_sent"], r["bytes_received"], r["rpc_p50_ms"], r["rpc_p95_ms"]]
+         for r in rows],
+        title="Transport backends — real sockets vs in-process calls on the "
+              "engine (group scheduling amortizes the wire cost, §3.1)",
+    )
+
+
 def _adaptability() -> str:
     rows = group_size_adaptation_sweep()
     return render_table(
@@ -226,6 +246,7 @@ EXPERIMENTS: List[Tuple[str, Callable[[], str]]] = [
     ("ablation-treereduce", _treereduce),
     ("ablation-adaptability", _adaptability),
     ("executors", _executors),
+    ("transport", _transport),
 ]
 
 
@@ -234,15 +255,20 @@ def main(argv: List[str] | None = None) -> int:
         prog="python -m repro.bench",
         description="Regenerate every reproduced table/figure of the paper.",
     )
+    parser.add_argument("experiments", nargs="*", default=[],
+                        help="experiment ids to run (default: all)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="experiment ids to run (default: all)")
     parser.add_argument("--markdown", metavar="PATH", default=None,
                         help="also write the report as markdown to PATH")
-    parser.add_argument("--json", metavar="DIR", default=None, dest="json_dir",
+    parser.add_argument("--json", metavar="DIR", nargs="?", const=".",
+                        default=None, dest="json_dir",
                         help="also write BENCH_<name>.json (report + metric "
-                             "snapshot) per experiment into DIR")
+                             "snapshot) per experiment into DIR (default: .)")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
+    # Positional ids and --only are the same filter, merged.
+    args.only = (args.only or []) + args.experiments or None
 
     known = {name for name, _fn in EXPERIMENTS}
     if args.list:
@@ -267,8 +293,11 @@ def main(argv: List[str] | None = None) -> int:
             section = fn()
         sections.append(section)
         if args.json_dir:
+            payload = {"report": section}
+            if name in _STRUCTURED_ROWS:
+                payload["rows"] = _STRUCTURED_ROWS[name]
             path = write_bench_json(
-                name, {"report": section}, metrics=registry, out_dir=args.json_dir
+                name, payload, metrics=registry, out_dir=args.json_dir
             )
             print(f"[{name}] wrote {path}", file=sys.stderr)
     report = "\n\n".join(sections)

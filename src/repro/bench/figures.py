@@ -511,3 +511,101 @@ def executor_backend_comparison(
     for row in rows:
         row["speedup_vs_thread"] = row["records_per_s"] / base["records_per_s"]
     return rows
+
+
+# ----------------------------------------------------------------------
+# Transport backends: real sockets vs in-process calls (repro.net)
+# ----------------------------------------------------------------------
+def transport_coordination(
+    transports: Sequence[str] = ("inproc", "tcp"),
+    group_sizes: Sequence[int] = (1, 5, 20),
+    batches: int = 20,
+    workers: int = 2,
+    slots: int = 2,
+) -> List[Dict]:
+    """Fig 5-style sweep on the *actual* engine: coordination cost of the
+    tcp transport vs the in-process one, with the group size on the
+    x-axis.
+
+    Every driver<->worker message on the tcp backend is framed,
+    serialized, and pushed through a real loopback socket, so each batch
+    pays a wire round trip per control message — the cost §3.1's group
+    scheduling exists to amortize.  The in-process rows isolate the
+    engine-side overhead (same message *count*, zero wire cost); the gap
+    between the two, and how it shrinks as group size grows, is the
+    paper's argument made measurable.  Bytes on the wire and per-call
+    round-trip percentiles come from the ``net.*`` counters and the
+    ``net.call_latency.*`` histograms.
+    """
+    import time
+
+    from repro.common.config import EngineConf, SchedulingMode, TransportConf
+    from repro.common.metrics import (
+        COUNT_LAUNCH_RPCS,
+        COUNT_NET_BYTES_RECEIVED,
+        COUNT_NET_BYTES_SENT,
+        COUNT_NET_CONNECTIONS,
+        COUNT_RPC_MESSAGES,
+        HIST_NET_CALL_LATENCY,
+    )
+    from repro.common.stats import percentile
+    from repro.dag.dataset import parallelize
+    from repro.dag.plan import compile_plan, dict_action
+    from repro.engine.cluster import LocalCluster
+
+    partitions = workers * slots
+
+    def build(b: int):
+        ds = (
+            parallelize(range(40), partitions)
+            .map(lambda x, b=b: (x % 4, x + b))
+            .reduce_by_key(lambda a, b: a + b, 2)
+        )
+        return compile_plan(ds, dict_action())
+
+    rows: List[Dict] = []
+    for transport in transports:
+        for group_size in group_sizes:
+            conf = EngineConf(
+                num_workers=workers,
+                slots_per_worker=slots,
+                scheduling_mode=SchedulingMode.DRIZZLE,
+                group_size=group_size,
+                transport=TransportConf(backend=transport),
+            )
+            with LocalCluster(conf) as cluster:
+                # Warm-up batch: dials the connection pools and ships the
+                # first closures, so the timed run measures steady state.
+                cluster.run_plan(build(10_000))
+                cluster.metrics.reset()
+                start = time.perf_counter()
+                done = 0
+                while done < batches:
+                    chunk = min(group_size, batches - done)
+                    cluster.run_group(
+                        [build(b) for b in range(done, done + chunk)]
+                    )
+                    done += chunk
+                wall_s = time.perf_counter() - start
+                counters = cluster.metrics.counters_snapshot()
+                latencies: List[float] = []
+                for name in cluster.metrics.snapshot()["histograms"]:
+                    if name.startswith(HIST_NET_CALL_LATENCY + "."):
+                        latencies.extend(cluster.metrics.histogram(name).snapshot())
+            rows.append(
+                {
+                    "transport": transport,
+                    "group_size": group_size,
+                    "batches": batches,
+                    "wall_s": wall_s,
+                    "ms_per_batch": wall_s / batches * 1e3,
+                    "rpc_messages": counters.get(COUNT_RPC_MESSAGES, 0.0),
+                    "launch_rpcs": counters.get(COUNT_LAUNCH_RPCS, 0.0),
+                    "bytes_sent": counters.get(COUNT_NET_BYTES_SENT, 0.0),
+                    "bytes_received": counters.get(COUNT_NET_BYTES_RECEIVED, 0.0),
+                    "connections": counters.get(COUNT_NET_CONNECTIONS, 0.0),
+                    "rpc_p50_ms": percentile(latencies, 50) * 1e3 if latencies else 0.0,
+                    "rpc_p95_ms": percentile(latencies, 95) * 1e3 if latencies else 0.0,
+                }
+            )
+    return rows

@@ -160,17 +160,56 @@ class ExecutorConf:
             )
 
 
+TRANSPORT_BACKENDS = ("inproc", "tcp")
+
+
+def _default_transport_backend() -> str:
+    # CI matrices force a transport for a whole pytest run via the
+    # environment, mirroring REPRO_EXECUTOR_BACKEND.
+    return os.environ.get("REPRO_TRANSPORT", "inproc")
+
+
 @dataclass
 class TransportConf:
-    """Message-transport knobs (previously ``LocalCluster`` kwargs)."""
+    """Message-transport selection and knobs (see ``docs/networking.md``).
 
+    * ``inproc`` — the historical in-process registry/router: a call is a
+      Python method call plus counters and optional injected latency.
+    * ``tcp`` — :mod:`repro.net`: every driver↔worker and worker↔worker
+      message is framed, serialized, and sent over a real loopback
+      socket; the driver and workers only share a socket address.
+    """
+
+    backend: str = field(default_factory=_default_transport_backend)
     # Injected per-message latency, used by coordination benchmarks to
-    # model a real network.
+    # model a real network (applied on the send path of both backends).
     rpc_latency_s: float = 0.0
+    # TCP dial timeout per attempt, and bounded-backoff retry budget for
+    # refused/unreachable connects (a server that has not finished
+    # binding yet is transient; one that stays refused is WorkerLost).
+    connect_timeout_s: float = 1.0
+    max_retries: int = 2
+    retry_backoff_s: float = 0.02
+    # End-to-end budget for one request/response round trip; a peer that
+    # accepts but never answers surfaces as WorkerLost, not a hang.
+    call_timeout_s: float = 30.0
 
     def validate(self) -> None:
+        if self.backend not in TRANSPORT_BACKENDS:
+            raise ConfigError(
+                f"transport backend must be one of {TRANSPORT_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
         if self.rpc_latency_s < 0:
             raise ConfigError("rpc_latency_s must be >= 0")
+        if self.connect_timeout_s <= 0:
+            raise ConfigError("connect_timeout_s must be positive")
+        if self.call_timeout_s <= 0:
+            raise ConfigError("call_timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ConfigError("retry_backoff_s must be >= 0")
 
 
 @dataclass

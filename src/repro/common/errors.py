@@ -32,6 +32,12 @@ class WorkerLost(RecoverableError):
         self.worker_id = worker_id
         self.reason = reason
 
+    def __reduce__(self):
+        # ``args`` holds the formatted message, not the constructor
+        # arguments, so default pickling would rebuild with the wrong
+        # signature; reports carrying these cross sockets (repro.net).
+        return (WorkerLost, (self.worker_id, self.reason))
+
 
 class FetchFailed(RecoverableError):
     """A reduce task failed to fetch a shuffle block from an upstream worker.
@@ -49,6 +55,9 @@ class FetchFailed(RecoverableError):
         self.shuffle_id = shuffle_id
         self.map_index = map_index
         self.worker_id = worker_id
+
+    def __reduce__(self):
+        return (FetchFailed, (self.shuffle_id, self.map_index, self.worker_id))
 
 
 class SerializationError(ReproError):
@@ -69,6 +78,9 @@ class TaskError(ReproError):
         super().__init__(f"task {task_id} failed: {cause!r}")
         self.task_id = task_id
         self.cause = cause
+
+    def __reduce__(self):
+        return (TaskError, (self.task_id, self.cause))
 
 
 class CheckpointError(ReproError):

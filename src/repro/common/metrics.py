@@ -231,3 +231,15 @@ COUNT_BATCHES_EXECUTED = "count.batches_executed"
 COUNT_CHECKPOINTS = "count.checkpoints"
 COUNT_RECOVERIES = "count.recoveries"
 COUNT_SPECULATIVE = "count.speculative_tasks"
+# Wire-level counters maintained by the tcp transport (repro.net): framed
+# bytes actually written to / read from sockets, connections dialled, and
+# connect retries spent against the bounded backoff budget.  The inproc
+# transport never moves bytes, so these stay zero there — the difference
+# IS the coordination cost the paper amortizes.
+COUNT_NET_BYTES_SENT = "net.bytes_sent"
+COUNT_NET_BYTES_RECEIVED = "net.bytes_received"
+COUNT_NET_CONNECTIONS = "net.connections"
+COUNT_NET_CONNECT_RETRIES = "net.connect_retries"
+# Per-method round-trip latency histograms are registered as
+# "{HIST_NET_CALL_LATENCY}.{method}" (e.g. "net.call_latency.launch_tasks").
+HIST_NET_CALL_LATENCY = "net.call_latency"

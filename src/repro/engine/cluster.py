@@ -19,7 +19,7 @@ from repro.common.metrics import MetricsRegistry
 from repro.dag.dataset import Dataset
 from repro.dag.plan import Action, PhysicalPlan, collect_action, compile_plan
 from repro.engine.driver import Driver
-from repro.engine.rpc import Transport
+from repro.engine.rpc import BaseTransport, Transport
 from repro.engine.worker import Worker
 from repro.obs.export import write_jsonl, write_perfetto
 from repro.obs.trace import NULL_RECORDER, Recorder, TraceRecorder
@@ -69,12 +69,12 @@ class LocalCluster:
             if self.conf.tracing.enabled
             else NULL_RECORDER
         )
-        self.transport = Transport(
-            self.metrics,
-            latency_s=self.conf.transport.rpc_latency_s,
-            clock=self.clock,
-            tracer=self.tracer,
-        )
+        # In tcp mode the driver's transport is the discovery hub; each
+        # worker gets its own transport that knows nothing but the hub's
+        # socket address (see docs/networking.md).  In inproc mode one
+        # shared Transport routes everything.
+        self.transport = self._make_transport(name="driver")
+        self._transports: List[BaseTransport] = [self.transport]
         self.driver = Driver(
             self.transport, self.conf, self.metrics, self.clock, tracer=self.tracer
         )
@@ -88,6 +88,32 @@ class LocalCluster:
         if self.conf.speculation.enabled:
             self.driver.start_speculation()
 
+    def _make_transport(self, name: str) -> BaseTransport:
+        if self.conf.transport.backend == "tcp":
+            # Imported here, not at module top: repro.net.transport needs
+            # repro.engine.rpc, so a top-level import would be circular
+            # for anyone importing repro.net first.
+            from repro.net.transport import TcpTransport
+
+            hub_addr = None if name == "driver" else self.transport.address
+            return TcpTransport(
+                self.metrics,
+                latency_s=self.conf.transport.rpc_latency_s,
+                clock=self.clock,
+                tracer=self.tracer,
+                conf=self.conf.transport,
+                hub_addr=hub_addr,
+                name=name,
+            )
+        if name == "driver":
+            return Transport(
+                self.metrics,
+                latency_s=self.conf.transport.rpc_latency_s,
+                clock=self.clock,
+                tracer=self.tracer,
+            )
+        return self.transport  # inproc: everyone shares the driver's router
+
     # ------------------------------------------------------------------
     # Membership / failure injection
     # ------------------------------------------------------------------
@@ -97,9 +123,12 @@ class LocalCluster:
         with self._lock:
             worker_id = f"worker-{self._worker_seq}"
             self._worker_seq += 1
+            transport = self._make_transport(name=worker_id)
+            if transport is not self.transport:
+                self._transports.append(transport)
             worker = Worker(
                 worker_id,
-                self.transport,
+                transport,
                 self.conf,
                 self.metrics,
                 self.clock,
@@ -209,6 +238,9 @@ class LocalCluster:
         self.driver.stop_monitor()
         for worker in self.workers.values():
             worker.shutdown()
+        # Close transports last: worker shutdown may still flush reports.
+        for transport in reversed(self._transports):
+            transport.close()
 
     def __enter__(self) -> "LocalCluster":
         return self

@@ -52,6 +52,7 @@ from repro.core.groups import CoordinationLedger, PlacementPolicy, StageTemplate
 from repro.core.prescheduling import DepKey
 from repro.core.tuner import GroupSizeTuner
 from repro.dag.plan import PhysicalPlan, StageSpec
+from repro.engine.rpc import BaseTransport
 from repro.engine.task import TaskDescriptor, TaskId, TaskReport
 from repro.obs.names import (
     EVENT_TASK_RESUBMIT,
@@ -116,7 +117,7 @@ class Driver:
 
     def __init__(
         self,
-        transport,
+        transport: "BaseTransport",
         conf: EngineConf,
         metrics: Optional[MetricsRegistry] = None,
         clock: Optional[Clock] = None,

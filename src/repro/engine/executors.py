@@ -140,15 +140,39 @@ class ExecutorBackend:
 
 class InlineExecutor(ExecutorBackend):
     """Deterministic backend: tasks run synchronously in the submitting
-    thread, so a single-threaded test observes one fixed interleaving."""
+    thread, so a single-threaded test observes one fixed interleaving.
+
+    With ``deferred=True`` (selected automatically under the tcp
+    transport) submissions run on ONE dedicated slot thread instead of
+    the caller's: execution stays strictly serialized, but an RPC handler
+    thread that delivered ``launch_tasks`` over a socket returns
+    immediately.  Running the task in that handler would deadlock the
+    cluster — the task's completion report calls back into a driver that
+    is still holding its scheduling lock waiting for the launch call to
+    return (in-process, the driver's re-entrant lock hides this because
+    caller and handler share a thread)."""
 
     name = "inline"
 
+    def __init__(self, worker_id: str = "inline", deferred: bool = False):
+        self._pool = _SlotPool(worker_id, 1) if deferred else None
+
     def submit(self, fn: Callable[..., None], *args: Any) -> None:
-        fn(*args)
+        if self._pool is not None:
+            self._pool.submit(fn, *args)
+        else:
+            fn(*args)
 
     def run_compute(self, request: ComputeRequest) -> ComputeOutcome:
         return _local_outcome(request, self.name)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+    @property
+    def slot_thread_names(self) -> List[str]:
+        return [] if self._pool is None else self._pool.thread_names
 
 
 def _local_outcome(request: ComputeRequest, backend: str) -> ComputeOutcome:
@@ -394,7 +418,10 @@ def create_backend(conf: EngineConf, worker_id: str) -> ExecutorBackend:
     slot count."""
     backend = conf.executor.backend
     if backend == "inline":
-        return InlineExecutor()
+        # Over sockets, synchronous submit would run tasks inside RPC
+        # handler threads and deadlock against the driver's lock; keep
+        # serialized semantics on one slot thread instead.
+        return InlineExecutor(worker_id, deferred=conf.transport.backend == "tcp")
     if backend == "thread":
         return ThreadExecutor(worker_id, conf.slots_per_worker)
     if backend == "process":

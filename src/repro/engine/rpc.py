@@ -1,17 +1,24 @@
-"""In-process message transport between the driver and workers.
+"""Message transport between the driver and workers.
 
 All cross-node communication in the engine flows through
-:meth:`Transport.call` so that (a) every message is counted — the RPC
+:meth:`BaseTransport.call` so that (a) every message is counted — the RPC
 amortization claims of §3.1 are observable as message counts, (b) optional
 per-message latency can be injected, and (c) a dead endpoint behaves like
 a crashed machine: calls to it raise :class:`WorkerLost`.
 
+Two implementations exist behind the same API (selected by
+``TransportConf.backend``):
+
+* :class:`Transport` (here) — the in-process registry + router: a call is
+  a Python method call plus accounting.
+* :class:`repro.net.transport.TcpTransport` — the same contract over real
+  loopback sockets, with the :class:`Envelope` as the literal wire format.
+
 When tracing is enabled, every message is wrapped in an
 :class:`Envelope` carrying the sender's current span context, which is
 re-activated on the receiving side — that is how a trace started on the
-driver continues through worker-side handlers (and would survive a move
-to a genuinely remote transport, where the envelope is what goes on the
-wire).
+driver continues through worker-side handlers, and how it survives the
+move to the tcp transport, where the envelope is what goes on the wire.
 """
 
 from __future__ import annotations
@@ -36,8 +43,10 @@ class Envelope:
     trace_ctx: Optional[SpanContext]
 
 
-class Transport:
-    """Registry + router for in-process endpoints."""
+class BaseTransport:
+    """Contract shared by the in-process and tcp transports: endpoint
+    registry, failure surface (:class:`WorkerLost`), message accounting,
+    and optional injected latency."""
 
     def __init__(
         self,
@@ -50,6 +59,43 @@ class Transport:
         self.latency_s = latency_s
         self._clock = clock or WallClock()
         self.tracer = tracer if tracer is not None else NULL_RECORDER
+
+    def register(self, endpoint_id: str, obj: Any) -> None:
+        raise NotImplementedError
+
+    def mark_dead(self, endpoint_id: str) -> None:
+        raise NotImplementedError
+
+    def is_alive(self, endpoint_id: str) -> bool:
+        raise NotImplementedError
+
+    def call(self, dst_id: str, method: str, *args: Any, **kwargs: Any) -> Any:
+        raise NotImplementedError
+
+    def try_call(self, dst_id: str, method: str, *args: Any, **kwargs: Any) -> bool:
+        """Best-effort delivery (used for notifications): swallow
+        :class:`WorkerLost`, return whether the message was delivered."""
+        try:
+            self.call(dst_id, method, *args, **kwargs)
+            return True
+        except WorkerLost:
+            return False
+
+    def close(self) -> None:
+        """Release transport resources (sockets, pools); no-op in-process."""
+
+
+class Transport(BaseTransport):
+    """Registry + router for in-process endpoints."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        latency_s: float = 0.0,
+        clock: Clock | None = None,
+        tracer: Recorder | None = None,
+    ):
+        super().__init__(metrics, latency_s, clock, tracer)
         self._endpoints: Dict[str, Any] = {}
         self._dead: set = set()
         self._lock = threading.Lock()
@@ -96,12 +142,3 @@ class Transport:
         the receiving side (trace propagation through RPC)."""
         with self.tracer.activate(envelope.trace_ctx):
             return getattr(target, envelope.method)(*args, **kwargs)
-
-    def try_call(self, dst_id: str, method: str, *args: Any, **kwargs: Any) -> bool:
-        """Best-effort delivery (used for notifications): swallow
-        :class:`WorkerLost`, return whether the message was delivered."""
-        try:
-            self.call(dst_id, method, *args, **kwargs)
-            return True
-        except WorkerLost:
-            return False

@@ -22,12 +22,12 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.clock import Clock, WallClock
 from repro.common.config import EngineConf
-from repro.common.errors import FetchFailed, WorkerLost
+from repro.common.errors import FetchFailed, SerializationError, WorkerLost
 from repro.common.metrics import TIME_COMPUTE, MetricsRegistry
 from repro.core.prescheduling import DepKey, PendingTaskTable
 from repro.engine.blocks import BlockStore
 from repro.engine.executors import ComputeRequest, create_backend
-from repro.engine.rpc import Transport
+from repro.engine.rpc import BaseTransport
 from repro.engine.task import TaskDescriptor, TaskReport
 from repro.obs.names import (
     SPAN_TASK_COMPUTE,
@@ -46,7 +46,7 @@ class Worker:
     def __init__(
         self,
         worker_id: str,
-        transport: Transport,
+        transport: BaseTransport,
         conf: EngineConf,
         metrics: MetricsRegistry,
         clock: Optional[Clock] = None,
@@ -257,7 +257,7 @@ class Worker:
         if self.is_dead:
             return  # crashed mid-task: effects are discarded
         report_start = self.clock.now()
-        self.transport.try_call(DRIVER_ID, "task_finished", report)
+        self._send_report(report)
         if self.tracer.enabled:
             self.tracer.record_span(
                 SPAN_TASK_REPORT,
@@ -267,6 +267,26 @@ class Worker:
                 actor=self.worker_id,
                 task=str(desc.task_id),
             )
+
+    def _send_report(self, report: TaskReport) -> None:
+        """Deliver a completion report to the driver.
+
+        Over the tcp transport the report is pickled onto the wire; a
+        result or error user code produced may not survive that.  Rather
+        than hanging the job (the driver would wait forever), resend a
+        stripped report whose error names the offending payload."""
+        try:
+            self.transport.try_call(DRIVER_ID, "task_finished", report)
+        except SerializationError as err:
+            fallback = TaskReport(
+                task_id=report.task_id,
+                worker_id=self.worker_id,
+                succeeded=False,
+                error=err,
+                compute_time_s=report.compute_time_s,
+                trace_ctx=report.trace_ctx,
+            )
+            self.transport.try_call(DRIVER_ID, "task_finished", fallback)
 
     def _execute(self, desc: TaskDescriptor) -> TaskReport:
         """Run one task attempt, split into the backend-facing protocol:

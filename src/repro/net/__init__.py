@@ -1,0 +1,33 @@
+"""repro.net: a real TCP message transport for the engine.
+
+The in-process :class:`repro.engine.rpc.Transport` makes coordination
+cost a *simulation* (an injected sleep); this package makes it *real*:
+length-prefixed framed messages over loopback sockets, a per-peer
+connection pool with connect/call timeouts and bounded-backoff dial
+retries, a per-transport socket server, and a hub-based discovery
+protocol so a cluster shares nothing but one socket address.  Selected
+via ``TransportConf(backend="tcp")`` or ``REPRO_TRANSPORT=tcp``; see
+``docs/networking.md``.
+"""
+
+from repro.net.framing import (
+    ConnectionClosed,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+from repro.net.pool import ConnectFailed, ConnectionPool
+from repro.net.server import MessageServer, live_servers
+from repro.net.transport import TcpTransport
+
+__all__ = [
+    "ConnectFailed",
+    "ConnectionClosed",
+    "ConnectionPool",
+    "FrameError",
+    "MessageServer",
+    "TcpTransport",
+    "encode_frame",
+    "live_servers",
+    "read_frame",
+]

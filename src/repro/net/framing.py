@@ -1,0 +1,85 @@
+"""Length-prefixed binary framing for the tcp transport.
+
+Every message on a :mod:`repro.net` socket is one *frame*:
+
+====== ====== ===========================================================
+offset size   field
+====== ====== ===========================================================
+0      2      magic ``b"RN"``
+2      1      protocol version (currently 1)
+3      1      frame kind: 1 = request, 2 = response
+4      4      payload length, unsigned big-endian
+8      n      payload (closure-pickled, :mod:`repro.dag.serde`)
+====== ====== ===========================================================
+
+The header is versioned so a future wire change can be detected instead
+of misparsed; a magic/version mismatch raises :class:`FrameError`
+immediately rather than desynchronizing the stream.  Payload size is
+bounded (1 GiB) purely as a corruption guard — a garbled length field
+otherwise reads as a multi-terabyte allocation.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Tuple
+
+from repro.common.errors import ReproError
+
+MAGIC = b"RN"
+VERSION = 1
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+
+HEADER = struct.Struct(">2sBBI")
+HEADER_SIZE = HEADER.size  # 8 bytes
+MAX_PAYLOAD = 1 << 30
+
+
+class FrameError(ReproError):
+    """The byte stream does not parse as a repro.net frame."""
+
+
+class ConnectionClosed(ReproError):
+    """The peer closed the connection (EOF) at a frame boundary or
+    mid-frame."""
+
+
+def encode_frame(kind: int, payload: bytes) -> bytes:
+    """Build one wire frame: versioned header + payload."""
+    if len(payload) > MAX_PAYLOAD:
+        raise FrameError(f"payload of {len(payload)} bytes exceeds frame limit")
+    return HEADER.pack(MAGIC, VERSION, kind, len(payload)) + payload
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed connection ({len(buf)}/{n} bytes read)"
+            )
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+def read_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    """Read one complete frame; returns ``(kind, payload)``.
+
+    Raises :class:`ConnectionClosed` on EOF and :class:`FrameError` on a
+    header that is not ours (wrong magic, unknown version, absurd size).
+    """
+    header = _recv_exact(sock, HEADER_SIZE)
+    magic, version, kind, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if version != VERSION:
+        raise FrameError(f"unsupported frame version {version}")
+    if kind not in (KIND_REQUEST, KIND_RESPONSE):
+        raise FrameError(f"unknown frame kind {kind}")
+    if length > MAX_PAYLOAD:
+        raise FrameError(f"frame length {length} exceeds limit")
+    payload = _recv_exact(sock, length) if length else b""
+    return kind, payload

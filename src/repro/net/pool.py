@@ -1,0 +1,128 @@
+"""Per-peer connection pool with bounded-backoff dialling.
+
+One pool serves every outbound call a transport makes.  Connections are
+keyed by ``(host, port)``, checked out for exactly one request/response
+exchange, and returned for reuse on clean completion — shuffle fetches
+and heartbeats ride long-lived sockets instead of paying a dial per
+message.
+
+Dialling retries refused/unreachable connects with exponential backoff up
+to ``TransportConf.max_retries`` extra attempts: a server that has not
+finished binding yet is a transient condition, but one that stays refused
+is reported as :class:`ConnectFailed` for the caller to surface as
+:class:`~repro.common.errors.WorkerLost`.  Errors on an *established*
+connection are never retried here — a request that may already have been
+delivered must not be sent twice (launching tasks is not idempotent).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+import time
+from typing import Dict, Iterator, List, Tuple
+
+from repro.common.errors import ReproError
+from repro.common.metrics import (
+    COUNT_NET_CONNECT_RETRIES,
+    COUNT_NET_CONNECTIONS,
+    MetricsRegistry,
+)
+
+Address = Tuple[str, int]
+
+# Idle connections kept per peer; beyond this, returned sockets close.
+_MAX_IDLE_PER_PEER = 4
+# Backoff doubles per attempt but never exceeds this.
+_MAX_BACKOFF_S = 0.5
+
+
+class ConnectFailed(ReproError):
+    """Could not establish a connection within the retry budget."""
+
+
+class ConnectionPool:
+    """Checkout/checkin pool of client sockets, one exchange at a time."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        connect_timeout_s: float = 1.0,
+        call_timeout_s: float = 30.0,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.02,
+    ):
+        self.metrics = metrics
+        self.connect_timeout_s = connect_timeout_s
+        self.call_timeout_s = call_timeout_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self._idle: Dict[Address, List[socket.socket]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _dial(self, addr: Address) -> socket.socket:
+        delay = self.retry_backoff_s
+        last_err: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                sock = socket.create_connection(addr, timeout=self.connect_timeout_s)
+            except OSError as err:
+                last_err = err
+                if attempt < self.max_retries:
+                    self.metrics.counter(COUNT_NET_CONNECT_RETRIES).add(1)
+                    if delay > 0:
+                        time.sleep(delay)
+                    delay = min(delay * 2 if delay > 0 else 0, _MAX_BACKOFF_S)
+                continue
+            # Control messages are small; Nagle would batch them into the
+            # exact round-trip stalls this subsystem exists to measure.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self.call_timeout_s)
+            self.metrics.counter(COUNT_NET_CONNECTIONS).add(1)
+            return sock
+        raise ConnectFailed(
+            f"connect to {addr[0]}:{addr[1]} failed after "
+            f"{self.max_retries + 1} attempt(s): {last_err}"
+        ) from last_err
+
+    @contextlib.contextmanager
+    def connection(self, addr: Address) -> Iterator[socket.socket]:
+        """Check out one socket for one request/response exchange.
+
+        On clean exit the socket returns to the idle pool; on any error it
+        is closed (its stream position is unknown, so it must never be
+        reused)."""
+        with self._lock:
+            if self._closed:
+                raise ConnectFailed("connection pool is closed")
+            idle = self._idle.get(addr)
+            sock = idle.pop() if idle else None
+        if sock is None:
+            sock = self._dial(addr)
+        try:
+            yield sock
+        except BaseException:
+            with contextlib.suppress(OSError):
+                sock.close()
+            raise
+        with self._lock:
+            if not self._closed:
+                bucket = self._idle.setdefault(addr, [])
+                if len(bucket) < _MAX_IDLE_PER_PEER:
+                    bucket.append(sock)
+                    return
+        with contextlib.suppress(OSError):
+            sock.close()
+
+    def close(self) -> None:
+        """Close every idle socket and refuse further checkouts."""
+        with self._lock:
+            self._closed = True
+            sockets = [s for bucket in self._idle.values() for s in bucket]
+            self._idle.clear()
+        for sock in sockets:
+            with contextlib.suppress(OSError):
+                sock.close()

@@ -1,0 +1,150 @@
+"""Socket server: accepts framed requests and dispatches to a handler.
+
+One :class:`MessageServer` fronts one transport (and therefore every
+endpoint registered on it).  The threading model is deliberately simple —
+an accept loop plus one daemon thread per connection, each handling one
+request at a time in arrival order — because peers open as many pooled
+connections as they have concurrent calls in flight; concurrency comes
+from the pool, not from per-connection multiplexing.
+
+Closing the server is the wire-level crash model: the listener and every
+active connection are torn down, so peers observe connection refused /
+reset — exactly what :class:`~repro.common.errors.WorkerLost` detection
+(§3.3) keys off.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import threading
+import weakref
+from typing import Callable, List, Set, Tuple
+
+from repro.common.metrics import (
+    COUNT_NET_BYTES_RECEIVED,
+    COUNT_NET_BYTES_SENT,
+    MetricsRegistry,
+)
+from repro.net.framing import (
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    ConnectionClosed,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+
+# Every open server, for leak detection: tests assert that no server
+# outlives its cluster (see the autouse fixture in tests/conftest.py).
+_LIVE_SERVERS: "weakref.WeakSet[MessageServer]" = weakref.WeakSet()
+
+
+def live_servers() -> List["MessageServer"]:
+    """Servers that have been opened and not yet closed (leak check)."""
+    return [s for s in _LIVE_SERVERS if not s.closed]
+
+
+class MessageServer:
+    """Listener + per-connection dispatch threads for one transport."""
+
+    def __init__(
+        self,
+        handler: Callable[[bytes], bytes],
+        metrics: MetricsRegistry,
+        host: str = "127.0.0.1",
+        name: str = "net",
+    ):
+        self._handler = handler
+        self.metrics = metrics
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(128)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._conns: Set[socket.socket] = set()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._conn_seq = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{name}-accept", daemon=True
+        )
+        self._name = name
+        _LIVE_SERVERS.add(self)
+        self._accept_thread.start()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                if self._closed:
+                    with contextlib.suppress(OSError):
+                        conn.close()
+                    return
+                self._conns.add(conn)
+                self._conn_seq += 1
+                seq = self._conn_seq
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"{self._name}-conn-{seq}",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    kind, payload = read_frame(conn)
+                except (ConnectionClosed, FrameError, OSError):
+                    return
+                if kind != KIND_REQUEST:
+                    return  # protocol violation; drop the connection
+                self.metrics.counter(COUNT_NET_BYTES_RECEIVED).add(
+                    len(payload)
+                )
+                response = self._handler(payload)
+                frame = encode_frame(KIND_RESPONSE, response)
+                try:
+                    conn.sendall(frame)
+                except OSError:
+                    return
+                self.metrics.counter(COUNT_NET_BYTES_SENT).add(len(frame))
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            with contextlib.suppress(OSError):
+                conn.close()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the listener and every active connection (the crash
+        model: peers see refused/reset from now on)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns = list(self._conns)
+        # shutdown() before close(): while the accept thread is blocked
+        # inside accept(), close() alone only drops the fd-table entry —
+        # the kernel socket keeps listening until the syscall returns, so
+        # peers could still connect (and then hang) during that window.
+        with contextlib.suppress(OSError):
+            self._listener.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        for conn in conns:
+            with contextlib.suppress(OSError):
+                conn.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                conn.close()
+        self._accept_thread.join(timeout=1.0)

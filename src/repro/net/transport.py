@@ -1,0 +1,306 @@
+"""TCP transport: the in-process :class:`~repro.engine.rpc.Transport`
+contract over real sockets.
+
+Topology
+--------
+Every participant owns one :class:`TcpTransport`, which owns one
+:class:`~repro.net.server.MessageServer` (all its endpoints answer there)
+and one :class:`~repro.net.pool.ConnectionPool` (all its outbound calls
+dial from there).  Exactly one transport — the driver's — is the *hub*:
+it holds the authoritative endpoint directory.  Worker transports are
+constructed knowing only the hub's socket address; they announce their
+endpoints to it on :meth:`register` and resolve peer addresses through it
+on first contact (cached afterwards).  That is the whole discovery
+protocol: a cluster is a driver and N workers that share nothing but one
+``(host, port)`` pair.
+
+Wire format
+-----------
+A call serializes ``(Envelope, args, kwargs)`` with the closure-capable
+serializer from :mod:`repro.dag.serde` — the same
+:class:`~repro.engine.rpc.Envelope` the in-process transport routes,
+``SpanContext`` included, so traces recorded via :mod:`repro.obs`
+propagate driver→wire→worker unchanged.  The response carries
+``("ok", value)``, ``("err", exception)`` (re-raised caller-side), or
+``("lost", reason)`` (surfaced as :class:`WorkerLost`).
+
+Failure model
+-------------
+A dead peer is one whose server is gone: connection refused after the
+bounded-backoff dial budget, a reset mid-exchange, or a response that
+never arrives within ``call_timeout_s`` all surface as
+:class:`WorkerLost` — the same exception the in-process transport raises
+for a marked-dead endpoint, so the §3.3 recovery path is identical on
+both backends.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.clock import Clock
+from repro.common.config import TransportConf
+from repro.common.errors import SerializationError, WorkerLost
+from repro.common.metrics import (
+    COUNT_NET_BYTES_RECEIVED,
+    COUNT_NET_BYTES_SENT,
+    COUNT_RPC_MESSAGES,
+    HIST_NET_CALL_LATENCY,
+    MetricsRegistry,
+)
+from repro.dag.serde import dumps_closure, loads_closure
+from repro.engine.rpc import BaseTransport, Envelope
+from repro.net.framing import (
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    ConnectionClosed,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+from repro.net.pool import Address, ConnectFailed, ConnectionPool
+from repro.net.server import MessageServer
+from repro.obs.trace import Recorder
+
+# Directory/ping methods handled by the transport itself; they never
+# touch COUNT_RPC_MESSAGES or the injected latency — they are plumbing,
+# not engine messages (bytes counters still see them: wire truth).
+ANNOUNCE = "__announce__"
+RESOLVE = "__resolve__"
+PING = "__ping__"
+
+_OK = "ok"
+_ERR = "err"
+_LOST = "lost"
+
+
+class TcpTransport(BaseTransport):
+    """Socket-backed transport; one per driver / worker process-equivalent."""
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        latency_s: float = 0.0,
+        clock: Clock | None = None,
+        tracer: Recorder | None = None,
+        conf: Optional[TransportConf] = None,
+        hub_addr: Optional[Address] = None,
+        name: str = "net",
+    ):
+        super().__init__(metrics, latency_s, clock, tracer)
+        self.conf = conf or TransportConf(backend="tcp")
+        self._hub_addr = hub_addr  # None => this transport IS the hub
+        self._local: Dict[str, Any] = {}
+        self._dead: set = set()
+        self._directory: Dict[str, Address] = {}  # authoritative on the hub
+        self._addr_cache: Dict[str, Address] = {}
+        self._lock = threading.Lock()
+        self.pool = ConnectionPool(
+            self.metrics,
+            connect_timeout_s=self.conf.connect_timeout_s,
+            call_timeout_s=self.conf.call_timeout_s,
+            max_retries=self.conf.max_retries,
+            retry_backoff_s=self.conf.retry_backoff_s,
+        )
+        self.server = MessageServer(self._handle_raw, self.metrics, name=name)
+
+    # ------------------------------------------------------------------
+    # Registry API (Transport contract)
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Address:
+        return self.server.address
+
+    @property
+    def is_hub(self) -> bool:
+        return self._hub_addr is None
+
+    def register(self, endpoint_id: str, obj: Any) -> None:
+        with self._lock:
+            self._local[endpoint_id] = obj
+            self._dead.discard(endpoint_id)
+            if self.is_hub:
+                self._directory[endpoint_id] = self.address
+        if not self.is_hub:
+            status, value = self._internal_call(
+                self._hub_addr,
+                Envelope("<hub>", ANNOUNCE, None),
+                (endpoint_id, self.address[0], self.address[1]),
+            )
+            if status != _OK:
+                raise WorkerLost(endpoint_id, f"announce to hub failed: {value}")
+
+    def mark_dead(self, endpoint_id: str) -> None:
+        """Local endpoint: crash it for real — close the server so peers
+        get refused/reset.  Remote endpoint: record it dead so local
+        callers fail fast without dialling."""
+        with self._lock:
+            self._dead.add(endpoint_id)
+            local = endpoint_id in self._local
+            all_local_dead = all(eid in self._dead for eid in self._local)
+        if local and all_local_dead:
+            self.close()
+
+    def is_alive(self, endpoint_id: str) -> bool:
+        with self._lock:
+            if endpoint_id in self._dead:
+                return False
+            if endpoint_id in self._local:
+                return True
+        try:
+            addr = self._resolve(endpoint_id)
+            status, value = self._internal_call(
+                addr, Envelope(endpoint_id, PING, None), ()
+            )
+        except WorkerLost:
+            return False
+        return status == _OK and bool(value)
+
+    def endpoints(self) -> Dict[str, Any]:
+        with self._lock:
+            return dict(self._local)
+
+    def close(self) -> None:
+        self.server.close()
+        self.pool.close()
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def call(self, dst_id: str, method: str, *args: Any, **kwargs: Any) -> Any:
+        with self._lock:
+            if dst_id in self._dead:
+                raise WorkerLost(dst_id, "endpoint is down")
+        addr = self._resolve(dst_id)
+        self.metrics.counter(COUNT_RPC_MESSAGES).add(1)
+        if self.latency_s > 0:
+            self._clock.sleep(self.latency_s)
+        ctx = self.tracer.current() if self.tracer.enabled else None
+        envelope = Envelope(dst_id, method, ctx)
+        start = self._clock.now()
+        status, value = self._internal_call(addr, envelope, args, kwargs)
+        self.metrics.histogram(f"{HIST_NET_CALL_LATENCY}.{method}").record(
+            self._clock.now() - start
+        )
+        if status == _OK:
+            return value
+        if status == _LOST:
+            raise WorkerLost(dst_id, str(value))
+        raise value  # _ERR: the handler's exception, re-raised caller-side
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    def _resolve(self, dst_id: str) -> Address:
+        with self._lock:
+            if dst_id in self._local:
+                return self.address
+            cached = self._addr_cache.get(dst_id) or self._directory.get(dst_id)
+            if cached is not None:
+                return cached
+        if self.is_hub:
+            raise WorkerLost(dst_id, "unknown endpoint")
+        status, value = self._internal_call(
+            self._hub_addr, Envelope("<hub>", RESOLVE, None), (dst_id,)
+        )
+        if status != _OK or value is None:
+            raise WorkerLost(dst_id, "unknown endpoint")
+        addr = (value[0], value[1])
+        with self._lock:
+            self._addr_cache[dst_id] = addr
+        return addr
+
+    # ------------------------------------------------------------------
+    # Wire exchange (shared by engine calls and directory plumbing)
+    # ------------------------------------------------------------------
+    def _internal_call(
+        self,
+        addr: Address,
+        envelope: Envelope,
+        args: Tuple = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[str, Any]:
+        payload = dumps_closure(
+            (envelope, args, kwargs or {}),
+            context=f"rpc {envelope.method!r} payload",
+        )
+        frame = encode_frame(KIND_REQUEST, payload)
+        dst = envelope.dst
+        try:
+            with self.pool.connection(addr) as sock:
+                sock.sendall(frame)
+                self.metrics.counter(COUNT_NET_BYTES_SENT).add(len(frame))
+                kind, response = read_frame(sock)
+        except ConnectFailed as err:
+            # Nothing is listening there any more: the peer machine is
+            # gone.  Remember it so later callers fail without dialling.
+            with self._lock:
+                self._dead.add(dst)
+            raise WorkerLost(dst, f"connection refused: {err}") from err
+        except (ConnectionClosed, FrameError, OSError) as err:
+            raise WorkerLost(
+                dst, f"connection lost during {envelope.method!r}: {err}"
+            ) from err
+        if kind != KIND_RESPONSE:
+            raise WorkerLost(dst, f"protocol violation: frame kind {kind}")
+        self.metrics.counter(COUNT_NET_BYTES_RECEIVED).add(len(response))
+        status, value = loads_closure(response)
+        return status, value
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    def _handle_raw(self, payload: bytes) -> bytes:
+        method = "<undecoded>"
+        try:
+            envelope, args, kwargs = loads_closure(payload)
+            method = envelope.method
+            result = self._dispatch(envelope, args, kwargs)
+        except BaseException as err:  # noqa: BLE001 - malformed payloads
+            result = (_ERR, SerializationError(f"bad request payload: {err!r}"))
+        try:
+            return dumps_closure(result, context="rpc response payload")
+        except BaseException as err:  # noqa: BLE001 - unpicklable values
+            fallback: Tuple[str, Any] = (
+                _ERR,
+                SerializationError(
+                    f"rpc response for {method!r} cannot cross the wire: {err}"
+                ),
+            )
+            return dumps_closure(fallback, context="rpc response payload")
+
+    def _dispatch(self, envelope: Envelope, args: Tuple, kwargs: Dict) -> Tuple[str, Any]:
+        method = envelope.method
+        if method == ANNOUNCE:
+            endpoint_id, host, port = args
+            with self._lock:
+                self._directory[endpoint_id] = (host, port)
+                self._dead.discard(endpoint_id)
+            return (_OK, None)
+        if method == RESOLVE:
+            (endpoint_id,) = args
+            with self._lock:
+                if endpoint_id in self._dead:
+                    return (_OK, None)
+                addr = self._directory.get(endpoint_id)
+            return (_OK, None if addr is None else (addr[0], addr[1]))
+        if method == PING:
+            with self._lock:
+                alive = (
+                    envelope.dst in self._local and envelope.dst not in self._dead
+                )
+            return (_OK, alive)
+        with self._lock:
+            if envelope.dst not in self._local:
+                return (_LOST, f"unknown endpoint: {envelope.dst}")
+            if envelope.dst in self._dead:
+                return (_LOST, f"endpoint is down: {envelope.dst}")
+            target = self._local[envelope.dst]
+        try:
+            if self.tracer.enabled and envelope.trace_ctx is not None:
+                with self.tracer.activate(envelope.trace_ctx):
+                    return (_OK, getattr(target, method)(*args, **kwargs))
+            return (_OK, getattr(target, method)(*args, **kwargs))
+        except BaseException as err:  # noqa: BLE001 - handlers may raise anything
+            return (_ERR, err)

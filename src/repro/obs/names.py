@@ -14,10 +14,15 @@ from repro.common.metrics import (
     COUNT_CHECKPOINTS,
     COUNT_GROUPS_SCHEDULED,
     COUNT_LAUNCH_RPCS,
+    COUNT_NET_BYTES_RECEIVED,
+    COUNT_NET_BYTES_SENT,
+    COUNT_NET_CONNECT_RETRIES,
+    COUNT_NET_CONNECTIONS,
     COUNT_RECOVERIES,
     COUNT_RPC_MESSAGES,
     COUNT_SPECULATIVE,
     COUNT_TASKS_LAUNCHED,
+    HIST_NET_CALL_LATENCY,
     TIME_COMPUTE,
     TIME_COORDINATION,
     TIME_SCHEDULING,
@@ -92,8 +97,17 @@ METRIC_NAMES = frozenset(
         COUNT_CHECKPOINTS,
         COUNT_RECOVERIES,
         COUNT_SPECULATIVE,
+        COUNT_NET_BYTES_SENT,
+        COUNT_NET_BYTES_RECEIVED,
+        COUNT_NET_CONNECTIONS,
+        COUNT_NET_CONNECT_RETRIES,
     }
 )
+
+# Per-method wire round-trip histograms (tcp transport) are named
+# "{HIST_NET_CALL_LATENCY}.{method}" — a prefix family, not a member of
+# METRIC_NAMES, because the method suffix is open-ended.
+NET_CALL_LATENCY_PREFIX = HIST_NET_CALL_LATENCY
 
 # Span name -> metric counter that times the same code region; the CLI
 # uses this to cross-check span totals against the counter values.
@@ -120,5 +134,6 @@ __all__ = [
     "EVENT_TASK_RESUBMIT",
     "EVENT_NAMES",
     "METRIC_NAMES",
+    "NET_CALL_LATENCY_PREFIX",
     "SPAN_TO_METRIC",
 ]

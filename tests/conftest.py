@@ -14,13 +14,16 @@ import pytest
 
 from repro.common.config import EngineConf, SchedulingMode
 from repro.engine.cluster import LocalCluster
+from repro.net.server import live_servers
 
 
 @pytest.fixture(autouse=True)
 def no_leaked_executors():
-    """Fail any test that leaves stray non-daemon threads or live child
-    processes behind (leaked executor backends, forgotten shutdowns)."""
+    """Fail any test that leaves stray non-daemon threads, live child
+    processes, or open tcp-transport servers behind (leaked executor
+    backends, forgotten shutdowns, unclosed transports)."""
     before = {t for t in threading.enumerate() if not t.daemon}
+    servers_before = set(live_servers())
     yield
     deadline = time.monotonic() + 5.0
     while time.monotonic() < deadline:
@@ -30,11 +33,13 @@ def no_leaked_executors():
             if not t.daemon and t.is_alive() and t not in before
         ]
         children = multiprocessing.active_children()
-        if not threads and not children:
+        servers = [s for s in live_servers() if s not in servers_before]
+        if not threads and not children and not servers:
             return
         time.sleep(0.05)
     leaks = [f"thread {t.name!r}" for t in threads]
     leaks += [f"process pid={p.pid}" for p in children]
+    leaks += [f"server {s.address}" for s in servers]
     pytest.fail(f"test leaked executor resources: {', '.join(leaks)}")
 
 

@@ -4,11 +4,19 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.common.config import EXECUTOR_BACKENDS, EngineConf, ExecutorConf, SchedulingMode
+from repro.common.config import (
+    EXECUTOR_BACKENDS,
+    TRANSPORT_BACKENDS,
+    EngineConf,
+    ExecutorConf,
+    SchedulingMode,
+    TransportConf,
+)
 from repro.engine.cluster import LocalCluster
 
 ALL_MODES = list(SchedulingMode)
 ALL_BACKENDS = list(EXECUTOR_BACKENDS)
+ALL_TRANSPORTS = list(TRANSPORT_BACKENDS)
 
 
 def make_cluster(
@@ -16,8 +24,16 @@ def make_cluster(
     workers: int = 3,
     slots: int = 2,
     backend: Optional[str] = None,
+    transport: Optional[str] = None,
     **kwargs,
 ):
+    """Build a LocalCluster for tests.
+
+    ``transport="inproc"`` pins a test to the in-process transport even
+    when CI forces ``REPRO_TRANSPORT=tcp`` — required by tests whose
+    closures observe shared memory (captured locks, mutated lists),
+    which cannot cross a real wire.
+    """
     conf = EngineConf(
         num_workers=workers,
         slots_per_worker=slots,
@@ -26,4 +42,6 @@ def make_cluster(
     )
     if backend is not None:
         conf.executor = ExecutorConf(backend=backend)
+    if transport is not None:
+        conf.transport = TransportConf(backend=transport)
     return LocalCluster(conf)

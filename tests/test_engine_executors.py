@@ -32,6 +32,10 @@ from engine_test_utils import make_cluster
 def _conf(backend: str, **kwargs) -> EngineConf:
     kwargs.setdefault("num_workers", 2)
     kwargs.setdefault("slots_per_worker", 2)
+    # Pin the in-process transport: these tests are about executor
+    # backends, and the inline executor is deliberately *deferred* (not
+    # synchronous) when the tcp transport is active.
+    kwargs.setdefault("transport", TransportConf(backend="inproc"))
     return EngineConf(executor=ExecutorConf(backend=backend), **kwargs)
 
 

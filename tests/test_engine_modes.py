@@ -12,7 +12,7 @@ from repro.dag.dataset import from_partitions, parallelize
 from repro.dag.plan import collect_action, compile_plan, count_action, dict_action
 from repro.workloads.synthetic import expected_sum, sum_random_dataset, sum_random_with_shuffle
 
-from engine_test_utils import ALL_BACKENDS, ALL_MODES, make_cluster
+from engine_test_utils import ALL_BACKENDS, ALL_MODES, ALL_TRANSPORTS, make_cluster
 
 
 @pytest.mark.parametrize("mode", ALL_MODES)
@@ -230,3 +230,59 @@ class TestExecutorBackendEquivalence:
             ds = parallelize(range(4), 2).map(lambda x: 1 // 0)
             with pytest.raises(TaskError):
                 cluster.collect(ds)
+
+
+@pytest.mark.parametrize("transport", ALL_TRANSPORTS)
+class TestTransportBackendEquivalence:
+    """A representative slice of the mode-equivalence suite, run on every
+    transport backend: moving messages over real sockets is a plumbing
+    choice and must never change results or error semantics."""
+
+    def test_narrow_pipeline_all_modes(self, transport):
+        for mode in ALL_MODES:
+            with make_cluster(mode, workers=2, slots=2, transport=transport) as cluster:
+                ds = parallelize(range(30), 4).map(lambda x: x * 3).filter(
+                    lambda x: x % 2 == 0
+                )
+                assert sorted(cluster.collect(ds)) == sorted(
+                    x * 3 for x in range(30) if (x * 3) % 2 == 0
+                )
+
+    def test_shuffle_chain_all_modes(self, transport):
+        for mode in ALL_MODES:
+            with make_cluster(mode, workers=2, slots=2, transport=transport) as cluster:
+                ds = (
+                    parallelize(range(40), 4)
+                    .map(lambda x: (x % 8, x))
+                    .reduce_by_key(lambda a, b: a + b, 4)
+                    .map(lambda kv: (kv[0] % 2, kv[1]))
+                    .reduce_by_key(lambda a, b: a + b, 2)
+                )
+                out = dict(cluster.collect(ds))
+                assert out[0] + out[1] == sum(range(40))
+
+    def test_group_run_all_modes(self, transport):
+        def build(b):
+            ds = parallelize(range(20), 2).map(lambda x, b=b: (x % 2, x + b)).reduce_by_key(
+                lambda a, b: a + b, 2
+            )
+            return compile_plan(ds, dict_action())
+
+        with make_cluster(
+            SchedulingMode.DRIZZLE, workers=2, slots=2, group_size=3, transport=transport
+        ) as cluster:
+            out = cluster.run_group([build(b) for b in range(3)])
+        for b, result in enumerate(out):
+            expected = {}
+            for x in range(20):
+                expected[x % 2] = expected.get(x % 2, 0) + x + b
+            assert result == expected
+
+    def test_user_error_propagates(self, transport):
+        from repro.common.errors import TaskError
+
+        with make_cluster(SchedulingMode.DRIZZLE, transport=transport) as cluster:
+            ds = parallelize(range(4), 2).map(lambda x: 1 // 0)
+            with pytest.raises(TaskError) as excinfo:
+                cluster.collect(ds)
+            assert isinstance(excinfo.value.cause, ZeroDivisionError)

@@ -12,14 +12,14 @@ import time
 
 import pytest
 
-from repro.common.config import EngineConf, MonitorConf, SchedulingMode
+from repro.common.config import EngineConf, MonitorConf, SchedulingMode, TransportConf
 from repro.common.errors import WorkerLost
-from repro.common.metrics import COUNT_RECOVERIES
+from repro.common.metrics import COUNT_RECOVERIES, COUNT_TASKS_LAUNCHED
 from repro.dag.dataset import SourceDataset, parallelize
 from repro.dag.plan import collect_action, compile_plan, dict_action
 from repro.engine.cluster import LocalCluster
 
-from engine_test_utils import make_cluster
+from engine_test_utils import ALL_TRANSPORTS, make_cluster
 
 
 def slow_source(num_partitions, delay_s=0.15, items_per_partition=10):
@@ -72,7 +72,12 @@ class TestFetchFailureRecovery:
         """Maps complete, then their machine dies: reduce tasks hit fetch
         failures, the driver regenerates the lost map outputs, and the job
         still produces the exact answer."""
-        with make_cluster(SchedulingMode.DRIZZLE, workers=4, slots=1) as cluster:
+        # Pinned inproc: the reduce closure captures a threading.Event to
+        # time the kill — shared-memory coordination that cannot cross a
+        # real wire.
+        with make_cluster(
+            SchedulingMode.DRIZZLE, workers=4, slots=1, transport="inproc"
+        ) as cluster:
             barrier = threading.Event()
 
             def source(index):
@@ -123,6 +128,9 @@ class TestParallelRecovery:
 
 
 class TestIntermediateReuse:
+    # Both tests pinned inproc: the source closure counts invocations in
+    # a captured list guarded by a captured lock — observable only while
+    # driver and workers share memory.
     def test_resubmission_reuses_surviving_map_outputs(self):
         """Re-submitting the same job_key with reuse=True must skip map
         tasks whose outputs survived (lineage reuse across attempts)."""
@@ -134,7 +142,9 @@ class TestIntermediateReuse:
                 calls.append(index)
             return [(index % 2, index)]
 
-        with make_cluster(SchedulingMode.DRIZZLE, workers=2, slots=2) as cluster:
+        with make_cluster(
+            SchedulingMode.DRIZZLE, workers=2, slots=2, transport="inproc"
+        ) as cluster:
             ds = SourceDataset(source, 4).reduce_by_key(lambda a, b: a + b, 2)
             plan = compile_plan(ds, dict_action())
             first = cluster.run_plan(plan, job_key="batch-7")
@@ -153,7 +163,9 @@ class TestIntermediateReuse:
                 calls.append(index)
             return [(index % 2, index)]
 
-        with make_cluster(SchedulingMode.DRIZZLE, workers=2, slots=2) as cluster:
+        with make_cluster(
+            SchedulingMode.DRIZZLE, workers=2, slots=2, transport="inproc"
+        ) as cluster:
             ds = SourceDataset(source, 4).reduce_by_key(lambda a, b: a + b, 2)
             plan = compile_plan(ds, dict_action())
             cluster.run_plan(plan, job_key="batch-7")
@@ -163,8 +175,12 @@ class TestIntermediateReuse:
 
 
 class TestElasticity:
+    # Pinned inproc: sources record executing-thread names into a
+    # captured set (shared-memory observation).
     def test_added_worker_used_by_next_group(self):
-        with make_cluster(SchedulingMode.DRIZZLE, workers=2, slots=1) as cluster:
+        with make_cluster(
+            SchedulingMode.DRIZZLE, workers=2, slots=1, transport="inproc"
+        ) as cluster:
             new_id = cluster.add_worker()
             seen = set()
             lock = threading.Lock()
@@ -181,7 +197,9 @@ class TestElasticity:
             assert any(name.startswith(new_id) for name in seen)
 
     def test_decommissioned_worker_excluded_from_placement(self):
-        with make_cluster(SchedulingMode.DRIZZLE, workers=3, slots=1) as cluster:
+        with make_cluster(
+            SchedulingMode.DRIZZLE, workers=3, slots=1, transport="inproc"
+        ) as cluster:
             cluster.decommission_worker("worker-1")
             seen = set()
             lock = threading.Lock()
@@ -260,3 +278,60 @@ class TestBackendRecovery:
             killer.join()
             assert result == keyed_sum_expected(80, 4)
             assert cluster.metrics.counter(COUNT_RECOVERIES).value >= 1
+
+
+@pytest.mark.parametrize("transport", ALL_TRANSPORTS)
+class TestTransportRecovery:
+    """The §3.3 recovery path must be transport-independent: over tcp a
+    killed worker's *server* goes away, so failure surfaces as connection
+    refused/reset instead of an in-process dead-set check — same
+    WorkerLost, same recovery."""
+
+    def test_kill_worker_mid_map(self, transport):
+        with make_cluster(
+            SchedulingMode.DRIZZLE, workers=4, slots=1, transport=transport
+        ) as cluster:
+            ds = slow_source(8).map(lambda x: (x % 4, x)).reduce_by_key(
+                lambda a, b: a + b, 4
+            )
+            plan = compile_plan(ds, dict_action())
+            killer = threading.Timer(0.05, lambda: cluster.kill_worker("worker-1"))
+            killer.start()
+            result = cluster.run_plan(plan)
+            killer.join()
+            assert result == keyed_sum_expected(80, 4)
+            assert cluster.metrics.counter(COUNT_RECOVERIES).value >= 1
+
+    def test_silent_server_death_detected_by_heartbeat(self, transport):
+        """Acceptance: killing a tcp worker's server mid-job (driver NOT
+        notified) is detected via heartbeat timeout and the job completes
+        through recovery — recomputation, not a hang."""
+        conf = EngineConf(
+            num_workers=3,
+            slots_per_worker=1,
+            scheduling_mode=SchedulingMode.DRIZZLE,
+            monitor=MonitorConf(
+                enable_heartbeats=True,
+                heartbeat_interval_s=0.03,
+                heartbeat_timeout_s=0.12,
+            ),
+            transport=TransportConf(
+                backend=transport, max_retries=1, retry_backoff_s=0.01
+            ),
+        )
+        with LocalCluster(conf) as cluster:
+            ds = slow_source(6, delay_s=0.2).map(lambda x: (x % 2, x)).reduce_by_key(
+                lambda a, b: a + b, 2
+            )
+            plan = compile_plan(ds, dict_action())
+            killer = threading.Timer(
+                0.05, lambda: cluster.kill_worker("worker-1", notify_driver=False)
+            )
+            killer.start()
+            result = cluster.run_plan(plan)
+            killer.join()
+            assert result == keyed_sum_expected(60, 2)
+            assert cluster.metrics.counter(COUNT_RECOVERIES).value == 1
+            # Recomputation happened: more task launches than the job's
+            # 6 maps + 2 reduces.
+            assert cluster.metrics.counter(COUNT_TASKS_LAUNCHED).value > 8

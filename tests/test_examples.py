@@ -16,6 +16,11 @@ CHECKS = {
     "group_size_tuning.py": ["final group size", "tuner actions"],
     "adaptive_streaming.py": ["final reducer count", "elasticity decisions"],
     "trace_telemetry.py": ["span totals agree with counters: True"],
+    "network_cluster.py": [
+        "shuffle result over tcp == reference: True",
+        "result exact after tcp worker loss: True",
+        "recoveries: 1",
+    ],
 }
 
 SLOW_CHECKS = {

@@ -13,7 +13,12 @@ from typing import List
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.common.config import EngineConf, ExecutorConf, SchedulingMode
+from repro.common.config import EngineConf, ExecutorConf, SchedulingMode, TransportConf
+from repro.common.metrics import (
+    COUNT_LAUNCH_RPCS,
+    COUNT_RPC_MESSAGES,
+    COUNT_TASKS_LAUNCHED,
+)
 from repro.dag.dataset import Dataset, parallelize
 from repro.dag.plan import collect_action, compile_plan
 from repro.engine.cluster import LocalCluster
@@ -99,6 +104,46 @@ def test_random_dag_mode_equivalence(backend, data, num_partitions, op_indices, 
         drizzle_result = canonical(cluster.run_plan(plan_factory()))
 
     assert barrier_result == drizzle_result
+
+
+@pytest.mark.parametrize(
+    "mode",
+    [SchedulingMode.PER_BATCH, SchedulingMode.DRIZZLE, SchedulingMode.PRE_SCHEDULED],
+)
+@settings(deadline=None, max_examples=8)
+@given(
+    data=st.lists(st.integers(-50, 50), min_size=0, max_size=25),
+    num_partitions=st.integers(1, 4),
+    op_indices=st.lists(st.integers(0, len(OPS) - 1), min_size=0, max_size=4),
+)
+def test_random_dag_transport_equivalence(mode, data, num_partitions, op_indices):
+    """The transport backend is pure plumbing: for any random DAG and any
+    scheduling mode, running over real sockets produces the identical
+    result AND the identical driver-side message counts (±0) as the
+    in-process transport — the coordination *pattern* is transport-
+    independent even though its *cost* is not."""
+    dag_data = data if data else [0]
+    plan_factory = lambda: compile_plan(
+        build_dag(dag_data, num_partitions, op_indices), collect_action()
+    )
+
+    def run(transport: str):
+        with LocalCluster(
+            EngineConf(num_workers=2, slots_per_worker=2, scheduling_mode=mode,
+                       transport=TransportConf(backend=transport))
+        ) as cluster:
+            result = canonical(cluster.run_plan(plan_factory()))
+            counts = {
+                name: cluster.metrics.counter(name).value
+                for name in (COUNT_RPC_MESSAGES, COUNT_LAUNCH_RPCS,
+                             COUNT_TASKS_LAUNCHED)
+            }
+        return result, counts
+
+    inproc_result, inproc_counts = run("inproc")
+    tcp_result, tcp_counts = run("tcp")
+    assert inproc_result == tcp_result
+    assert inproc_counts == tcp_counts
 
 
 @settings(deadline=None, max_examples=15)

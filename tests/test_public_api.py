@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.bench",
     "repro.obs",
+    "repro.net",
 ]
 
 
