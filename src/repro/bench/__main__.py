@@ -33,7 +33,13 @@ from repro.bench.figures import (
     transport_coordination,
     yahoo_latency_cdf,
 )
-from repro.bench.reporting import render_cdf, render_table, write_bench_json
+from repro.bench.reporting import (
+    diff_against_baseline,
+    load_baseline_rows,
+    render_cdf,
+    render_table,
+    write_bench_json,
+)
 from repro.common.metrics import MetricsRegistry
 from repro.sim.elasticity import group_size_adaptation_sweep
 from repro.workloads.queries import TABLE2_DISTRIBUTION
@@ -209,12 +215,16 @@ def _transport() -> str:
     _STRUCTURED_ROWS["transport"] = rows
     return render_table(
         ["transport", "group_size", "ms_per_batch", "rpc_messages",
-         "bytes_sent", "bytes_received", "rpc_p50_ms", "rpc_p95_ms"],
+         "bytes_sent", "bytes_received", "fetch_batches", "buckets/fetch",
+         "saved_bytes", "rpc_p50_ms", "rpc_p95_ms"],
         [[r["transport"], r["group_size"], r["ms_per_batch"], r["rpc_messages"],
-          r["bytes_sent"], r["bytes_received"], r["rpc_p50_ms"], r["rpc_p95_ms"]]
+          r["bytes_sent"], r["bytes_received"], r["fetch_batches"],
+          r["buckets_per_fetch"], r["bytes_saved_compression"],
+          r["rpc_p50_ms"], r["rpc_p95_ms"]]
          for r in rows],
         title="Transport backends — real sockets vs in-process calls on the "
-              "engine (group scheduling amortizes the wire cost, §3.1)",
+              "engine (group scheduling amortizes the wire cost, §3.1; "
+              "fetches batched per peer, stage blobs shipped once)",
     )
 
 
@@ -265,6 +275,10 @@ def main(argv: List[str] | None = None) -> int:
                         default=None, dest="json_dir",
                         help="also write BENCH_<name>.json (report + metric "
                              "snapshot) per experiment into DIR (default: .)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="diff ms_per_batch of structured-row experiments "
+                             "against checked-in BENCH_<name>.json files (PATH "
+                             "is a file or a directory) and print regressions")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     args = parser.parse_args(argv)
     # Positional ids and --only are the same filter, merged.
@@ -291,6 +305,20 @@ def main(argv: List[str] | None = None) -> int:
         # the JSON snapshot carries per-experiment wall-time percentiles.
         with registry.timed(f"bench.{name}"):
             section = fn()
+        if args.baseline and name in _STRUCTURED_ROWS:
+            baseline_rows = load_baseline_rows(name, args.baseline)
+            if baseline_rows is None:
+                section += f"\nno baseline rows for {name} at {args.baseline}"
+            else:
+                diff, regressions = diff_against_baseline(
+                    _STRUCTURED_ROWS[name], baseline_rows
+                )
+                section += "\n" + diff
+                if regressions:
+                    print(
+                        f"[{name}] {regressions} regression(s) vs baseline",
+                        file=sys.stderr,
+                    )
         sections.append(section)
         if args.json_dir:
             payload = {"report": section}

@@ -543,9 +543,14 @@ def transport_coordination(
     from repro.common.metrics import (
         COUNT_LAUNCH_RPCS,
         COUNT_NET_BYTES_RECEIVED,
+        COUNT_NET_BYTES_SAVED_COMPRESSION,
         COUNT_NET_BYTES_SENT,
         COUNT_NET_CONNECTIONS,
+        COUNT_NET_FETCH_BATCHES,
         COUNT_RPC_MESSAGES,
+        COUNT_STAGE_CACHE_HIT,
+        COUNT_STAGE_CACHE_MISS,
+        HIST_NET_BUCKETS_PER_FETCH,
         HIST_NET_CALL_LATENCY,
     )
     from repro.common.stats import percentile
@@ -592,6 +597,10 @@ def transport_coordination(
                 for name in cluster.metrics.snapshot()["histograms"]:
                     if name.startswith(HIST_NET_CALL_LATENCY + "."):
                         latencies.extend(cluster.metrics.histogram(name).snapshot())
+                batch_sizes = cluster.metrics.histogram(
+                    HIST_NET_BUCKETS_PER_FETCH
+                ).snapshot()
+            fetch_batches = counters.get(COUNT_NET_FETCH_BATCHES, 0.0)
             rows.append(
                 {
                     "transport": transport,
@@ -606,6 +615,18 @@ def transport_coordination(
                     "connections": counters.get(COUNT_NET_CONNECTIONS, 0.0),
                     "rpc_p50_ms": percentile(latencies, 50) * 1e3 if latencies else 0.0,
                     "rpc_p95_ms": percentile(latencies, 95) * 1e3 if latencies else 0.0,
+                    # Data-plane fast path: batched pulls, stage-blob
+                    # cache traffic, compression savings.
+                    "fetch_batches": fetch_batches,
+                    "buckets_per_fetch": (
+                        sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
+                    ),
+                    "bytes_saved_compression": counters.get(
+                        COUNT_NET_BYTES_SAVED_COMPRESSION, 0.0
+                    ),
+                    "stage_cache_hits": counters.get(COUNT_STAGE_CACHE_HIT, 0.0),
+                    "stage_cache_misses": counters.get(COUNT_STAGE_CACHE_MISS, 0.0),
+                    "compression": conf.transport.data_plane.compression,
                 }
             )
     return rows

@@ -162,11 +162,56 @@ class ExecutorConf:
 
 TRANSPORT_BACKENDS = ("inproc", "tcp")
 
+COMPRESSION_MODES = ("off", "auto", "on")
+
 
 def _default_transport_backend() -> str:
     # CI matrices force a transport for a whole pytest run via the
     # environment, mirroring REPRO_EXECUTOR_BACKEND.
     return os.environ.get("REPRO_TRANSPORT", "inproc")
+
+
+def _default_compression() -> str:
+    # CI forces the compressed wire format for a whole pytest run the same
+    # way it forces the transport backend.
+    return os.environ.get("REPRO_NET_COMPRESSION", "auto")
+
+
+@dataclass
+class DataPlaneConf:
+    """Wire-level data-plane knobs (see "Data plane" in
+    ``docs/networking.md``).
+
+    These govern the fast path for bulk payloads on the tcp transport:
+    batched shuffle fetches, content-addressed stage-blob caching on the
+    launch path, and per-frame payload compression.
+    """
+
+    # Concurrent per-peer fetch_buckets RPCs a reduce task may have in
+    # flight (1 = sequential, the pre-fast-path behavior).
+    max_concurrent_fetches: int = 8
+    # "off" never compresses; "auto" compresses payloads at or above
+    # compress_threshold_bytes (and keeps the result only if smaller);
+    # "on" tries every payload — CI uses it to exercise the compressed
+    # frames on small test traffic.
+    compression: str = field(default_factory=_default_compression)
+    compress_threshold_bytes: int = 4096
+    # Serialized stage closures cached per transport, keyed by content
+    # digest; 0 disables the cache and ships full plans in every launch.
+    stage_blob_cache_entries: int = 64
+
+    def validate(self) -> None:
+        if self.max_concurrent_fetches < 1:
+            raise ConfigError("max_concurrent_fetches must be >= 1")
+        if self.compression not in COMPRESSION_MODES:
+            raise ConfigError(
+                f"compression must be one of {COMPRESSION_MODES}, "
+                f"got {self.compression!r}"
+            )
+        if self.compress_threshold_bytes < 0:
+            raise ConfigError("compress_threshold_bytes must be >= 0")
+        if self.stage_blob_cache_entries < 0:
+            raise ConfigError("stage_blob_cache_entries must be >= 0")
 
 
 @dataclass
@@ -193,6 +238,9 @@ class TransportConf:
     # End-to-end budget for one request/response round trip; a peer that
     # accepts but never answers surfaces as WorkerLost, not a hang.
     call_timeout_s: float = 30.0
+    # Bulk-payload fast path: fetch batching, stage-blob caching, frame
+    # compression.
+    data_plane: DataPlaneConf = field(default_factory=DataPlaneConf)
 
     def validate(self) -> None:
         if self.backend not in TRANSPORT_BACKENDS:
@@ -210,6 +258,7 @@ class TransportConf:
             raise ConfigError("max_retries must be >= 0")
         if self.retry_backoff_s < 0:
             raise ConfigError("retry_backoff_s must be >= 0")
+        self.data_plane.validate()
 
 
 @dataclass

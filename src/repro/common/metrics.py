@@ -243,3 +243,13 @@ COUNT_NET_CONNECT_RETRIES = "net.connect_retries"
 # Per-method round-trip latency histograms are registered as
 # "{HIST_NET_CALL_LATENCY}.{method}" (e.g. "net.call_latency.launch_tasks").
 HIST_NET_CALL_LATENCY = "net.call_latency"
+# Data-plane fast path (see "Data plane" in docs/networking.md): batched
+# shuffle pulls, payload bytes compression kept off the wire, and the
+# content-addressed stage-blob cache on the launch path.  A cache "hit"
+# is a launch that shipped only digest tokens to a worker; a "miss"
+# attached the serialized stage blob (first ship or stage_miss reship).
+COUNT_NET_FETCH_BATCHES = "net.fetch_batches"
+HIST_NET_BUCKETS_PER_FETCH = "net.buckets_per_fetch"
+COUNT_NET_BYTES_SAVED_COMPRESSION = "net.bytes_saved_compression"
+COUNT_STAGE_CACHE_HIT = "serde.stage_cache_hit"
+COUNT_STAGE_CACHE_MISS = "serde.stage_cache_miss"

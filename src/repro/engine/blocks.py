@@ -10,11 +10,16 @@ paper's recovery protocol handles.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import FetchFailed
 
 BlockKey = Tuple[int, int, int]  # (job_id, shuffle_id, map_index)
+
+# Per-request outcome markers for get_buckets (these literals are part of
+# the fetch_buckets wire protocol; see Worker.fetch_buckets).
+BUCKET_OK = "ok"
+BUCKET_MISSING = "missing"
 
 
 class BlockStore:
@@ -23,13 +28,23 @@ class BlockStore:
     def __init__(self, worker_id: str):
         self.worker_id = worker_id
         self._blocks: Dict[BlockKey, Dict[int, List]] = {}
+        self._records = 0
         self._lock = threading.Lock()
+
+    @staticmethod
+    def _block_records(buckets: Dict[int, List]) -> int:
+        return sum(len(v) for v in buckets.values())
 
     def put_map_output(
         self, job_id: int, shuffle_id: int, map_index: int, buckets: Dict[int, List]
     ) -> None:
+        key = (job_id, shuffle_id, map_index)
         with self._lock:
-            self._blocks[(job_id, shuffle_id, map_index)] = buckets
+            prior = self._blocks.get(key)
+            if prior is not None:
+                self._records -= self._block_records(prior)
+            self._blocks[key] = buckets
+            self._records += self._block_records(buckets)
 
     def has_map_output(self, job_id: int, shuffle_id: int, map_index: int) -> bool:
         with self._lock:
@@ -48,6 +63,28 @@ class BlockStore:
                 raise FetchFailed(shuffle_id, map_index, self.worker_id)
             return block.get(reduce_index, [])
 
+    def get_buckets(
+        self, job_id: int, requests: Sequence[Tuple[int, int, int]]
+    ) -> List[Tuple[str, Optional[List]]]:
+        """Serve many ``(shuffle_id, map_index, reduce_index)`` lookups in
+        one consistent pass.
+
+        Returns one ``(BUCKET_OK, bucket)`` or ``(BUCKET_MISSING, None)``
+        per request, in request order.  Unlike :meth:`get_bucket` this
+        never raises for an absent block: the batched fetch path needs
+        per-map-output partial-failure semantics, so absence is data —
+        the caller raises :class:`FetchFailed` for exactly the missing
+        outputs (§3.3 recovery unchanged)."""
+        out: List[Tuple[str, Optional[List]]] = []
+        with self._lock:
+            for shuffle_id, map_index, reduce_index in requests:
+                block = self._blocks.get((job_id, shuffle_id, map_index))
+                if block is None:
+                    out.append((BUCKET_MISSING, None))
+                else:
+                    out.append((BUCKET_OK, block.get(reduce_index, [])))
+        return out
+
     def bucket_sizes(
         self, job_id: int, shuffle_id: int, map_index: int
     ) -> Optional[Dict[int, int]]:
@@ -57,17 +94,26 @@ class BlockStore:
                 return None
             return {r: len(v) for r, v in block.items()}
 
+    @property
+    def stored_records(self) -> int:
+        """Total records held (record counts stand in for bytes, as in
+        :class:`~repro.engine.task.TaskReport.output_sizes`)."""
+        with self._lock:
+            return self._records
+
     def drop_job(self, job_id: int) -> int:
         """Garbage-collect every block belonging to ``job_id``."""
         with self._lock:
             doomed = [k for k in self._blocks if k[0] == job_id]
             for k in doomed:
+                self._records -= self._block_records(self._blocks[k])
                 del self._blocks[k]
             return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
             self._blocks.clear()
+            self._records = 0
 
     def __len__(self) -> int:
         with self._lock:

@@ -25,6 +25,7 @@ dependencies when a pre-scheduled task is moved to a new machine.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -568,13 +569,10 @@ class Driver:
 
         xfer_start = self.clock.now()
         for worker_id in sorted(per_worker):
-            descs = per_worker[worker_id]
-            self.metrics.counter(COUNT_TASKS_LAUNCHED).add(len(descs))
+            self.metrics.counter(COUNT_TASKS_LAUNCHED).add(len(per_worker[worker_id]))
             self.metrics.counter(COUNT_LAUNCH_RPCS).add(1)
-            try:
-                self.transport.call(worker_id, "launch_tasks", descs)
-            except WorkerLost:
-                self.on_worker_lost(worker_id)
+        for worker_id in self._launch_group(per_worker):
+            self.on_worker_lost(worker_id)
         for job_id, completed in prepopulate.items():
             for worker_id in self.alive_workers():
                 self.transport.try_call(worker_id, "pre_populate", job_id, completed)
@@ -596,6 +594,47 @@ class Driver:
             for job in jobs:
                 self._check_job_done(job)
         return job_ids
+
+    def _launch_group(
+        self, per_worker: Dict[str, List[TaskDescriptor]]
+    ) -> List[str]:
+        """Send one ``launch_tasks`` per worker; returns the workers that
+        were lost mid-launch.
+
+        Over tcp the per-worker launches are independent wire round trips,
+        so they go out concurrently (bounded like the fetch path by
+        ``DataPlaneConf.max_concurrent_fetches``).  In-process they stay
+        sequential: with a synchronous inline executor the launch *runs*
+        the tasks, and that determinism is part of the inproc contract.
+        Message counts are identical either way."""
+        workers = sorted(per_worker)
+        lost: List[str] = []
+
+        def launch(worker_id: str) -> Optional[str]:
+            try:
+                self.transport.call(worker_id, "launch_tasks", per_worker[worker_id])
+                return None
+            except WorkerLost:
+                return worker_id
+
+        max_conc = self.conf.transport.data_plane.max_concurrent_fetches
+        if (
+            self.conf.transport.backend != "tcp"
+            or len(workers) <= 1
+            or max_conc <= 1
+        ):
+            for worker_id in workers:
+                if launch(worker_id) is not None:
+                    lost.append(worker_id)
+            return lost
+        with ThreadPoolExecutor(
+            max_workers=min(max_conc, len(workers)),
+            thread_name_prefix="driver-launch",
+        ) as pool:
+            for worker_id in pool.map(launch, workers):
+                if worker_id is not None:
+                    lost.append(worker_id)
+        return lost
 
     def _build_prescheduled_tasks(self, job: JobState, assignment) -> List[
         Tuple[TaskDescriptor, str]

@@ -32,6 +32,16 @@ from repro.common.errors import WorkerLost
 from repro.common.metrics import COUNT_RPC_MESSAGES, MetricsRegistry
 from repro.obs.trace import NULL_RECORDER, Recorder, SpanContext
 
+# Method names with transport-level significance.  A transport may
+# rewrite the *payload* of these calls (e.g. the tcp transport replaces
+# launch_tasks plans with content-addressed stage-blob tokens, see
+# repro.net.stageblobs) but must deliver semantically identical
+# arguments to the endpoint and count exactly one engine message per
+# call() — internal renegotiation round trips are plumbing, like
+# discovery, and never touch COUNT_RPC_MESSAGES.
+LAUNCH_TASKS = "launch_tasks"
+FETCH_BUCKETS = "fetch_buckets"
+
 
 @dataclass(frozen=True)
 class Envelope:

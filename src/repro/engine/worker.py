@@ -18,14 +18,20 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.clock import Clock, WallClock
 from repro.common.config import EngineConf
 from repro.common.errors import FetchFailed, SerializationError, WorkerLost
-from repro.common.metrics import TIME_COMPUTE, MetricsRegistry
+from repro.common.metrics import (
+    COUNT_NET_FETCH_BATCHES,
+    HIST_NET_BUCKETS_PER_FETCH,
+    TIME_COMPUTE,
+    MetricsRegistry,
+)
 from repro.core.prescheduling import DepKey, PendingTaskTable
-from repro.engine.blocks import BlockStore
+from repro.engine.blocks import BUCKET_OK, BlockStore
 from repro.engine.executors import ComputeRequest, create_backend
 from repro.engine.rpc import BaseTransport
 from repro.engine.task import TaskDescriptor, TaskReport
@@ -201,6 +207,19 @@ class Worker:
         if self.is_dead:
             raise WorkerLost(self.worker_id, "fetch from dead worker")
         return self.blocks.get_bucket(job_id, shuffle_id, map_index, reduce_index)
+
+    def fetch_buckets(
+        self, job_id: int, requests: Sequence[Tuple[int, int, int]]
+    ) -> List[Tuple[str, Optional[List]]]:
+        """Serve every bucket a reduce task needs from this worker in one
+        round trip: ``requests`` is ``[(shuffle_id, map_index,
+        reduce_index), ...]`` and the reply carries one ``("ok", bucket)``
+        or ``("missing", None)`` per request, in order — partial failure
+        stays per map output, so the caller raises :class:`FetchFailed`
+        for exactly the absent blocks (§3.3 recovery unchanged)."""
+        if self.is_dead:
+            raise WorkerLost(self.worker_id, "fetch from dead worker")
+        return self.blocks.get_buckets(job_id, requests)
 
     def has_map_output(self, job_id: int, shuffle_id: int, map_index: int) -> bool:
         return not self.is_dead and self.blocks.has_map_output(
@@ -386,47 +405,76 @@ class Worker:
         """Pull every input bucket this task needs.
 
         Returns ``fetched[input_shuffle_index] = [bucket, ...]`` in map
-        order.  Location resolution order: explicit ``map_locations`` from
-        the driver (barrier mode) then locations learned from
-        notifications (pre-scheduled mode)."""
+        order.  The fast path batches: each needed ``(shuffle_id,
+        map_index)`` is looked up once even when several input shuffles
+        reference it, locally held blocks are read from the own
+        :class:`BlockStore` without consulting any location table, and
+        every remote peer is asked for *all* its buckets in a single
+        ``fetch_buckets`` round trip — peers in parallel, bounded by
+        ``DataPlaneConf.max_concurrent_fetches``.
+
+        Location resolution order for remote blocks: explicit
+        ``map_locations`` from the driver (barrier mode) then locations
+        learned from notifications (pre-scheduled mode)."""
         stage = desc.stage
         job_id = desc.task_id.job_id
         partition = desc.task_id.partition
         fetch_start = self.clock.now()
-        buckets_pulled = 0
-        fetched: List[List[List]] = []
+        # Dedupe: needed (shuffle_id, map_index) pairs in first-seen order.
+        per_spec: List[List[DepKey]] = []
+        order: List[DepKey] = []
+        seen: set = set()
         for spec in stage.input_shuffles:
-            streams: List[List] = []
-            for map_index in spec.map_indices_for_reducer(partition):
-                dep = (spec.shuffle_id, map_index)
-                location = desc.map_locations.get(dep)
-                if location is None:
-                    with self._lock:
-                        location = self._dep_locations.get(
-                            (job_id, spec.shuffle_id, map_index)
-                        )
-                if location is None:
-                    raise FetchFailed(spec.shuffle_id, map_index, "<unknown>")
-                if location == self.worker_id:
-                    bucket = self.blocks.get_bucket(
-                        job_id, spec.shuffle_id, map_index, partition
+            deps = [
+                (spec.shuffle_id, map_index)
+                for map_index in spec.map_indices_for_reducer(partition)
+            ]
+            per_spec.append(deps)
+            for dep in deps:
+                if dep not in seen:
+                    seen.add(dep)
+                    order.append(dep)
+        # Partition into local reads and per-peer remote batches.  A
+        # co-located block is served from the own store even when the
+        # location tables are stale or silent about it.
+        local: List[DepKey] = []
+        by_peer: Dict[str, List[DepKey]] = {}
+        for shuffle_id, map_index in order:
+            dep = (shuffle_id, map_index)
+            if self.blocks.has_map_output(job_id, shuffle_id, map_index):
+                local.append(dep)
+                continue
+            location = desc.map_locations.get(dep)
+            if location is None:
+                with self._lock:
+                    location = self._dep_locations.get(
+                        (job_id, shuffle_id, map_index)
                     )
-                else:
-                    try:
-                        bucket = self.transport.call(
-                            location,
-                            "fetch_bucket",
-                            job_id,
-                            spec.shuffle_id,
-                            map_index,
-                            partition,
-                        )
-                    except WorkerLost as err:
-                        raise FetchFailed(
-                            spec.shuffle_id, map_index, err.worker_id
-                        ) from err
-                streams.append(bucket)
-                buckets_pulled += 1
+            if location is None:
+                raise FetchFailed(shuffle_id, map_index, "<unknown>")
+            if location == self.worker_id:
+                local.append(dep)
+            else:
+                by_peer.setdefault(location, []).append(dep)
+        buckets: Dict[DepKey, List] = {}
+        for shuffle_id, map_index in local:
+            buckets[(shuffle_id, map_index)] = self.blocks.get_bucket(
+                job_id, shuffle_id, map_index, partition
+            )
+        if by_peer:
+            for peer_buckets in self._fetch_remote(job_id, partition, by_peer):
+                buckets.update(peer_buckets)
+        # Reassemble in input-shuffle/map order.  A bucket consumed by
+        # more than one input shuffle is copied after its first use:
+        # merge functions may consume or mutate the streams they get.
+        fetched: List[List[List]] = []
+        used: set = set()
+        for deps in per_spec:
+            streams: List[List] = []
+            for dep in deps:
+                bucket = buckets[dep]
+                streams.append(list(bucket) if dep in used else bucket)
+                used.add(dep)
             fetched.append(streams)
         if self.tracer.enabled:
             # Parent defaults to the active task.compute context.
@@ -436,6 +484,62 @@ class Worker:
                 self.clock.now(),
                 actor=self.worker_id,
                 task=str(desc.task_id),
-                buckets=buckets_pulled,
+                buckets=len(order),
+                local=len(local),
+                peers=len(by_peer),
             )
         return fetched
+
+    def _fetch_remote(
+        self, job_id: int, partition: int, by_peer: Dict[str, List[DepKey]]
+    ) -> List[Dict[DepKey, List]]:
+        """Issue one ``fetch_buckets`` call per peer, concurrently when
+        there are several peers (bounded)."""
+        max_conc = self.conf.transport.data_plane.max_concurrent_fetches
+        peers = list(by_peer)
+        if len(peers) == 1 or max_conc <= 1:
+            return [
+                self._fetch_from_peer(job_id, partition, peer, by_peer[peer])
+                for peer in peers
+            ]
+        results: List[Dict[DepKey, List]] = []
+        first_err: Optional[BaseException] = None
+        with ThreadPoolExecutor(
+            max_workers=min(max_conc, len(peers)),
+            thread_name_prefix=f"{self.worker_id}-fetch",
+        ) as pool:
+            futures = [
+                pool.submit(
+                    self._fetch_from_peer, job_id, partition, peer, by_peer[peer]
+                )
+                for peer in peers
+            ]
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except BaseException as err:  # noqa: BLE001 - surface the first
+                    if first_err is None:
+                        first_err = err
+        if first_err is not None:
+            raise first_err
+        return results
+
+    def _fetch_from_peer(
+        self, job_id: int, partition: int, peer: str, deps: List[DepKey]
+    ) -> Dict[DepKey, List]:
+        """All buckets this task needs from one peer, one round trip."""
+        requests = [
+            (shuffle_id, map_index, partition) for shuffle_id, map_index in deps
+        ]
+        self.metrics.counter(COUNT_NET_FETCH_BATCHES).add(1)
+        self.metrics.histogram(HIST_NET_BUCKETS_PER_FETCH).record(len(requests))
+        try:
+            replies = self.transport.call(peer, "fetch_buckets", job_id, requests)
+        except WorkerLost as err:
+            raise FetchFailed(deps[0][0], deps[0][1], err.worker_id) from err
+        out: Dict[DepKey, List] = {}
+        for (shuffle_id, map_index), (status, bucket) in zip(deps, replies):
+            if status != BUCKET_OK:
+                raise FetchFailed(shuffle_id, map_index, peer)
+            out[(shuffle_id, map_index)] = bucket
+        return out

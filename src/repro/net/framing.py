@@ -1,40 +1,65 @@
 """Length-prefixed binary framing for the tcp transport.
 
-Every message on a :mod:`repro.net` socket is one *frame*:
+Every message on a :mod:`repro.net` socket is one *frame*.  Two header
+layouts share the magic/version/kind prefix and are negotiated
+**per frame** — a sender only emits the extended layout when it has a
+flag to set, so peers that never compress interoperate bit-for-bit with
+the original protocol within the same run:
 
 ====== ====== ===========================================================
 offset size   field
 ====== ====== ===========================================================
 0      2      magic ``b"RN"``
-2      1      protocol version (currently 1)
+2      1      protocol version: 1 = base frame, 2 = flagged frame
 3      1      frame kind: 1 = request, 2 = response
-4      4      payload length, unsigned big-endian
-8      n      payload (closure-pickled, :mod:`repro.dag.serde`)
+4      1      flags byte (version 2 only; bit 0 = zlib payload)
+...    4      payload length on the wire, unsigned big-endian
+...    n      payload (closure-pickled, :mod:`repro.dag.serde`)
 ====== ====== ===========================================================
 
-The header is versioned so a future wire change can be detected instead
-of misparsed; a magic/version mismatch raises :class:`FrameError`
+The header is versioned so a wire change is detected instead of
+misparsed; a magic/version mismatch raises :class:`FrameError`
 immediately rather than desynchronizing the stream.  Payload size is
 bounded (1 GiB) purely as a corruption guard — a garbled length field
-otherwise reads as a multi-terabyte allocation.
+otherwise reads as a multi-terabyte allocation.  The same bound applies
+after decompression, so a hostile/corrupt zlib stream cannot balloon.
 """
 
 from __future__ import annotations
 
 import socket
 import struct
+import zlib
 from typing import Tuple
 
 from repro.common.errors import ReproError
 
 MAGIC = b"RN"
-VERSION = 1
+VERSION = 1  # base header: no flags byte
+VERSION_FLAGS = 2  # extended header: one flags byte before the length
 KIND_REQUEST = 1
 KIND_RESPONSE = 2
 
+# Base (version 1) header — also the layout tests and docs refer to.
 HEADER = struct.Struct(">2sBBI")
 HEADER_SIZE = HEADER.size  # 8 bytes
+# Extended (version 2) header: magic, version, kind, flags, length.
+HEADER_FLAGS = struct.Struct(">2sBBBI")
+HEADER_FLAGS_SIZE = HEADER_FLAGS.size  # 9 bytes
+# Shared prefix of both layouts, read first to pick the tail format.
+_PREFIX = struct.Struct(">2sBB")
+_TAIL_V1 = struct.Struct(">I")
+_TAIL_V2 = struct.Struct(">BI")
+
+# Flags byte bits (version-2 frames only).
+FLAG_ZLIB = 0x01
+_KNOWN_FLAGS = FLAG_ZLIB
+
 MAX_PAYLOAD = 1 << 30
+
+# zlib level 1: the payloads are pickles crossing loopback — cheap and
+# fast beats maximal ratio on this path.
+_ZLIB_LEVEL = 1
 
 
 class FrameError(ReproError):
@@ -46,11 +71,41 @@ class ConnectionClosed(ReproError):
     mid-frame."""
 
 
-def encode_frame(kind: int, payload: bytes) -> bytes:
-    """Build one wire frame: versioned header + payload."""
+def encode_frame(kind: int, payload: bytes, flags: int = 0) -> bytes:
+    """Build one wire frame: versioned header + payload.
+
+    With ``flags == 0`` the frame is byte-identical to the version-1
+    protocol; any set flag switches to the version-2 header.
+    """
     if len(payload) > MAX_PAYLOAD:
         raise FrameError(f"payload of {len(payload)} bytes exceeds frame limit")
+    if flags & ~_KNOWN_FLAGS:
+        raise FrameError(f"unknown frame flags 0x{flags:02x}")
+    if flags:
+        return HEADER_FLAGS.pack(MAGIC, VERSION_FLAGS, kind, flags, len(payload)) + payload
     return HEADER.pack(MAGIC, VERSION, kind, len(payload)) + payload
+
+
+def compress_payload(
+    payload: bytes, mode: str = "off", threshold: int = 4096
+) -> Tuple[bytes, int, int]:
+    """Maybe zlib-compress a payload before framing.
+
+    Returns ``(wire_payload, flags, bytes_saved)``.  ``mode`` follows
+    :class:`~repro.common.config.DataPlaneConf.compression`: ``"off"``
+    never compresses, ``"auto"`` compresses payloads of at least
+    ``threshold`` bytes, ``"on"`` tries every payload.  Compression is
+    kept only when it actually shrinks the payload, so the flag on the
+    wire always means the receiver must inflate.
+    """
+    if mode == "off" or not payload:
+        return payload, 0, 0
+    if mode == "auto" and len(payload) < threshold:
+        return payload, 0, 0
+    packed = zlib.compress(payload, _ZLIB_LEVEL)
+    if len(packed) >= len(payload):
+        return payload, 0, 0
+    return packed, FLAG_ZLIB, len(payload) - len(packed)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -65,21 +120,49 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return bytes(buf)
 
 
-def read_frame(sock: socket.socket) -> Tuple[int, bytes]:
-    """Read one complete frame; returns ``(kind, payload)``.
+def read_frame_ex(sock: socket.socket) -> Tuple[int, bytes, int, int]:
+    """Read one complete frame; returns ``(kind, payload, flags,
+    wire_payload_len)``.
 
-    Raises :class:`ConnectionClosed` on EOF and :class:`FrameError` on a
-    header that is not ours (wrong magic, unknown version, absurd size).
+    ``payload`` is the logical (decompressed) payload; ``wire_payload_len``
+    is what actually crossed the socket, for the byte counters.  Raises
+    :class:`ConnectionClosed` on EOF and :class:`FrameError` on a header
+    that is not ours (wrong magic, unknown version/flags, absurd size).
     """
-    header = _recv_exact(sock, HEADER_SIZE)
-    magic, version, kind, length = HEADER.unpack(header)
+    magic, version, kind = _PREFIX.unpack(_recv_exact(sock, _PREFIX.size))
     if magic != MAGIC:
         raise FrameError(f"bad magic {magic!r} (expected {MAGIC!r})")
-    if version != VERSION:
+    if version == VERSION:
+        flags = 0
+        (length,) = _TAIL_V1.unpack(_recv_exact(sock, _TAIL_V1.size))
+    elif version == VERSION_FLAGS:
+        flags, length = _TAIL_V2.unpack(_recv_exact(sock, _TAIL_V2.size))
+    else:
         raise FrameError(f"unsupported frame version {version}")
     if kind not in (KIND_REQUEST, KIND_RESPONSE):
         raise FrameError(f"unknown frame kind {kind}")
+    if flags & ~_KNOWN_FLAGS:
+        raise FrameError(f"unknown frame flags 0x{flags:02x}")
     if length > MAX_PAYLOAD:
         raise FrameError(f"frame length {length} exceeds limit")
     payload = _recv_exact(sock, length) if length else b""
+    if flags & FLAG_ZLIB:
+        try:
+            payload = zlib.decompress(payload)
+        except zlib.error as err:
+            raise FrameError(f"corrupt compressed payload: {err}") from err
+        if len(payload) > MAX_PAYLOAD:
+            raise FrameError(
+                f"decompressed payload of {len(payload)} bytes exceeds frame limit"
+            )
+    return kind, payload, flags, length
+
+
+def read_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    """Read one complete frame; returns ``(kind, payload)``.
+
+    Compressed frames are inflated transparently; callers that need the
+    flags or on-the-wire size use :func:`read_frame_ex`.
+    """
+    kind, payload, _flags, _wire_len = read_frame_ex(sock)
     return kind, payload

@@ -117,6 +117,18 @@ class ConnectionPool:
         with contextlib.suppress(OSError):
             sock.close()
 
+    def invalidate(self, addr: Address) -> None:
+        """Close every idle socket to one peer.
+
+        Used when an address is discovered stale (the peer re-announced
+        elsewhere or is gone): pooled sockets to the old address must not
+        be handed out again."""
+        with self._lock:
+            sockets = self._idle.pop(addr, [])
+        for sock in sockets:
+            with contextlib.suppress(OSError):
+                sock.close()
+
     def close(self) -> None:
         """Close every idle socket and refuse further checkouts."""
         with self._lock:

@@ -23,6 +23,7 @@ from typing import Callable, List, Set, Tuple
 
 from repro.common.metrics import (
     COUNT_NET_BYTES_RECEIVED,
+    COUNT_NET_BYTES_SAVED_COMPRESSION,
     COUNT_NET_BYTES_SENT,
     MetricsRegistry,
 )
@@ -31,8 +32,9 @@ from repro.net.framing import (
     KIND_RESPONSE,
     ConnectionClosed,
     FrameError,
+    compress_payload,
     encode_frame,
-    read_frame,
+    read_frame_ex,
 )
 
 # Every open server, for leak detection: tests assert that no server
@@ -54,9 +56,13 @@ class MessageServer:
         metrics: MetricsRegistry,
         host: str = "127.0.0.1",
         name: str = "net",
+        compression: str = "off",
+        compress_threshold: int = 4096,
     ):
         self._handler = handler
         self.metrics = metrics
+        self._compression = compression
+        self._compress_threshold = compress_threshold
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, 0))
@@ -104,16 +110,22 @@ class MessageServer:
         try:
             while True:
                 try:
-                    kind, payload = read_frame(conn)
+                    kind, payload, _flags, wire_len = read_frame_ex(conn)
                 except (ConnectionClosed, FrameError, OSError):
                     return
                 if kind != KIND_REQUEST:
                     return  # protocol violation; drop the connection
-                self.metrics.counter(COUNT_NET_BYTES_RECEIVED).add(
-                    len(payload)
-                )
+                # Byte counters are wire truth: the compressed size.
+                self.metrics.counter(COUNT_NET_BYTES_RECEIVED).add(wire_len)
                 response = self._handler(payload)
-                frame = encode_frame(KIND_RESPONSE, response)
+                wire, flags, saved = compress_payload(
+                    response, self._compression, self._compress_threshold
+                )
+                if saved:
+                    self.metrics.counter(
+                        COUNT_NET_BYTES_SAVED_COMPRESSION
+                    ).add(saved)
+                frame = encode_frame(KIND_RESPONSE, wire, flags)
                 try:
                     conn.sendall(frame)
                 except OSError:

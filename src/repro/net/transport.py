@@ -44,23 +44,26 @@ from repro.common.config import TransportConf
 from repro.common.errors import SerializationError, WorkerLost
 from repro.common.metrics import (
     COUNT_NET_BYTES_RECEIVED,
+    COUNT_NET_BYTES_SAVED_COMPRESSION,
     COUNT_NET_BYTES_SENT,
     COUNT_RPC_MESSAGES,
     HIST_NET_CALL_LATENCY,
     MetricsRegistry,
 )
 from repro.dag.serde import dumps_closure, loads_closure
-from repro.engine.rpc import BaseTransport, Envelope
+from repro.engine.rpc import LAUNCH_TASKS, BaseTransport, Envelope
 from repro.net.framing import (
     KIND_REQUEST,
     KIND_RESPONSE,
     ConnectionClosed,
     FrameError,
+    compress_payload,
     encode_frame,
-    read_frame,
+    read_frame_ex,
 )
 from repro.net.pool import Address, ConnectFailed, ConnectionPool
 from repro.net.server import MessageServer
+from repro.net.stageblobs import StageBlobReceiver, StageBlobSender, WireLaunch
 from repro.obs.trace import Recorder
 
 # Directory/ping methods handled by the transport itself; they never
@@ -73,6 +76,18 @@ PING = "__ping__"
 _OK = "ok"
 _ERR = "err"
 _LOST = "lost"
+# Receiver-side stage-blob cache miss: the response value lists the
+# digests to re-ship.  Like discovery, the retry is plumbing — the
+# renegotiated exchange still counts as one engine message.
+_STAGE_MISS = "stage_miss"
+
+# Attempts for one launch negotiation (first send + stage_miss reships).
+_MAX_LAUNCH_ATTEMPTS = 3
+
+
+class _ConnectRefused(WorkerLost):
+    """Internal marker: the failure was a refused dial, so the request was
+    never delivered and a retry at a fresh address is safe."""
 
 
 class TcpTransport(BaseTransport):
@@ -103,7 +118,26 @@ class TcpTransport(BaseTransport):
             max_retries=self.conf.max_retries,
             retry_backoff_s=self.conf.retry_backoff_s,
         )
-        self.server = MessageServer(self._handle_raw, self.metrics, name=name)
+        dp = self.conf.data_plane
+        self._compression = dp.compression
+        self._compress_threshold = dp.compress_threshold_bytes
+        if dp.stage_blob_cache_entries > 0:
+            self._stage_sender: Optional[StageBlobSender] = StageBlobSender(
+                self.metrics, dp.stage_blob_cache_entries
+            )
+            self._stage_receiver: Optional[StageBlobReceiver] = StageBlobReceiver(
+                dp.stage_blob_cache_entries
+            )
+        else:
+            self._stage_sender = None
+            self._stage_receiver = None
+        self.server = MessageServer(
+            self._handle_raw,
+            self.metrics,
+            name=name,
+            compression=self._compression,
+            compress_threshold=self._compress_threshold,
+        )
 
     # ------------------------------------------------------------------
     # Registry API (Transport contract)
@@ -137,6 +171,7 @@ class TcpTransport(BaseTransport):
         callers fail fast without dialling."""
         with self._lock:
             self._dead.add(endpoint_id)
+            self._addr_cache.pop(endpoint_id, None)
             local = endpoint_id in self._local
             all_local_dead = all(eid in self._dead for eid in self._local)
         if local and all_local_dead:
@@ -179,15 +214,103 @@ class TcpTransport(BaseTransport):
         ctx = self.tracer.current() if self.tracer.enabled else None
         envelope = Envelope(dst_id, method, ctx)
         start = self._clock.now()
-        status, value = self._internal_call(addr, envelope, args, kwargs)
+        try:
+            status, value = self._exchange(addr, envelope, args, kwargs)
+        except _ConnectRefused as refused:
+            # Nothing was listening at `addr` — possibly a *stale* cached
+            # address for a peer that re-announced elsewhere.  A refused
+            # connect delivered nothing, so one retry at a freshly
+            # resolved address is safe (never for mid-exchange failures).
+            fresh = self._refresh_addr(dst_id)
+            if fresh is None or fresh == addr:
+                with self._lock:
+                    self._dead.add(dst_id)
+                raise WorkerLost(dst_id, refused.reason) from refused
+            try:
+                status, value = self._exchange(fresh, envelope, args, kwargs)
+            except WorkerLost:
+                with self._lock:
+                    self._dead.add(dst_id)
+                self._forget_addr(dst_id)
+                raise
+        except WorkerLost:
+            # Mid-exchange loss: the cached address may be stale too, but
+            # the request may have been delivered — no retry, just make
+            # sure the next caller re-resolves.
+            self._forget_addr(dst_id)
+            raise
         self.metrics.histogram(f"{HIST_NET_CALL_LATENCY}.{method}").record(
             self._clock.now() - start
         )
         if status == _OK:
             return value
         if status == _LOST:
+            self._forget_addr(dst_id)
             raise WorkerLost(dst_id, str(value))
         raise value  # _ERR: the handler's exception, re-raised caller-side
+
+    def _exchange(
+        self, addr: Address, envelope: Envelope, args: Tuple, kwargs: Optional[Dict]
+    ) -> Tuple[str, Any]:
+        """One engine exchange, including any transport-internal
+        renegotiation (stage-blob reships) that stays off the counters."""
+        if (
+            envelope.method == LAUNCH_TASKS
+            and self._stage_sender is not None
+            and len(args) == 1
+            and not kwargs
+        ):
+            return self._launch_exchange(addr, envelope, args[0])
+        return self._internal_call(addr, envelope, args, kwargs)
+
+    def _launch_exchange(
+        self, addr: Address, envelope: Envelope, descriptors: Any
+    ) -> Tuple[str, Any]:
+        """Send a launch with plans tokenized; re-ship blobs on
+        ``stage_miss`` until the receiver can decode (bounded)."""
+        force: frozenset = frozenset()
+        for _attempt in range(_MAX_LAUNCH_ATTEMPTS):
+            launch, digests = self._stage_sender.encode(
+                envelope.dst, descriptors, force=force
+            )
+            status, value = self._internal_call(addr, envelope, (launch,), None)
+            if status == _STAGE_MISS:
+                force = force | frozenset(value)
+                continue
+            if status == _OK:
+                self._stage_sender.mark_shipped(envelope.dst, digests)
+            return status, value
+        return (
+            _LOST,
+            f"stage-blob negotiation with {envelope.dst} did not converge",
+        )
+
+    def _forget_addr(self, dst_id: str) -> None:
+        """Drop a (possibly stale) cached address and its pooled sockets."""
+        with self._lock:
+            addr = self._addr_cache.pop(dst_id, None)
+        if addr is not None:
+            self.pool.invalidate(addr)
+
+    def _refresh_addr(self, dst_id: str) -> Optional[Address]:
+        """Forget any cached address for ``dst_id`` and re-resolve through
+        the hub; returns the fresh address, or None if unresolvable."""
+        self._forget_addr(dst_id)
+        if self.is_hub:
+            with self._lock:
+                return self._directory.get(dst_id)
+        try:
+            status, value = self._internal_call(
+                self._hub_addr, Envelope("<hub>", RESOLVE, None), (dst_id,)
+            )
+        except WorkerLost:
+            return None
+        if status != _OK or value is None:
+            return None
+        addr = (value[0], value[1])
+        with self._lock:
+            self._addr_cache[dst_id] = addr
+        return addr
 
     # ------------------------------------------------------------------
     # Discovery
@@ -225,26 +348,32 @@ class TcpTransport(BaseTransport):
             (envelope, args, kwargs or {}),
             context=f"rpc {envelope.method!r} payload",
         )
-        frame = encode_frame(KIND_REQUEST, payload)
+        wire, flags, saved = compress_payload(
+            payload, self._compression, self._compress_threshold
+        )
+        if saved:
+            self.metrics.counter(COUNT_NET_BYTES_SAVED_COMPRESSION).add(saved)
+        frame = encode_frame(KIND_REQUEST, wire, flags)
         dst = envelope.dst
         try:
             with self.pool.connection(addr) as sock:
                 sock.sendall(frame)
                 self.metrics.counter(COUNT_NET_BYTES_SENT).add(len(frame))
-                kind, response = read_frame(sock)
+                kind, response, _flags, wire_len = read_frame_ex(sock)
         except ConnectFailed as err:
-            # Nothing is listening there any more: the peer machine is
-            # gone.  Remember it so later callers fail without dialling.
-            with self._lock:
-                self._dead.add(dst)
-            raise WorkerLost(dst, f"connection refused: {err}") from err
+            # Nothing is listening there: either the peer is gone or the
+            # address is stale.  call() decides — it may retry once at a
+            # freshly resolved address (a refused dial delivered nothing)
+            # before caching the peer dead.
+            raise _ConnectRefused(dst, f"connection refused: {err}") from err
         except (ConnectionClosed, FrameError, OSError) as err:
             raise WorkerLost(
                 dst, f"connection lost during {envelope.method!r}: {err}"
             ) from err
         if kind != KIND_RESPONSE:
             raise WorkerLost(dst, f"protocol violation: frame kind {kind}")
-        self.metrics.counter(COUNT_NET_BYTES_RECEIVED).add(len(response))
+        # Byte counters are wire truth: the compressed size.
+        self.metrics.counter(COUNT_NET_BYTES_RECEIVED).add(wire_len)
         status, value = loads_closure(response)
         return status, value
 
@@ -275,8 +404,16 @@ class TcpTransport(BaseTransport):
         if method == ANNOUNCE:
             endpoint_id, host, port = args
             with self._lock:
+                prior = self._directory.get(endpoint_id)
                 self._directory[endpoint_id] = (host, port)
                 self._dead.discard(endpoint_id)
+                self._addr_cache.pop(endpoint_id, None)
+            if prior is not None and prior != (host, port):
+                # Re-registration at a new address: stale pooled sockets
+                # must not serve it, and its blob cache is gone with it.
+                self.pool.invalidate(prior)
+                if self._stage_sender is not None:
+                    self._stage_sender.forget_peer(endpoint_id)
             return (_OK, None)
         if method == RESOLVE:
             (endpoint_id,) = args
@@ -297,6 +434,20 @@ class TcpTransport(BaseTransport):
             if envelope.dst in self._dead:
                 return (_LOST, f"endpoint is down: {envelope.dst}")
             target = self._local[envelope.dst]
+        if (
+            method == LAUNCH_TASKS
+            and args
+            and isinstance(args[0], WireLaunch)
+        ):
+            receiver = self._stage_receiver
+            if receiver is None:
+                # Caching disabled locally but the sender tokenized anyway
+                # (mixed configuration): decode without retaining.
+                receiver = StageBlobReceiver(cache_entries=len(args[0].blobs) or 1)
+            descriptors, missing = receiver.decode(args[0])
+            if missing:
+                return (_STAGE_MISS, missing)
+            args = (descriptors,) + args[1:]
         try:
             if self.tracer.enabled and envelope.trace_ctx is not None:
                 with self.tracer.activate(envelope.trace_ctx):

@@ -15,13 +15,18 @@ from repro.common.metrics import (
     COUNT_GROUPS_SCHEDULED,
     COUNT_LAUNCH_RPCS,
     COUNT_NET_BYTES_RECEIVED,
+    COUNT_NET_BYTES_SAVED_COMPRESSION,
     COUNT_NET_BYTES_SENT,
     COUNT_NET_CONNECT_RETRIES,
     COUNT_NET_CONNECTIONS,
+    COUNT_NET_FETCH_BATCHES,
     COUNT_RECOVERIES,
     COUNT_RPC_MESSAGES,
     COUNT_SPECULATIVE,
+    COUNT_STAGE_CACHE_HIT,
+    COUNT_STAGE_CACHE_MISS,
     COUNT_TASKS_LAUNCHED,
+    HIST_NET_BUCKETS_PER_FETCH,
     HIST_NET_CALL_LATENCY,
     TIME_COMPUTE,
     TIME_COORDINATION,
@@ -101,6 +106,11 @@ METRIC_NAMES = frozenset(
         COUNT_NET_BYTES_RECEIVED,
         COUNT_NET_CONNECTIONS,
         COUNT_NET_CONNECT_RETRIES,
+        COUNT_NET_FETCH_BATCHES,
+        HIST_NET_BUCKETS_PER_FETCH,
+        COUNT_NET_BYTES_SAVED_COMPRESSION,
+        COUNT_STAGE_CACHE_HIT,
+        COUNT_STAGE_CACHE_MISS,
     }
 )
 

@@ -123,3 +123,62 @@ class TestReporting:
         row = latency_summary_row("x", [0.1, 0.2, 0.3])
         assert row[0] == "x"
         assert row[1] == pytest.approx(200.0)  # median in ms
+
+
+class TestBenchEnvironmentAndBaseline:
+    def test_environment_fingerprint_fields(self):
+        from repro.bench.reporting import bench_environment
+
+        env = bench_environment()
+        assert set(env) >= {"cpu_count", "platform", "python", "git_sha", "transport"}
+        assert env["cpu_count"] >= 1
+        assert env["transport"]["data_plane"]["max_concurrent_fetches"] >= 1
+
+    def test_write_bench_json_embeds_environment(self, tmp_path):
+        import json
+
+        from repro.bench.reporting import write_bench_json
+
+        path = write_bench_json("envtest", {"rows": []}, out_dir=str(tmp_path))
+        with open(path) as f:
+            doc = json.load(f)
+        assert doc["experiment"] == "envtest"
+        assert "git_sha" in doc["environment"]
+
+    def test_load_baseline_rows_from_file_and_dir(self, tmp_path):
+        from repro.bench.reporting import load_baseline_rows, write_bench_json
+
+        rows = [{"transport": "tcp", "group_size": 20, "ms_per_batch": 2.0}]
+        path = write_bench_json("base", {"rows": rows}, out_dir=str(tmp_path))
+        assert load_baseline_rows("base", path) == rows
+        assert load_baseline_rows("base", str(tmp_path)) == rows
+        assert load_baseline_rows("missing", str(tmp_path)) is None
+
+    def test_diff_against_baseline_flags_regressions_only(self):
+        from repro.bench.reporting import diff_against_baseline
+
+        baseline = [
+            {"transport": "tcp", "group_size": 20, "ms_per_batch": 2.0},
+            {"transport": "tcp", "group_size": 1, "ms_per_batch": 1.0},
+            {"transport": "inproc", "group_size": 20, "ms_per_batch": 0.5},
+        ]
+        current = [
+            {"transport": "tcp", "group_size": 20, "ms_per_batch": 1.0},  # improved
+            {"transport": "tcp", "group_size": 1, "ms_per_batch": 1.5},  # regressed
+            {"transport": "inproc", "group_size": 5, "ms_per_batch": 9.9},  # no base
+        ]
+        report, regressions = diff_against_baseline(
+            current, baseline, regression_threshold=1.20
+        )
+        assert regressions == 1
+        assert "improved" in report and "REGRESSION" in report
+        assert "no baseline row" in report
+
+    def test_diff_within_noise_threshold_is_ok(self):
+        from repro.bench.reporting import diff_against_baseline
+
+        base = [{"transport": "tcp", "group_size": 20, "ms_per_batch": 1.0}]
+        cur = [{"transport": "tcp", "group_size": 20, "ms_per_batch": 1.1}]
+        report, regressions = diff_against_baseline(cur, base)
+        assert regressions == 0
+        assert "ok" in report

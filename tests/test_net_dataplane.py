@@ -1,0 +1,602 @@
+"""Data-plane fast-path tests: v2 framing & compression, batched
+``fetch_buckets`` with per-map-output partial failure, BlockStore
+accounting, content-addressed stage-blob caching (including the
+``stage_miss`` reship recovery path), and stale-address invalidation on
+worker re-announce."""
+
+import socket
+import threading
+import zlib
+
+import pytest
+
+from repro.common.config import (
+    DataPlaneConf,
+    EngineConf,
+    SchedulingMode,
+    TransportConf,
+)
+from repro.common.errors import ConfigError, FetchFailed, WorkerLost
+from repro.common.metrics import (
+    COUNT_NET_BYTES_SAVED_COMPRESSION,
+    COUNT_NET_FETCH_BATCHES,
+    COUNT_RPC_MESSAGES,
+    COUNT_STAGE_CACHE_HIT,
+    COUNT_STAGE_CACHE_MISS,
+    HIST_NET_BUCKETS_PER_FETCH,
+    MetricsRegistry,
+)
+from repro.dag.dataset import parallelize
+from repro.dag.plan import collect_action, compile_plan
+from repro.engine.blocks import BUCKET_MISSING, BUCKET_OK, BlockStore
+from repro.engine.rpc import Transport
+from repro.engine.task import TaskDescriptor, TaskId
+from repro.engine.worker import Worker
+from repro.net import FrameError, TcpTransport, encode_frame, read_frame
+from repro.net.framing import (
+    FLAG_ZLIB,
+    HEADER,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    MAGIC,
+    VERSION,
+    compress_payload,
+    read_frame_ex,
+)
+from repro.net.stageblobs import (
+    StageBlobReceiver,
+    StageBlobSender,
+    WireLaunch,
+    blob_digest,
+)
+
+from engine_test_utils import make_cluster
+from test_engine_worker import _FakeDriver, wait_for
+
+
+# ----------------------------------------------------------------------
+# Framing v2: flags byte + zlib compression
+# ----------------------------------------------------------------------
+class TestFramingFlags:
+    def _exchange(self, frame: bytes):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(frame)
+            return read_frame_ex(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_flags_zero_is_bit_identical_to_v1(self):
+        payload = b"legacy peers must not notice"
+        assert encode_frame(KIND_REQUEST, payload) == (
+            HEADER.pack(MAGIC, VERSION, KIND_REQUEST, len(payload)) + payload
+        )
+
+    def test_compressed_roundtrip(self):
+        payload = b"abc" * 2000
+        wire, flags, saved = compress_payload(payload, mode="on")
+        assert flags == FLAG_ZLIB and saved > 0 and len(wire) < len(payload)
+        kind, got, got_flags, wire_len = self._exchange(
+            encode_frame(KIND_RESPONSE, wire, flags)
+        )
+        assert (kind, got, got_flags) == (KIND_RESPONSE, payload, FLAG_ZLIB)
+        assert wire_len == len(wire)  # byte counters see the wire size
+
+    def test_plain_read_frame_inflates_transparently(self):
+        payload = b"xyz" * 5000
+        wire, flags, _saved = compress_payload(payload, mode="on")
+        a, b = socket.socketpair()
+        try:
+            a.sendall(encode_frame(KIND_REQUEST, wire, flags))
+            assert read_frame(b) == (KIND_REQUEST, payload)
+        finally:
+            a.close()
+            b.close()
+
+    def test_mixed_versions_on_one_connection(self):
+        # Per-frame negotiation: a v1 frame followed by a v2 frame.
+        payload = b"data" * 3000
+        wire, flags, _ = compress_payload(payload, mode="on")
+        a, b = socket.socketpair()
+        try:
+            a.sendall(encode_frame(KIND_REQUEST, b"plain"))
+            a.sendall(encode_frame(KIND_REQUEST, wire, flags))
+            assert read_frame(b) == (KIND_REQUEST, b"plain")
+            assert read_frame(b) == (KIND_REQUEST, payload)
+        finally:
+            a.close()
+            b.close()
+
+    def test_unknown_flags_rejected_at_encode(self):
+        with pytest.raises(FrameError, match="flags"):
+            encode_frame(KIND_REQUEST, b"x", flags=0x80)
+
+    def test_unknown_flags_rejected_at_decode(self):
+        from repro.net.framing import HEADER_FLAGS, VERSION_FLAGS
+
+        frame = HEADER_FLAGS.pack(MAGIC, VERSION_FLAGS, KIND_REQUEST, 0x40, 1) + b"x"
+        with pytest.raises(FrameError, match="flags"):
+            self._exchange(frame)
+
+    def test_corrupt_compressed_payload_is_frame_error(self):
+        garbage = b"definitely not zlib"
+        frame = encode_frame(KIND_REQUEST, garbage, FLAG_ZLIB)
+        with pytest.raises(FrameError, match="corrupt"):
+            self._exchange(frame)
+
+    def test_compress_modes(self):
+        big = b"a" * 10000
+        small = b"a" * 100
+        # off: never.
+        assert compress_payload(big, mode="off") == (big, 0, 0)
+        # auto: only at/above threshold.
+        assert compress_payload(small, mode="auto", threshold=4096)[1] == 0
+        assert compress_payload(big, mode="auto", threshold=4096)[1] == FLAG_ZLIB
+        # on: every payload worth shrinking.
+        assert compress_payload(small, mode="on")[1] == FLAG_ZLIB
+
+    def test_incompressible_payload_sent_plain(self):
+        # zlib output of random-ish data does not shrink; the flag must
+        # only appear when the receiver actually has to inflate.
+        incompressible = zlib.compress(b"seed" * 600, 9)
+        wire, flags, saved = compress_payload(incompressible, mode="on")
+        assert (wire, flags, saved) == (incompressible, 0, 0)
+
+
+class TestDataPlaneConf:
+    def test_defaults_validate(self):
+        DataPlaneConf().validate()
+        TransportConf().data_plane.validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_concurrent_fetches": 0},
+            {"compression": "lzma"},
+            {"compress_threshold_bytes": -1},
+            {"stage_blob_cache_entries": -1},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            DataPlaneConf(**kwargs).validate()
+
+    def test_env_selects_compression(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NET_COMPRESSION", "on")
+        assert DataPlaneConf().compression == "on"
+        monkeypatch.setenv("REPRO_NET_COMPRESSION", "off")
+        assert DataPlaneConf().compression == "off"
+
+
+# ----------------------------------------------------------------------
+# BlockStore accounting + batched reads
+# ----------------------------------------------------------------------
+class TestBlockStore:
+    def test_drop_job_reclaims_records(self):
+        store = BlockStore("w0")
+        store.put_map_output(0, 10, 0, {0: [1, 2], 1: [3]})
+        store.put_map_output(0, 10, 1, {0: [4]})
+        store.put_map_output(1, 11, 0, {0: [5, 6, 7]})
+        assert store.stored_records == 7
+        assert store.drop_job(0) == 2
+        assert store.stored_records == 3
+        assert len(store) == 1
+
+    def test_replacing_block_does_not_double_count(self):
+        store = BlockStore("w0")
+        store.put_map_output(0, 10, 0, {0: [1, 2, 3]})
+        store.put_map_output(0, 10, 0, {0: [1]})  # speculative re-run
+        assert store.stored_records == 1
+        store.clear()
+        assert store.stored_records == 0
+
+    def test_bucket_sizes(self):
+        store = BlockStore("w0")
+        store.put_map_output(0, 10, 0, {0: [1, 2], 1: []})
+        assert store.bucket_sizes(0, 10, 0) == {0: 2, 1: 0}
+        assert store.bucket_sizes(0, 10, 9) is None
+
+    def test_get_buckets_partial_results_in_request_order(self):
+        store = BlockStore("w0")
+        store.put_map_output(0, 10, 0, {0: [1], 1: [2]})
+        replies = store.get_buckets(
+            0, [(10, 0, 1), (10, 7, 0), (10, 0, 0), (10, 0, 5)]
+        )
+        assert replies == [
+            (BUCKET_OK, [2]),
+            (BUCKET_MISSING, None),  # absent block is data, not an exception
+            (BUCKET_OK, [1]),
+            (BUCKET_OK, []),  # present block, empty reduce partition
+        ]
+
+    def test_concurrent_put_and_get(self):
+        store = BlockStore("w0")
+        errors = []
+
+        def writer(map_index):
+            for _ in range(50):
+                store.put_map_output(0, 10, map_index, {0: [map_index] * 4})
+
+        def reader():
+            for _ in range(200):
+                replies = store.get_buckets(0, [(10, 0, 0), (10, 1, 0)])
+                for status, bucket in replies:
+                    if status == BUCKET_OK and len(bucket) != 4:
+                        errors.append(bucket)
+                _ = store.stored_records
+
+        threads = [threading.Thread(target=writer, args=(i,)) for i in (0, 1)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert store.stored_records == 8
+
+
+# ----------------------------------------------------------------------
+# Batched fetches through the worker
+# ----------------------------------------------------------------------
+def _shuffle_fixture(num_workers, maps=2, reducers=1):
+    """Workers on one inproc transport plus a reduce plan over ``maps``
+    map outputs."""
+    transport = Transport(MetricsRegistry())
+    driver = _FakeDriver()
+    transport.register("driver", driver)
+    workers = []
+    for i in range(num_workers):
+        w = Worker(f"w{i}", transport, EngineConf(), MetricsRegistry())
+        w.start()
+        workers.append(w)
+    data = [(chr(ord("a") + i), 1) for i in range(maps)]
+    plan = compile_plan(
+        parallelize(data, maps).reduce_by_key(lambda a, b: a + b, reducers),
+        collect_action(),
+    )
+    shuffle_id = plan.stages[0].output_shuffle.shuffle_id
+    return transport, driver, workers, plan, shuffle_id
+
+
+def _reduce_descriptor(plan, shuffle_id, maps, locations):
+    return TaskDescriptor(
+        task_id=TaskId(0, 1, 0),
+        plan=plan,
+        pre_scheduled=False,
+        deps=frozenset((shuffle_id, m) for m in range(maps)),
+        map_locations={(shuffle_id, m): locations[m] for m in range(maps)},
+    )
+
+
+class TestBatchedFetch:
+    def test_fetch_buckets_rpc_serves_batch(self):
+        _, _, (w0,), _, _ = _shuffle_fixture(1)
+        try:
+            w0.blocks.put_map_output(0, 10, 0, {0: [1], 1: [2]})
+            replies = w0.fetch_buckets(0, [(10, 0, 0), (10, 0, 1), (10, 3, 0)])
+            assert replies == [
+                (BUCKET_OK, [1]),
+                (BUCKET_OK, [2]),
+                (BUCKET_MISSING, None),
+            ]
+        finally:
+            w0.shutdown()
+
+    def test_fetch_buckets_on_dead_worker_raises(self):
+        _, _, (w0,), _, _ = _shuffle_fixture(1)
+        w0.kill()
+        with pytest.raises(WorkerLost):
+            w0.fetch_buckets(0, [(10, 0, 0)])
+        w0.shutdown()
+
+    def test_one_round_trip_per_peer(self):
+        # 4 map outputs on 2 peers -> exactly 2 fetch_buckets batches of
+        # 2 buckets each, not 4 sequential fetch_bucket calls.
+        _, driver, workers, plan, sid = _shuffle_fixture(3, maps=4)
+        w0, w1, w2 = workers
+        try:
+            for m, holder in enumerate([w1, w1, w2, w2]):
+                buckets = {0: [(chr(ord("a") + m), 1)]}
+                holder.blocks.put_map_output(0, sid, m, buckets)
+            desc = _reduce_descriptor(
+                plan, sid, 4, {0: "w1", 1: "w1", 2: "w2", 3: "w2"}
+            )
+            w0.launch_tasks([desc])
+            assert wait_for(lambda: len(driver.reports) == 1)
+            assert driver.reports[0].succeeded
+            assert sorted(driver.reports[0].result) == [
+                ("a", 1), ("b", 1), ("c", 1), ("d", 1),
+            ]
+            assert w0.metrics.counter(COUNT_NET_FETCH_BATCHES).value == 2
+            assert w0.metrics.histogram(
+                HIST_NET_BUCKETS_PER_FETCH
+            ).snapshot() == [2.0, 2.0]
+        finally:
+            for w in workers:
+                w.shutdown()
+
+    def test_partial_failure_names_exactly_the_dead_peers_outputs(self):
+        _, driver, workers, plan, sid = _shuffle_fixture(3, maps=2)
+        w0, w1, w2 = workers
+        try:
+            w1.blocks.put_map_output(0, sid, 0, {0: [("a", 1)]})
+            w2.kill()  # map output 1 is gone with its worker
+            desc = _reduce_descriptor(plan, sid, 2, {0: "w1", 1: "w2"})
+            w0.launch_tasks([desc])
+            assert wait_for(lambda: len(driver.reports) == 1)
+            err = driver.reports[0].error
+            assert isinstance(err, FetchFailed)
+            assert (err.shuffle_id, err.map_index, err.worker_id) == (sid, 1, "w2")
+        finally:
+            for w in workers:
+                w.shutdown()
+
+    def test_missing_block_on_live_peer_is_fetch_failed(self):
+        _, driver, workers, plan, sid = _shuffle_fixture(2, maps=1)
+        w0, w1 = workers
+        try:
+            # w1 is alive but never produced the block (eviction/drop).
+            desc = _reduce_descriptor(plan, sid, 1, {0: "w1"})
+            w0.launch_tasks([desc])
+            assert wait_for(lambda: len(driver.reports) == 1)
+            err = driver.reports[0].error
+            assert isinstance(err, FetchFailed)
+            assert (err.map_index, err.worker_id) == (0, "w1")
+        finally:
+            for w in workers:
+                w.shutdown()
+
+    def test_local_store_preferred_over_stale_location(self):
+        # The block lives in w0's own store; map_locations stale-points at
+        # a dead peer.  Local-first means no wire call and no failure.
+        _, driver, workers, plan, sid = _shuffle_fixture(2, maps=1)
+        w0, w1 = workers
+        try:
+            w0.blocks.put_map_output(0, sid, 0, {0: [("a", 1)]})
+            w1.kill()
+            desc = _reduce_descriptor(plan, sid, 1, {0: "w1"})
+            w0.launch_tasks([desc])
+            assert wait_for(lambda: len(driver.reports) == 1)
+            assert driver.reports[0].succeeded
+            assert w0.metrics.counter(COUNT_NET_FETCH_BATCHES).value == 0
+        finally:
+            for w in workers:
+                w.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Stage-blob caching
+# ----------------------------------------------------------------------
+def _descriptors(plan, n=2):
+    return [
+        TaskDescriptor(task_id=TaskId(0, 0, p), plan=plan, pre_scheduled=True)
+        for p in range(n)
+    ]
+
+
+def _plan():
+    return compile_plan(
+        parallelize([1, 2, 3], 2).map(lambda x: x + 1), collect_action()
+    )
+
+
+class TestStageBlobs:
+    def test_first_launch_ships_blob_second_ships_token(self):
+        metrics = MetricsRegistry()
+        sender = StageBlobSender(metrics)
+        receiver = StageBlobReceiver()
+        plan = _plan()
+
+        launch, digests = sender.encode("w0", _descriptors(plan))
+        assert len(launch.blobs) == 1 and len(digests) == 1
+        decoded, missing = receiver.decode(launch)
+        assert missing == [] and len(decoded) == 2
+        sender.mark_shipped("w0", digests)
+
+        launch2, _ = sender.encode("w0", _descriptors(plan))
+        assert launch2.blobs == {}  # token-only
+        decoded2, missing2 = receiver.decode(launch2)
+        assert missing2 == []
+        # Both rebuilt descriptors share the one cached plan object.
+        assert decoded2[0].plan is decoded2[1].plan is decoded[0].plan
+        assert metrics.counter(COUNT_STAGE_CACHE_HIT).value == 1
+        assert metrics.counter(COUNT_STAGE_CACHE_MISS).value == 1
+
+    def test_per_peer_shipped_sets(self):
+        sender = StageBlobSender(MetricsRegistry())
+        plan = _plan()
+        _, digests = sender.encode("w0", _descriptors(plan))
+        sender.mark_shipped("w0", digests)
+        launch_w1, _ = sender.encode("w1", _descriptors(plan))
+        assert len(launch_w1.blobs) == 1  # w1 never saw the blob
+
+    def test_receiver_cache_loss_reports_missing(self):
+        sender = StageBlobSender(MetricsRegistry())
+        receiver = StageBlobReceiver()
+        plan = _plan()
+        launch, digests = sender.encode("w0", _descriptors(plan))
+        receiver.decode(launch)
+        sender.mark_shipped("w0", digests)
+        receiver.clear()  # simulated worker restart
+        token_only, _ = sender.encode("w0", _descriptors(plan))
+        decoded, missing = receiver.decode(token_only)
+        assert decoded is None and missing == digests
+        # force= attaches the blob again and the receiver recovers.
+        reship, _ = sender.encode("w0", _descriptors(plan), force=frozenset(missing))
+        assert set(reship.blobs) == set(missing)
+        decoded2, missing2 = receiver.decode(reship)
+        assert missing2 == [] and len(decoded2) == 2
+
+    def test_forget_peer_reships(self):
+        sender = StageBlobSender(MetricsRegistry())
+        plan = _plan()
+        _, digests = sender.encode("w0", _descriptors(plan))
+        sender.mark_shipped("w0", digests)
+        sender.forget_peer("w0")
+        launch, _ = sender.encode("w0", _descriptors(plan))
+        assert len(launch.blobs) == 1
+
+    def test_corrupt_blob_rejected_as_missing(self):
+        receiver = StageBlobReceiver()
+        sender = StageBlobSender(MetricsRegistry())
+        plan = _plan()
+        launch, _ = sender.encode("w0", _descriptors(plan))
+        (digest,) = launch.blobs
+        tampered = WireLaunch(
+            descriptors=launch.descriptors, blobs={digest: b"poisoned bytes"}
+        )
+        decoded, missing = receiver.decode(tampered)
+        assert decoded is None and missing == [digest]
+        assert len(receiver) == 0
+
+    def test_blob_digest_is_content_address(self):
+        assert blob_digest(b"abc") == blob_digest(b"abc")
+        assert blob_digest(b"abc") != blob_digest(b"abd")
+        assert len(blob_digest(b"abc")) == 16
+
+
+# ----------------------------------------------------------------------
+# TcpTransport integration: stage_miss reship + re-announce invalidation
+# ----------------------------------------------------------------------
+class _LaunchSink:
+    """Worker stand-in capturing decoded launch payloads."""
+
+    def __init__(self):
+        self.launches = []
+
+    def launch_tasks(self, descriptors):
+        self.launches.append(descriptors)
+        return "accepted"
+
+    def add(self, a, b):
+        return a + b
+
+
+def _tcp(metrics=None, hub_addr=None, name=None, **conf_kwargs):
+    conf_kwargs.setdefault("backend", "tcp")
+    conf_kwargs.setdefault("max_retries", 1)
+    conf_kwargs.setdefault("retry_backoff_s", 0.001)
+    return TcpTransport(
+        metrics or MetricsRegistry(),
+        conf=TransportConf(**conf_kwargs),
+        hub_addr=hub_addr,
+        name=name,
+    )
+
+
+class TestTcpDataPlane:
+    def test_stage_miss_reship_recovers_lost_worker_cache(self):
+        hub = _tcp(name="hub")
+        peer = _tcp(hub_addr=hub.address, name="peer")
+        try:
+            sink = _LaunchSink()
+            peer.register("worker", sink)
+            plan = _plan()
+
+            assert hub.call("worker", "launch_tasks", _descriptors(plan)) == "accepted"
+            assert hub.call("worker", "launch_tasks", _descriptors(plan)) == "accepted"
+            hits = hub.metrics.counter(COUNT_STAGE_CACHE_HIT).value
+            misses = hub.metrics.counter(COUNT_STAGE_CACHE_MISS).value
+            assert (hits, misses) == (1, 1)
+            assert len(peer._stage_receiver) == 1
+
+            # The worker loses its cache; the hub still believes the blob
+            # is shipped, so the next launch is token-only, the worker
+            # answers stage_miss, and the hub re-ships transparently.
+            peer._stage_receiver.clear()
+            rpc_before = hub.metrics.counter(COUNT_RPC_MESSAGES).value
+            assert hub.call("worker", "launch_tasks", _descriptors(plan)) == "accepted"
+            # Renegotiation is plumbing: one call() = one counted message.
+            assert hub.metrics.counter(COUNT_RPC_MESSAGES).value == rpc_before + 1
+            assert hub.metrics.counter(COUNT_STAGE_CACHE_MISS).value == misses + 1
+            assert len(sink.launches) == 3
+            for descriptors in sink.launches:
+                assert [d.task_id.partition for d in descriptors] == [0, 1]
+                assert descriptors[0].plan is descriptors[1].plan
+        finally:
+            peer.close()
+            hub.close()
+
+    def test_compressed_calls_cross_the_wire(self):
+        data_plane = DataPlaneConf(compression="on", compress_threshold_bytes=1)
+        hub = _tcp(name="hub", data_plane=data_plane)
+        peer = _tcp(hub_addr=hub.address, name="peer", data_plane=data_plane)
+        try:
+            sink = _LaunchSink()
+            peer.register("worker", sink)
+            big = "x" * 50000
+            assert hub.call("worker", "add", big, big) == big + big
+            assert (
+                hub.metrics.counter(COUNT_NET_BYTES_SAVED_COMPRESSION).value > 0
+            )
+        finally:
+            peer.close()
+            hub.close()
+
+    def test_reannounce_at_new_port_reaches_new_server(self):
+        hub = _tcp(name="hub")
+        caller = _tcp(hub_addr=hub.address, name="caller")
+        first = _tcp(hub_addr=hub.address, name="workerB-1")
+        second = None
+        try:
+            first.register("workerB", _LaunchSink())
+            assert caller.call("workerB", "add", 1, 2) == 3  # caches the addr
+            old_addr = first.address
+            first.close()  # worker process dies...
+            second = _tcp(hub_addr=hub.address, name="workerB-2")
+            second.register("workerB", _LaunchSink())  # ...and re-announces
+            # Drop the idle pooled connection (as an idle timeout would).
+            # The cached address is now stale: the dial is refused, which
+            # delivered nothing, so the caller re-resolves through the
+            # hub and safely retries once at the fresh address.
+            caller.pool.invalidate(old_addr)
+            assert caller.call("workerB", "add", 40, 2) == 42
+        finally:
+            for t in (second, first, caller, hub):
+                if t is not None:
+                    t.close()
+
+    def test_stale_pooled_connection_fails_once_then_recovers(self):
+        hub = _tcp(name="hub")
+        caller = _tcp(hub_addr=hub.address, name="caller")
+        first = _tcp(hub_addr=hub.address, name="workerB-1")
+        second = None
+        try:
+            first.register("workerB", _LaunchSink())
+            assert caller.call("workerB", "add", 1, 2) == 3
+            first.close()
+            second = _tcp(hub_addr=hub.address, name="workerB-2")
+            second.register("workerB", _LaunchSink())
+            # The pooled socket to the dead server EOFs mid-exchange.
+            # That is never retried (the request may have been delivered),
+            # but it invalidates the address cache and the pool...
+            with pytest.raises(WorkerLost):
+                caller.call("workerB", "add", 1, 1)
+            # ...so the next call re-resolves and reaches the new server.
+            assert caller.call("workerB", "add", 40, 2) == 42
+        finally:
+            for t in (second, first, caller, hub):
+                if t is not None:
+                    t.close()
+
+
+# ----------------------------------------------------------------------
+# End-to-end: same plan object re-run on a tcp cluster hits the cache
+# ----------------------------------------------------------------------
+class TestTcpClusterStageCache:
+    def test_repeated_jobs_hit_stage_cache_and_survive_cache_loss(self):
+        with make_cluster(
+            SchedulingMode.DRIZZLE, workers=2, slots=2, transport="tcp"
+        ) as cluster:
+            dataset = parallelize(list(range(20)), 4).map(lambda x: x * 2)
+            assert sorted(cluster.collect(dataset)) == sorted(
+                x * 2 for x in range(20)
+            )
+            metrics = cluster.metrics
+            misses = metrics.counter(COUNT_STAGE_CACHE_MISS).value
+            assert misses > 0
+            # Second job: new plan, new blob -> more misses, still correct.
+            dataset2 = parallelize(list(range(10)), 2).map(lambda x: x + 1)
+            assert sorted(cluster.collect(dataset2)) == list(range(1, 11))
+            assert metrics.counter(COUNT_STAGE_CACHE_MISS).value > misses
