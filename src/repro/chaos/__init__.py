@@ -1,0 +1,21 @@
+"""Deterministic fault injection (see docs/robustness.md).
+
+Import surface is deliberately small: :mod:`repro.chaos.plan` and
+:mod:`repro.chaos.injector` only, so production modules (net, engine)
+can import chaos hooks without cycles.  The soak runner lives in
+:mod:`repro.chaos.soak` and is imported lazily by ``__main__`` because it
+depends on the engine.
+"""
+
+from repro.chaos.injector import ChaosInjector, active, chaos_hit, install, uninstall
+from repro.chaos.plan import FaultEvent, FaultPlan
+
+__all__ = [
+    "ChaosInjector",
+    "FaultEvent",
+    "FaultPlan",
+    "active",
+    "chaos_hit",
+    "install",
+    "uninstall",
+]

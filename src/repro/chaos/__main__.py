@@ -1,0 +1,13 @@
+"""``python -m repro.chaos`` — soak runner and fault-plan tools.
+
+Imported lazily from :mod:`repro.chaos.soak` because the soak runner
+pulls in the whole engine, which ``repro.chaos`` itself must not (the
+injection hooks in net/engine import ``repro.chaos``).
+"""
+
+import sys
+
+from repro.chaos.soak import main
+
+if __name__ == "__main__":
+    sys.exit(main())

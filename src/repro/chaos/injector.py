@@ -1,0 +1,149 @@
+"""Process-global fault injector.
+
+Production code asks :func:`chaos_hit` whether a fault is scheduled at a
+named site.  With no injector installed the call is a single global read
+returning ``None`` — cheap enough to leave in hot paths.  When a
+:class:`ChaosInjector` is installed (by ``LocalCluster`` when
+``ChaosConf.enabled``), each hit increments a per-site counter and fires
+the plan's event scheduled for that exact count.
+
+The injector only *reports* what should happen; the call site owns the
+mechanics of making it happen (raising, sleeping, killing), because only
+the site knows how to fail safely at that point.  Every fired event is
+recorded on the injector's fault log, counted under ``chaos.*`` metrics,
+and emitted as an obs instant event so traces show which fault caused
+which recovery.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+from repro.common.errors import ReproError
+from repro.common.metrics import (
+    CHAOS_KIND_PREFIX,
+    COUNT_CHAOS_INJECTED,
+    COUNT_CHAOS_SUPPRESSED,
+)
+from repro.obs.names import EVENT_CHAOS_FAULT
+
+from repro.chaos.plan import KILL_KINDS, FaultEvent, FaultPlan
+
+_LOCK = threading.Lock()
+_ACTIVE: Optional["ChaosInjector"] = None
+
+
+class ChaosInjector:
+    """Fires a :class:`FaultPlan`'s events on exact per-site hit counts."""
+
+    def __init__(self, plan: FaultPlan, metrics=None, tracer=None, kill_budget: int = 1):
+        self.plan = plan
+        self.metrics = metrics
+        self.tracer = tracer
+        self.kill_budget = kill_budget
+        self.records: List[Dict[str, object]] = []
+        self._hits: Dict[str, int] = {}
+        self._pending: Dict[str, Dict[int, FaultEvent]] = {}
+        self._lock = threading.Lock()
+        for event in plan:
+            self._pending.setdefault(event.site, {})[event.at_hit] = event
+
+    def hit(self, site: str, target: str = "", method: str = "") -> Optional[FaultEvent]:
+        with self._lock:
+            count = self._hits.get(site, 0) + 1
+            self._hits[site] = count
+            event = self._pending.get(site, {}).pop(count, None)
+            if event is None:
+                return None
+            if event.kind in KILL_KINDS:
+                if self.kill_budget <= 0:
+                    self._record(event, target, method, count, suppressed=True)
+                    return None
+                self.kill_budget -= 1
+            self._record(event, target, method, count, suppressed=False)
+        # Metrics/tracing outside the lock: both are internally locked.
+        if self.metrics is not None:
+            if event is not None:
+                self.metrics.counter(COUNT_CHAOS_INJECTED).add(1)
+                self.metrics.counter(f"{CHAOS_KIND_PREFIX}.{event.kind}").add(1)
+        if self.tracer is not None and event is not None:
+            try:
+                self.tracer.instant(
+                    EVENT_CHAOS_FAULT,
+                    actor="chaos",
+                    site=site,
+                    kind=event.kind,
+                    target=target,
+                    method=method,
+                    hit=count,
+                )
+            except Exception:
+                pass  # tracing must never turn a fault into a crash
+        return event
+
+    def _record(
+        self, event: FaultEvent, target: str, method: str, count: int, suppressed: bool
+    ) -> None:
+        # Called under self._lock.
+        self.records.append(
+            {
+                "event_id": event.event_id,
+                "site": event.site,
+                "kind": event.kind,
+                "target": target,
+                "method": method,
+                "hit": count,
+                "param": event.param,
+                "suppressed": suppressed,
+            }
+        )
+        if suppressed and self.metrics is not None:
+            self.metrics.counter(COUNT_CHAOS_SUPPRESSED).add(1)
+
+    @property
+    def injected_count(self) -> int:
+        with self._lock:
+            return sum(1 for r in self.records if not r["suppressed"])
+
+    def fault_log(self) -> List[str]:
+        with self._lock:
+            return [
+                f"{'SUPPRESSED ' if r['suppressed'] else ''}"
+                f"{r['kind']} @ {r['site']} hit {r['hit']}"
+                f"{' target=' + str(r['target']) if r['target'] else ''}"
+                f"{' method=' + str(r['method']) if r['method'] else ''}"
+                for r in self.records
+            ]
+
+
+def install(injector: ChaosInjector) -> None:
+    global _ACTIVE
+    with _LOCK:
+        if _ACTIVE is not None and _ACTIVE is not injector:
+            raise ReproError(
+                "a different ChaosInjector is already installed; "
+                "shut down the previous chaos cluster first"
+            )
+        _ACTIVE = injector
+
+
+def uninstall(injector: ChaosInjector) -> None:
+    """Remove ``injector`` if it is the active one (idempotent)."""
+    global _ACTIVE
+    with _LOCK:
+        if _ACTIVE is injector:
+            _ACTIVE = None
+
+
+def active() -> Optional[ChaosInjector]:
+    return _ACTIVE
+
+
+def chaos_hit(site: str, target: str = "", method: str = "") -> Optional[FaultEvent]:
+    """The hook production code calls: ``None`` unless chaos is armed AND
+    a fault is scheduled for this exact hit of ``site``."""
+    injector = _ACTIVE
+    if injector is None:
+        return None
+    return injector.hit(site, target=target, method=method)

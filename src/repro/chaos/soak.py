@@ -1,0 +1,359 @@
+"""Chaos soak runner: N seeded runs, each diffed against a fault-free run.
+
+The property under test is the paper's recovery argument (§3.3): with
+deterministic workloads, a run that survives injected faults must produce
+*exactly* the output of a fault-free run — same batches, same counts, no
+losses, no duplicates.  Each iteration builds a fresh cluster armed with
+``ChaosConf(seed=...)``, runs the workload, and compares.  On mismatch (or
+an unrecovered error) the seed, the generated fault plan, and the log of
+faults actually fired are dumped so the failure is reproducible with::
+
+    python -m repro.chaos soak --seeds 1 --seed-base <seed> ...
+
+Invoked as ``python -m repro.chaos soak``; importable for tests via
+:func:`run_soak` / :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.chaos.plan import FaultPlan
+from repro.common.config import (
+    CHAOS_PROFILES,
+    ChaosConf,
+    EngineConf,
+    ExecutorConf,
+    MonitorConf,
+    SchedulingMode,
+    SpeculationConf,
+    TransportConf,
+)
+
+_ALPHABET = ["a", "b", "c", "d", "e", "f"]
+
+
+@dataclass
+class SoakSettings:
+    """One soak configuration (shared by the baseline and every seed)."""
+
+    workload: str = "wordcount"
+    profile: str = "mixed"
+    transport: str = "tcp"
+    executor: str = "process"
+    workers: int = 3
+    batches: int = 6
+    group_size: int = 3
+    intensity: float = 1.0
+    stage_timeout_s: float = 30.0
+
+
+@dataclass
+class SeedResult:
+    seed: int
+    ok: bool
+    injected: int
+    mismatch: bool = False
+    error: Optional[str] = None
+    duration_s: float = 0.0
+    fault_log: List[str] = field(default_factory=list)
+
+
+def _make_conf(settings: SoakSettings, chaos: Optional[ChaosConf]) -> EngineConf:
+    return EngineConf(
+        num_workers=settings.workers,
+        slots_per_worker=2,
+        scheduling_mode=SchedulingMode.DRIZZLE,
+        group_size=settings.group_size,
+        checkpoint_interval_batches=3,
+        monitor=MonitorConf(
+            enable_heartbeats=True,
+            heartbeat_interval_s=0.05,
+            heartbeat_timeout_s=0.5,
+        ),
+        speculation=SpeculationConf(
+            enabled=True,
+            check_interval_s=0.05,
+            min_runtime_s=0.25,
+            min_completed_fraction=0.25,
+        ),
+        transport=TransportConf(
+            backend=settings.transport,
+            connect_timeout_s=0.5,
+            call_timeout_s=5.0,
+        ),
+        executor=ExecutorConf(backend=settings.executor),
+        stage_timeout_s=settings.stage_timeout_s,
+        # Explicit, even for baselines: REPRO_CHAOS_* in the environment
+        # must never arm the fault-free reference run.
+        chaos=chaos or ChaosConf(enabled=False),
+    )
+
+
+def _word_batches(data_seed: int, num_batches: int, n: int = 40) -> List[List[str]]:
+    out = []
+    for b in range(num_batches):
+        rng = random.Random(f"soak-data/{data_seed}/{b}")
+        out.append([rng.choice(_ALPHABET) for _ in range(n)])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Workloads.  Each returns (canonical_result, injected_count, fault_log);
+# canonical results are plain sorted structures so == is the diff.
+# ----------------------------------------------------------------------
+def _run_wordcount(
+    conf: EngineConf, batches: List[List[str]]
+) -> Tuple[Any, int, List[str]]:
+    from repro.dag.dataset import parallelize
+    from repro.dag.plan import collect_action, compile_plan
+    from repro.engine.cluster import LocalCluster
+
+    with LocalCluster(conf) as cluster:
+        plans = [
+            compile_plan(
+                parallelize(words, 4)
+                .map(lambda w: (w, 1))
+                .reduce_by_key(lambda a, b: a + b, 3),
+                collect_action(),
+                map_side_combine=conf.map_side_combine,
+            )
+            for words in batches
+        ]
+        results = cluster.run_group(plans)
+        canonical = [sorted(r) for r in results]
+        injected = cluster.chaos.injected_count if cluster.chaos else 0
+        log = cluster.chaos.fault_log() if cluster.chaos else []
+    return canonical, injected, log
+
+
+def _run_streaming(
+    conf: EngineConf, batches: List[List[str]]
+) -> Tuple[Any, int, List[str]]:
+    from repro.engine.cluster import LocalCluster
+    from repro.streaming.context import StreamingContext
+    from repro.streaming.sources import FixedBatchSource
+
+    with LocalCluster(conf) as cluster:
+        source = FixedBatchSource(batches, 4)
+        ctx = StreamingContext(cluster, source, batch_interval_s=0.05)
+        store = ctx.state_store("counts")
+        stream = (
+            ctx.stream().map(lambda w: (w, 1)).reduce_by_key(lambda a, b: a + b, 3)
+        )
+        stream.update_state(store, merge=lambda a, b: a + b)
+        ctx.run_batches(len(batches))
+        canonical = sorted(store.items())
+        injected = cluster.chaos.injected_count if cluster.chaos else 0
+        log = cluster.chaos.fault_log() if cluster.chaos else []
+    return canonical, injected, log
+
+
+WORKLOADS: Dict[str, Callable[[EngineConf, List[List[str]]], Tuple[Any, int, List[str]]]] = {
+    "wordcount": _run_wordcount,
+    "streaming": _run_streaming,
+}
+
+# The streaming workload defaults to the streaming fault profile (its
+# checkpoint/replay sites see no traffic under plain wordcount).
+DEFAULT_PROFILE = {"wordcount": "mixed", "streaming": "streaming"}
+
+
+def run_soak(
+    settings: SoakSettings,
+    seeds: int,
+    seed_base: int = 0,
+    out_dir: Optional[str] = None,
+    echo: Callable[[str], None] = print,
+) -> Dict[str, Any]:
+    """Run ``seeds`` seeded iterations; returns a JSON-able summary with
+    ``ok`` true iff every run matched the fault-free baseline AND injected
+    at least one fault."""
+    workload = WORKLOADS[settings.workload]
+    batches = _word_batches(settings.workers * 1000 + settings.batches, settings.batches)
+    out_path = Path(out_dir) if out_dir else None
+    if out_path is not None:
+        out_path.mkdir(parents=True, exist_ok=True)
+
+    echo(
+        f"soak: workload={settings.workload} profile={settings.profile} "
+        f"transport={settings.transport} executor={settings.executor} "
+        f"workers={settings.workers} batches={settings.batches}"
+    )
+    expected, _, _ = workload(_make_conf(settings, None), batches)
+    echo("baseline (fault-free) computed")
+
+    results: List[SeedResult] = []
+    for i in range(seeds):
+        seed = seed_base + i
+        chaos = ChaosConf(
+            enabled=True,
+            seed=seed,
+            profile=settings.profile,
+            intensity=settings.intensity,
+            max_worker_kills=1,
+        )
+        started = time.monotonic()
+        got: Any = None
+        error: Optional[str] = None
+        injected = 0
+        fault_log: List[str] = []
+        try:
+            got, injected, fault_log = workload(_make_conf(settings, chaos), batches)
+        except Exception:  # noqa: BLE001 - any escape is a soak failure
+            error = traceback.format_exc()
+        duration = time.monotonic() - started
+        mismatch = error is None and got != expected
+        ok = error is None and not mismatch and injected >= 1
+        results.append(
+            SeedResult(
+                seed=seed,
+                ok=ok,
+                injected=injected,
+                mismatch=mismatch,
+                error=error,
+                duration_s=round(duration, 3),
+                fault_log=fault_log,
+            )
+        )
+        status = "ok" if ok else ("MISMATCH" if mismatch else ("ERROR" if error else "NO-FAULTS"))
+        echo(
+            f"seed {seed}: {status} ({injected} fault(s) injected, "
+            f"{duration:.1f}s)"
+        )
+        if not ok:
+            _report_failure(
+                settings, seed, chaos, expected, got, error, fault_log, out_path, echo
+            )
+
+    summary = {
+        "ok": all(r.ok for r in results),
+        "seeds": seeds,
+        "seed_base": seed_base,
+        "settings": asdict(settings),
+        "results": [asdict(r) for r in results],
+    }
+    if out_path is not None:
+        (out_path / "soak-summary.json").write_text(json.dumps(summary, indent=2))
+    passed = sum(1 for r in results if r.ok)
+    echo(f"soak: {passed}/{seeds} seed(s) passed")
+    return summary
+
+
+def _report_failure(
+    settings: SoakSettings,
+    seed: int,
+    chaos: ChaosConf,
+    expected: Any,
+    got: Any,
+    error: Optional[str],
+    fault_log: List[str],
+    out_path: Optional[Path],
+    echo: Callable[[str], None],
+) -> None:
+    plan = FaultPlan.generate(seed, settings.profile, settings.intensity)
+    echo(f"--- failure for seed {seed} ---")
+    echo(plan.describe())
+    for line in fault_log:
+        echo(f"  fired: {line}")
+    echo(
+        "reproduce with: python -m repro.chaos soak --seeds 1 "
+        f"--seed-base {seed} --profile {settings.profile} "
+        f"--workload {settings.workload} --transport {settings.transport} "
+        f"--executor {settings.executor} --workers {settings.workers} "
+        f"--batches {settings.batches}"
+    )
+    if out_path is None:
+        return
+    payload = {
+        "seed": seed,
+        "settings": asdict(settings),
+        "chaos": asdict(chaos),
+        "plan": [e.describe() for e in plan],
+        "fault_log": fault_log,
+        "error": error,
+        "expected": _jsonable(expected),
+        "got": _jsonable(got),
+    }
+    (out_path / f"soak-failure-seed-{seed}.json").write_text(
+        json.dumps(payload, indent=2)
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    try:
+        json.dumps(value)
+        return value
+    except (TypeError, ValueError):
+        return repr(value)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Deterministic fault injection: soak runs and fault-plan tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    soak = sub.add_parser("soak", help="run seeded chaos iterations and diff results")
+    soak.add_argument("--seeds", type=int, default=20, help="number of seeded runs")
+    soak.add_argument("--seed-base", type=int, default=0, help="first seed")
+    soak.add_argument("--profile", choices=CHAOS_PROFILES, default=None)
+    soak.add_argument("--workload", choices=sorted(WORKLOADS), default="wordcount")
+    soak.add_argument("--transport", choices=("inproc", "tcp"), default="tcp")
+    soak.add_argument("--executor", choices=("inline", "thread", "process"), default="process")
+    soak.add_argument("--workers", type=int, default=3)
+    soak.add_argument("--batches", type=int, default=6)
+    soak.add_argument("--group-size", type=int, default=3)
+    soak.add_argument("--intensity", type=float, default=1.0)
+    soak.add_argument("--stage-timeout", type=float, default=30.0)
+    soak.add_argument("--out", default=None, help="directory for summary/failure JSON")
+
+    plan = sub.add_parser("plan", help="print the fault plan for one seed")
+    plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument("--profile", choices=CHAOS_PROFILES, default="mixed")
+    plan.add_argument("--intensity", type=float, default=1.0)
+
+    sub.add_parser("profiles", help="list fault profiles")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "profiles":
+        for name in CHAOS_PROFILES:
+            print(name)
+        return 0
+    if args.command == "plan":
+        print(FaultPlan.generate(args.seed, args.profile, args.intensity).describe())
+        return 0
+    settings = SoakSettings(
+        workload=args.workload,
+        profile=args.profile or DEFAULT_PROFILE[args.workload],
+        transport=args.transport,
+        executor=args.executor,
+        workers=args.workers,
+        batches=args.batches,
+        group_size=args.group_size,
+        intensity=args.intensity,
+        stage_timeout_s=args.stage_timeout,
+    )
+    summary = run_soak(
+        settings, seeds=args.seeds, seed_base=args.seed_base, out_dir=args.out
+    )
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

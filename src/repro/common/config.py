@@ -276,6 +276,63 @@ class MonitorConf:
             raise ConfigError("heartbeat_timeout_s must be >= heartbeat_interval_s")
 
 
+# Known fault-plan profiles.  The authoritative template definitions
+# live in repro.chaos.plan (which imports this tuple to stay in sync);
+# validation happens here so a bad profile fails at conf time, before a
+# cluster exists.
+CHAOS_PROFILES = ("net", "workers", "storage", "streaming", "mixed")
+
+
+def _default_chaos_enabled() -> bool:
+    # Arming via the environment lets CI soak whole pytest runs without
+    # editing EngineConf constructions, mirroring REPRO_TRANSPORT.
+    return bool(
+        os.environ.get("REPRO_CHAOS_SEED") or os.environ.get("REPRO_CHAOS_PROFILE")
+    )
+
+
+def _default_chaos_seed() -> int:
+    return int(os.environ.get("REPRO_CHAOS_SEED", "0") or "0")
+
+
+def _default_chaos_profile() -> str:
+    return os.environ.get("REPRO_CHAOS_PROFILE", "mixed")
+
+
+@dataclass
+class ChaosConf:
+    """Deterministic fault injection (``repro.chaos``).
+
+    Disarmed by default: every injection hook is a no-op unless
+    ``enabled`` is true (set explicitly or via ``REPRO_CHAOS_SEED`` /
+    ``REPRO_CHAOS_PROFILE``).  When armed, the cluster derives a
+    :class:`repro.chaos.plan.FaultPlan` from ``(seed, profile,
+    intensity)`` and installs a process-global injector for the cluster's
+    lifetime; the same seed always yields the same fault schedule.
+    """
+
+    enabled: bool = field(default_factory=_default_chaos_enabled)
+    seed: int = field(default_factory=_default_chaos_seed)
+    profile: str = field(default_factory=_default_chaos_profile)
+    # Scales the number of scheduled fault events (1.0 ≈ 6 events).
+    intensity: float = 1.0
+    # Hard cap on injected machine kills per run; the cluster further
+    # clamps it to num_workers - 1 so a plan can never kill the last
+    # survivor.
+    max_worker_kills: int = 1
+
+    def validate(self) -> None:
+        if self.profile not in CHAOS_PROFILES:
+            raise ConfigError(
+                f"chaos profile must be one of {CHAOS_PROFILES}, "
+                f"got {self.profile!r}"
+            )
+        if self.intensity <= 0:
+            raise ConfigError("chaos intensity must be positive")
+        if self.max_worker_kills < 0:
+            raise ConfigError("chaos max_worker_kills must be >= 0")
+
+
 @dataclass
 class EngineConf:
     """Configuration for the local BSP engine and the simulator."""
@@ -301,6 +358,16 @@ class EngineConf:
     executor: ExecutorConf = field(default_factory=ExecutorConf)
     transport: TransportConf = field(default_factory=TransportConf)
     monitor: MonitorConf = field(default_factory=MonitorConf)
+    chaos: ChaosConf = field(default_factory=ChaosConf)
+    # Deadline for one stage (and for wait_job when no explicit timeout is
+    # given): a stalled stage raises a descriptive StageTimeout naming the
+    # pending tasks and their workers instead of blocking forever.  None
+    # keeps the historical wait-forever behaviour.
+    stage_timeout_s: Optional[float] = None
+    # Per-task recovery retry budget: once a task has been re-attempted
+    # this many times the job fails with RecoveryBudgetExceeded carrying
+    # the fault history, instead of resubmitting forever.
+    max_task_retries: int = 8
     # Deterministic seed used by hash partitioners and workload generators.
     seed: int = 0
 
@@ -331,12 +398,17 @@ class EngineConf:
             )
             self.monitor.heartbeat_timeout_s = self.heartbeat_timeout_s
             self.heartbeat_timeout_s = None
+        if self.stage_timeout_s is not None and self.stage_timeout_s <= 0:
+            raise ConfigError("stage_timeout_s must be positive (or None)")
+        if self.max_task_retries < 1:
+            raise ConfigError("max_task_retries must be >= 1")
         self.tuner.validate()
         self.speculation.validate()
         self.tracing.validate()
         self.executor.validate()
         self.transport.validate()
         self.monitor.validate()
+        self.chaos.validate()
         if (
             self.scheduling_mode is SchedulingMode.PER_BATCH
             and self.group_size != 1

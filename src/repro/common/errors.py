@@ -60,6 +60,69 @@ class FetchFailed(RecoverableError):
         return (FetchFailed, (self.shuffle_id, self.map_index, self.worker_id))
 
 
+class StageTimeout(RecoverableError):
+    """A stage made no progress within the configured deadline.
+
+    Raised by :meth:`repro.engine.driver.Driver.wait_job` and
+    ``_await_stage`` when ``EngineConf.stage_timeout_s`` (or an explicit
+    ``timeout``) expires, naming the stalled stage, its pending
+    partitions, and the workers they were placed on — so an injected hang
+    surfaces as a descriptive error instead of a wedged run.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        stage_index: int,
+        pending,
+        workers,
+        timeout_s: float,
+    ):
+        pending = list(pending)
+        workers = list(workers)
+        shown = pending[:8]
+        suffix = "..." if len(pending) > len(shown) else ""
+        super().__init__(
+            f"job {job_id} did not finish within {timeout_s}s: "
+            f"stage {stage_index} stalled with {len(pending)} pending task(s) "
+            f"(partitions {shown}{suffix}) on worker(s) {workers}"
+        )
+        self.job_id = job_id
+        self.stage_index = stage_index
+        self.pending = pending
+        self.workers = workers
+        self.timeout_s = timeout_s
+
+    def __reduce__(self):
+        return (
+            StageTimeout,
+            (self.job_id, self.stage_index, self.pending, self.workers, self.timeout_s),
+        )
+
+
+class RecoveryBudgetExceeded(ReproError):
+    """A task kept failing past ``EngineConf.max_task_retries``.
+
+    Deliberately *not* recoverable: the engine already spent its recovery
+    budget, so the job fails with the accumulated fault history instead of
+    retrying forever.
+    """
+
+    def __init__(self, what: str, attempts: int, fault_history=()):
+        history = list(fault_history)
+        shown = "; ".join(history[-8:]) or "none recorded"
+        super().__init__(
+            f"{what} exceeded the recovery budget after {attempts} attempt(s); "
+            f"fault history: {shown}"
+        )
+        self.what = what
+        self.attempts = attempts
+        self.fault_history = history
+
+    def __reduce__(self):
+        return (RecoveryBudgetExceeded, (self.what, self.attempts, self.fault_history))
+
+
 class SerializationError(ReproError):
     """A task payload (closure, capture, or record) cannot cross a process
     boundary.

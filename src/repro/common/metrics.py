@@ -249,7 +249,20 @@ HIST_NET_CALL_LATENCY = "net.call_latency"
 # is a launch that shipped only digest tokens to a worker; a "miss"
 # attached the serialized stage blob (first ship or stage_miss reship).
 COUNT_NET_FETCH_BATCHES = "net.fetch_batches"
+# Dials to an address the pool had already connected to before — i.e.
+# re-dials after an invalidation, idle-pool exhaustion, or a peer crash.
+# Backoff between attempts is jittered so a thundering herd of redials
+# after a server kill does not synchronize.
+COUNT_NET_REDIALS = "net.redials"
 HIST_NET_BUCKETS_PER_FETCH = "net.buckets_per_fetch"
 COUNT_NET_BYTES_SAVED_COMPRESSION = "net.bytes_saved_compression"
 COUNT_STAGE_CACHE_HIT = "serde.stage_cache_hit"
 COUNT_STAGE_CACHE_MISS = "serde.stage_cache_miss"
+# Fault injection (repro.chaos): every fault the injector fires counts
+# once here and once on a per-kind counter named "chaos.<kind>"
+# (e.g. "chaos.worker_kill") — a prefix family like net.call_latency.
+# A scheduled fault withheld by a safety guard (kill budget) counts as
+# suppressed instead.
+COUNT_CHAOS_INJECTED = "chaos.injected"
+COUNT_CHAOS_SUPPRESSED = "chaos.suppressed"
+CHAOS_KIND_PREFIX = "chaos"

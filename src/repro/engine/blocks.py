@@ -12,6 +12,8 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos.injector import chaos_hit
+from repro.chaos.plan import SITE_BLOCKS_FETCH
 from repro.common.errors import FetchFailed
 
 BlockKey = Tuple[int, int, int]  # (job_id, shuffle_id, map_index)
@@ -58,6 +60,7 @@ class BlockStore:
         Raises :class:`FetchFailed` when the block is absent (the caller
         treats this like fetching from a crashed machine)."""
         with self._lock:
+            self._maybe_drop_block_locked((job_id, shuffle_id, map_index))
             block = self._blocks.get((job_id, shuffle_id, map_index))
             if block is None:
                 raise FetchFailed(shuffle_id, map_index, self.worker_id)
@@ -77,6 +80,9 @@ class BlockStore:
         outputs (§3.3 recovery unchanged)."""
         out: List[Tuple[str, Optional[List]]] = []
         with self._lock:
+            if requests:
+                sid, mid, _ = requests[0]
+                self._maybe_drop_block_locked((job_id, sid, mid))
             for shuffle_id, map_index, reduce_index in requests:
                 block = self._blocks.get((job_id, shuffle_id, map_index))
                 if block is None:
@@ -84,6 +90,17 @@ class BlockStore:
                 else:
                     out.append((BUCKET_OK, block.get(reduce_index, [])))
         return out
+
+    def _maybe_drop_block_locked(self, key: BlockKey) -> None:
+        """Chaos hook: delete the looked-up block so the caller observes a
+        missing map output (the disk-loss failure mode of §3.3).  Called
+        under ``self._lock``; the only scheduled kind at this site is
+        ``block_delete``."""
+        if chaos_hit(SITE_BLOCKS_FETCH, target=self.worker_id) is None:
+            return
+        buckets = self._blocks.pop(key, None)
+        if buckets is not None:
+            self._records -= self._block_records(buckets)
 
     def bucket_sizes(
         self, job_id: int, shuffle_id: int, map_index: int

@@ -13,6 +13,8 @@ import threading
 import warnings
 from typing import Any, List, Optional, Sequence
 
+from repro.chaos.injector import ChaosInjector, install, uninstall
+from repro.chaos.plan import FaultPlan
 from repro.common.clock import Clock, WallClock
 from repro.common.config import EngineConf
 from repro.common.metrics import MetricsRegistry
@@ -87,6 +89,31 @@ class LocalCluster:
             self.driver.start_monitor()
         if self.conf.speculation.enabled:
             self.driver.start_speculation()
+        # Arm chaos last, after every worker has announced: discovery
+        # traffic is plumbing, not a §3.3 failure mode worth injecting on.
+        self.chaos: Optional[ChaosInjector] = None
+        if self.conf.chaos.enabled:
+            plan = FaultPlan.generate(
+                self.conf.chaos.seed,
+                self.conf.chaos.profile,
+                self.conf.chaos.intensity,
+            )
+            # Never let the plan take the last machine — and never kill at
+            # all when no failure detector is running: a dead worker that
+            # nothing can notice wedges the engine by design, not by bug.
+            kill_budget = min(
+                self.conf.chaos.max_worker_kills,
+                max(self.conf.num_workers - 1, 0),
+            )
+            if not self.conf.monitor.enable_heartbeats:
+                kill_budget = 0
+            self.chaos = ChaosInjector(
+                plan,
+                metrics=self.metrics,
+                tracer=self.tracer,
+                kill_budget=kill_budget,
+            )
+            install(self.chaos)
 
     def _make_transport(self, name: str) -> BaseTransport:
         if self.conf.transport.backend == "tcp":
@@ -235,6 +262,9 @@ class LocalCluster:
     # Lifecycle
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
+        if self.chaos is not None:
+            uninstall(self.chaos)
+            self.chaos = None
         self.driver.stop_monitor()
         for worker in self.workers.values():
             worker.shutdown()

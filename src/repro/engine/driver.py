@@ -33,8 +33,10 @@ from repro.common.clock import Clock, WallClock
 from repro.common.config import EngineConf, SchedulingMode
 from repro.common.errors import (
     FetchFailed,
+    RecoveryBudgetExceeded,
     ReproError,
     SerializationError,
+    StageTimeout,
     TaskError,
     WorkerLost,
 )
@@ -92,6 +94,9 @@ class JobState:
     task_started: Dict[Tuple[int, int], float] = field(default_factory=dict)
     task_durations: Dict[int, List[float]] = field(default_factory=dict)
     speculated: Set[Tuple[int, int]] = field(default_factory=set)
+    # Human-readable history of every fault this job survived (bounded);
+    # attached to RecoveryBudgetExceeded when the retry budget runs out.
+    fault_log: List[str] = field(default_factory=list)
     error: Optional[BaseException] = None
     done: threading.Event = field(default_factory=threading.Event)
     # shuffle_id -> consumer stage index / producer (map) stage index
@@ -258,26 +263,41 @@ class Driver:
 
     def _monitor_loop(self) -> None:
         interval = self.conf.monitor.heartbeat_interval_s
+        timeout = self.conf.monitor.heartbeat_timeout_s
         while not self._stop_monitor.wait(interval):
             now = self.clock.now()
             with self._lock:
                 expired = [
                     w
                     for w in self._alive
-                    if now - self._last_heartbeat.get(w, now)
-                    > self.conf.monitor.heartbeat_timeout_s
+                    if now - self._last_heartbeat.get(w, now) > timeout
                 ]
             for worker_id in expired:
-                self.on_worker_lost(worker_id)
+                self.on_worker_lost(
+                    worker_id, reason=f"heartbeat timeout after {timeout}s"
+                )
 
     def notify_delivery_failed(
-        self, _job_id: int, _shuffle_id: int, _map_index: int, _src: str, target: str
+        self, job_id: int, shuffle_id: int, map_index: int, src: str, target: str
     ) -> None:
-        """A worker could not deliver a notification; if the target really
-        is unreachable, treat it as lost (workers rely on the driver as the
-        single source of truth, §3.3)."""
+        """A worker could not deliver a map-output notification.
+
+        If the target really is unreachable, treat it as lost (workers
+        rely on the driver as the single source of truth, §3.3).  If the
+        target is healthy, the *notification* was the casualty (a dropped
+        frame): re-deliver it driver-side, because a reduce task parked on
+        that dependency would otherwise wait forever."""
         if not self.transport.is_alive(target):
-            self.on_worker_lost(target)
+            self.on_worker_lost(target, reason=f"unreachable from {src}")
+            return
+        for _ in range(3):
+            if self.transport.try_call(
+                target, "pre_populate", job_id, [((shuffle_id, map_index), src)]
+            ):
+                return
+        self.on_worker_lost(
+            target, reason="redelivery of a map-output notification failed"
+        )
 
     # ------------------------------------------------------------------
     # Public job API
@@ -357,12 +377,40 @@ class Driver:
     def wait_job(self, job_id: int, timeout: Optional[float] = None) -> Any:
         with self._lock:
             job = self.jobs[job_id]
-        if not job.done.wait(timeout):
-            raise ReproError(f"job {job_id} did not finish within {timeout}s")
+        # An explicit timeout wins; otherwise the conf-level deadline
+        # applies, so an injected hang surfaces as a descriptive error
+        # instead of blocking this thread forever.
+        effective = timeout if timeout is not None else self.conf.stage_timeout_s
+        if not job.done.wait(effective):
+            raise self._stage_timeout_error(job, effective)
         if job.error is not None:
             raise job.error
         parts = [job.results[p] for p in range(job.plan.result_stage.num_tasks)]
         return job.plan.finalize(parts)
+
+    def _stage_timeout_error(self, job: JobState, timeout_s: float) -> StageTimeout:
+        """Build a StageTimeout naming the stalled stage, its pending
+        partitions, and the workers they were last placed on."""
+        with self._lock:
+            stalled = next(
+                (s for s in sorted(job.stage_remaining) if job.stage_remaining[s]),
+                job.result_stage_index,
+            )
+            pending = sorted(job.stage_remaining.get(stalled, ()))
+            workers = sorted(
+                {
+                    job.task_locations[(stalled, p)]
+                    for p in pending
+                    if (stalled, p) in job.task_locations
+                }
+            ) or ["<unplaced>"]
+        return StageTimeout(job.job_id, stalled, pending, workers, timeout_s)
+
+    @staticmethod
+    def _note_fault(job: JobState, msg: str) -> None:
+        """Append to the job's (bounded) fault history; caller holds the lock."""
+        if len(job.fault_log) < 100:
+            job.fault_log.append(msg)
 
     def drop_job(self, job_id: int) -> None:
         """Garbage-collect a job's shuffle blocks cluster-wide."""
@@ -571,11 +619,27 @@ class Driver:
         for worker_id in sorted(per_worker):
             self.metrics.counter(COUNT_TASKS_LAUNCHED).add(len(per_worker[worker_id]))
             self.metrics.counter(COUNT_LAUNCH_RPCS).add(1)
-        for worker_id in self._launch_group(per_worker):
-            self.on_worker_lost(worker_id)
+        lost = self._launch_group(per_worker)
+        if lost:
+            # Error fidelity: each loss report carries the full split of
+            # the parallel launch, not just the one failed id.
+            survived = sorted(set(per_worker) - set(lost))
+            for worker_id, why in sorted(lost.items()):
+                self.on_worker_lost(
+                    worker_id,
+                    reason=(
+                        f"lost during group launch ({why}); "
+                        f"failed={sorted(lost)} survived={survived}"
+                    ),
+                )
         for job_id, completed in prepopulate.items():
             for worker_id in self.alive_workers():
-                self.transport.try_call(worker_id, "pre_populate", job_id, completed)
+                if not self.transport.try_call(
+                    worker_id, "pre_populate", job_id, completed
+                ):
+                    # One retry: losing this message silently parks the
+                    # worker's reduce tasks until the stage deadline.
+                    self.transport.try_call(worker_id, "pre_populate", job_id, completed)
         xfer_end = self.clock.now()
         self.metrics.counter(TIME_TASK_TRANSFER).add(xfer_end - xfer_start)
         if self.tracer.enabled:
@@ -597,9 +661,9 @@ class Driver:
 
     def _launch_group(
         self, per_worker: Dict[str, List[TaskDescriptor]]
-    ) -> List[str]:
+    ) -> Dict[str, str]:
         """Send one ``launch_tasks`` per worker; returns the workers that
-        were lost mid-launch.
+        were lost mid-launch, mapped to the loss reason.
 
         Over tcp the per-worker launches are independent wire round trips,
         so they go out concurrently (bounded like the fetch path by
@@ -608,14 +672,14 @@ class Driver:
         the tasks, and that determinism is part of the inproc contract.
         Message counts are identical either way."""
         workers = sorted(per_worker)
-        lost: List[str] = []
+        lost: Dict[str, str] = {}
 
-        def launch(worker_id: str) -> Optional[str]:
+        def launch(worker_id: str) -> Optional[Tuple[str, str]]:
             try:
                 self.transport.call(worker_id, "launch_tasks", per_worker[worker_id])
                 return None
-            except WorkerLost:
-                return worker_id
+            except WorkerLost as err:
+                return (worker_id, err.reason)
 
         max_conc = self.conf.transport.data_plane.max_concurrent_fetches
         if (
@@ -624,16 +688,17 @@ class Driver:
             or max_conc <= 1
         ):
             for worker_id in workers:
-                if launch(worker_id) is not None:
-                    lost.append(worker_id)
+                failure = launch(worker_id)
+                if failure is not None:
+                    lost[failure[0]] = failure[1]
             return lost
         with ThreadPoolExecutor(
             max_workers=min(max_conc, len(workers)),
             thread_name_prefix="driver-launch",
         ) as pool:
-            for worker_id in pool.map(launch, workers):
-                if worker_id is not None:
-                    lost.append(worker_id)
+            for failure in pool.map(launch, workers):
+                if failure is not None:
+                    lost[failure[0]] = failure[1]
         return lost
 
     def _build_prescheduled_tasks(self, job: JobState, assignment) -> List[
@@ -762,10 +827,17 @@ class Driver:
                 )
 
     def _await_stage(self, job: JobState, stage_index: int) -> None:
+        deadline = (
+            None
+            if self.conf.stage_timeout_s is None
+            else self.clock.now() + self.conf.stage_timeout_s
+        )
         with self._cv:
             while job.error is None and any(
                 job.stage_remaining[s] for s in range(stage_index + 1)
             ):
+                if deadline is not None and self.clock.now() > deadline:
+                    raise self._stage_timeout_error(job, self.conf.stage_timeout_s)
                 self._cv.wait(timeout=0.5)
 
     # ------------------------------------------------------------------
@@ -775,6 +847,14 @@ class Driver:
         with self._lock:
             job = self.jobs.get(report.task_id.job_id)
             if job is None or job.is_finished():
+                return
+            if report.worker_id not in self._alive:
+                # A report racing the loss of its worker: the machine's
+                # block store is gone (or about to be), so recording its
+                # outputs would point consumers at a dead holder — and a
+                # dead holder cannot be invalidated by the FetchFailed
+                # path, leaving them refetching forever.  Recovery already
+                # resubmitted this task.
                 return
             stage_index = report.task_id.stage_index
             partition = report.task_id.partition
@@ -857,13 +937,22 @@ class Driver:
         err = report.error
         if isinstance(err, FetchFailed):
             holder = err.worker_id
+            self._note_fault(
+                job,
+                f"fetch failed: shuffle={err.shuffle_id} map={err.map_index} "
+                f"holder={holder}",
+            )
             if holder != "<unknown>" and not self.transport.is_alive(holder):
                 # The block's machine is gone: full worker-loss handling.
-                self._worker_lost_locked(holder)
-            else:
-                # The block vanished (or its location was never learned):
-                # invalidate and recompute just that map output.
-                self._invalidate_map_output(job, err.shuffle_id, err.map_index)
+                self._worker_lost_locked(
+                    holder, reason="unreachable during shuffle fetch"
+                )
+            # Invalidate unconditionally.  When the holder was *already*
+            # removed from _alive, _worker_lost_locked above is a no-op —
+            # but a stale completion report may have re-registered the
+            # dead holder in map_status, and without invalidation the
+            # consumer would refetch the same missing block forever.
+            self._invalidate_map_output(job, err.shuffle_id, err.map_index)
             # Retry the failed task itself.
             stage_index = report.task_id.stage_index
             partition = report.task_id.partition
@@ -904,22 +993,25 @@ class Driver:
     # ------------------------------------------------------------------
     # Worker-loss recovery (§3.3)
     # ------------------------------------------------------------------
-    def on_worker_lost(self, worker_id: str) -> None:
+    def on_worker_lost(self, worker_id: str, reason: str = "worker lost") -> None:
         with self._lock:
-            self._worker_lost_locked(worker_id)
+            self._worker_lost_locked(worker_id, reason=reason)
             self._cv.notify_all()
 
-    def _worker_lost_locked(self, worker_id: str) -> None:
+    def _worker_lost_locked(self, worker_id: str, reason: str = "worker lost") -> None:
         if worker_id not in self._alive:
             return
         self._alive.discard(worker_id)
         self._draining.discard(worker_id)
         self.metrics.counter(COUNT_RECOVERIES).add(1)
         self.transport.mark_dead(worker_id)
+        for job in self.jobs.values():
+            if not job.is_finished():
+                self._note_fault(job, f"worker {worker_id} lost: {reason}")
         if not self._alive:
             for job in self.jobs.values():
                 if not job.is_finished():
-                    job.error = WorkerLost(worker_id, "last worker lost")
+                    job.error = WorkerLost(worker_id, f"last worker lost ({reason})")
                     job.done.set()
                     self._finish_job_spans(job)
             return
@@ -984,6 +1076,19 @@ class Driver:
         exclude: Optional[str] = None,
     ) -> None:
         """Re-place one task on a live worker (caller holds the lock)."""
+        attempts = job.attempts.get((stage_index, partition), 0)
+        if attempts > self.conf.max_task_retries:
+            # Recovery budget exhausted: fail the job with the fault
+            # history instead of resubmitting forever.
+            job.error = RecoveryBudgetExceeded(
+                f"task (stage={stage_index}, partition={partition}) "
+                f"of job {job.job_id}",
+                attempts,
+                job.fault_log,
+            )
+            job.done.set()
+            self._finish_job_spans(job)
+            return
         stage = job.plan.stages[stage_index]
         if self.tracer.enabled:
             # Parent to the batch span so resubmissions (and the recovered
@@ -1034,15 +1139,50 @@ class Driver:
             self.metrics.counter(COUNT_TASKS_LAUNCHED).add(1)
             self.metrics.counter(COUNT_LAUNCH_RPCS).add(1)
             delivered = self.transport.try_call(worker_id, "launch_tasks", [desc])
-            if delivered and desc.deps:
+            if not delivered:
+                # A recovery launch that silently vanishes wedges the task
+                # forever.  One lost message is not proof the worker died
+                # (the heartbeat monitor owns that verdict) — declaring it
+                # lost here cascades: the recovery launches it triggers can
+                # themselves fail and take down the next worker.  Re-place
+                # just this task instead; the attempt budget bounds the
+                # loop, and _pick_worker falls back to the excluded worker
+                # when it is the last one standing.
+                self._note_fault(
+                    job,
+                    f"recovery launch to {worker_id} failed "
+                    f"(stage={stage_index}, partition={partition})",
+                )
+                if partition in job.stage_remaining.get(stage_index, set()):
+                    job.attempts[(stage_index, partition)] = attempts + 1
+                    self._resubmit_task(job, stage_index, partition, exclude=worker_id)
+                return
+            if desc.deps:
                 # Pre-populate dependencies already satisfied (§3.3).
                 completed = [
                     (dep, loc) for dep, loc in job.map_status.items() if dep in desc.deps
                 ]
-                if completed:
-                    self.transport.try_call(
+                if completed and not self.transport.try_call(
+                    worker_id, "pre_populate", job.job_id, completed
+                ):
+                    if not self.transport.try_call(
                         worker_id, "pre_populate", job.job_id, completed
-                    )
+                    ):
+                        # Task delivered but its dependency seed was not:
+                        # it would park forever.  Same remedy as a failed
+                        # launch — re-place the task, don't condemn the
+                        # worker over lost messages (the parked duplicate
+                        # is harmless: first completion wins).
+                        self._note_fault(
+                            job,
+                            f"pre_populate to {worker_id} failed "
+                            f"(stage={stage_index}, partition={partition})",
+                        )
+                        if partition in job.stage_remaining.get(stage_index, set()):
+                            job.attempts[(stage_index, partition)] = attempts + 1
+                            self._resubmit_task(
+                                job, stage_index, partition, exclude=worker_id
+                            )
         else:
             try:
                 self._launch_barrier_task(job, stage_index, partition)

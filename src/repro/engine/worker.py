@@ -21,6 +21,12 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos.injector import chaos_hit
+from repro.chaos.plan import (
+    KIND_WORKER_KILL,
+    SITE_EXEC_COMPUTE,
+    SITE_WORKER_TASK,
+)
 from repro.common.clock import Clock, WallClock
 from repro.common.config import EngineConf
 from repro.common.errors import FetchFailed, SerializationError, WorkerLost
@@ -232,6 +238,20 @@ class Worker:
     def _run_task(self, desc: TaskDescriptor) -> None:
         if self.is_dead:
             return
+        fault = chaos_hit(
+            SITE_WORKER_TASK, target=self.worker_id, method=str(desc.task_id)
+        )
+        if fault is not None:
+            if fault.kind == KIND_WORKER_KILL:
+                # Crash at task entry: the driver learns via missed
+                # heartbeats / refused calls, exactly like a real loss.
+                self.kill()
+                return
+            # KIND_WORKER_HANG: stall, then proceed — long enough to look
+            # stuck (heartbeats keep flowing; only the task is late).
+            time.sleep(fault.param)
+            if self.is_dead:
+                return
         started = self.clock.now()
         # Parent the compute span to the stage context carried by the
         # descriptor, so worker-side work lands in the batch's trace tree.
@@ -293,19 +313,30 @@ class Worker:
         Over the tcp transport the report is pickled onto the wire; a
         result or error user code produced may not survive that.  Rather
         than hanging the job (the driver would wait forever), resend a
-        stripped report whose error names the offending payload."""
-        try:
-            self.transport.try_call(DRIVER_ID, "task_finished", report)
-        except SerializationError as err:
-            fallback = TaskReport(
-                task_id=report.task_id,
-                worker_id=self.worker_id,
-                succeeded=False,
-                error=err,
-                compute_time_s=report.compute_time_s,
-                trace_ctx=report.trace_ctx,
-            )
-            self.transport.try_call(DRIVER_ID, "task_finished", fallback)
+        stripped report whose error names the offending payload.
+
+        Transient delivery failures (a dropped frame, a reset) are retried
+        a few times: losing a report silently wedges the stage until the
+        driver's deadline fires, so the worker spends a little effort
+        before giving up.  Reports are idempotent driver-side, so a
+        duplicate from a retry racing a slow first delivery is safe."""
+        for attempt in range(3):
+            if self.is_dead:
+                return
+            try:
+                if self.transport.try_call(DRIVER_ID, "task_finished", report):
+                    return
+            except SerializationError as err:
+                report = TaskReport(
+                    task_id=report.task_id,
+                    worker_id=self.worker_id,
+                    succeeded=False,
+                    error=err,
+                    compute_time_s=report.compute_time_s,
+                    trace_ctx=report.trace_ctx,
+                )
+                continue  # the stripped report is picklable; retry with it
+            time.sleep(0.02 * (attempt + 1))
 
     def _execute(self, desc: TaskDescriptor) -> TaskReport:
         """Run one task attempt, split into the backend-facing protocol:
@@ -328,6 +359,14 @@ class Worker:
             compute_delay_s=self.compute_delay_per_task_s,
             trace_ctx=self.tracer.current() if self.tracer.enabled else None,
         )
+        straggle = chaos_hit(
+            SITE_EXEC_COMPUTE, target=self.worker_id, method=str(desc.task_id)
+        )
+        if straggle is not None:
+            # KIND_EXEC_STRAGGLE: this one attempt computes slowly —
+            # slow enough to trip the speculation monitor (§3.5), which
+            # should clone the task elsewhere and take the fast copy.
+            time.sleep(straggle.param)
         exec_start = self.clock.now()
         outcome = self._backend.run_compute(request)
         if self.tracer.enabled and outcome.backend == "process":

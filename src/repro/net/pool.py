@@ -18,15 +18,19 @@ delivered must not be sent twice (launching tasks is not idempotent).
 from __future__ import annotations
 
 import contextlib
+import random
 import socket
 import threading
 import time
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
+from repro.chaos.injector import chaos_hit
+from repro.chaos.plan import KIND_DIAL_REFUSE, SITE_NET_DIAL
 from repro.common.errors import ReproError
 from repro.common.metrics import (
     COUNT_NET_CONNECT_RETRIES,
     COUNT_NET_CONNECTIONS,
+    COUNT_NET_REDIALS,
     MetricsRegistry,
 )
 
@@ -59,6 +63,11 @@ class ConnectionPool:
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
         self._idle: Dict[Address, List[socket.socket]] = {}
+        # Addresses we have successfully dialled before: a later _dial to
+        # one of these is a *redial* (peer crash, invalidation, or idle
+        # exhaustion) and is counted separately from first contacts.
+        self._dialed: Set[Address] = set()
+        self._rng = random.Random()
         self._lock = threading.Lock()
         self._closed = False
 
@@ -66,15 +75,26 @@ class ConnectionPool:
     def _dial(self, addr: Address) -> socket.socket:
         delay = self.retry_backoff_s
         last_err: Exception | None = None
+        with self._lock:
+            if addr in self._dialed:
+                self.metrics.counter(COUNT_NET_REDIALS).add(1)
         for attempt in range(self.max_retries + 1):
             try:
+                if chaos_hit(SITE_NET_DIAL, target=f"{addr[0]}:{addr[1]}") is not None:
+                    # KIND_DIAL_REFUSE: the only fault scheduled at this
+                    # site — behave exactly like a refused connect so the
+                    # retry/backoff path below is what gets exercised.
+                    raise OSError(f"chaos {KIND_DIAL_REFUSE}: connection refused")
                 sock = socket.create_connection(addr, timeout=self.connect_timeout_s)
             except OSError as err:
                 last_err = err
                 if attempt < self.max_retries:
                     self.metrics.counter(COUNT_NET_CONNECT_RETRIES).add(1)
                     if delay > 0:
-                        time.sleep(delay)
+                        # Jitter in [0.5, 1.5)x so concurrent redials
+                        # after a server kill do not synchronize into a
+                        # thundering herd against the reborn listener.
+                        time.sleep(delay * (0.5 + self._rng.random()))
                     delay = min(delay * 2 if delay > 0 else 0, _MAX_BACKOFF_S)
                 continue
             # Control messages are small; Nagle would batch them into the
@@ -82,6 +102,8 @@ class ConnectionPool:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.settimeout(self.call_timeout_s)
             self.metrics.counter(COUNT_NET_CONNECTIONS).add(1)
+            with self._lock:
+                self._dialed.add(addr)
             return sock
         raise ConnectFailed(
             f"connect to {addr[0]}:{addr[1]} failed after "

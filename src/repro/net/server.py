@@ -21,6 +21,8 @@ import threading
 import weakref
 from typing import Callable, List, Set, Tuple
 
+from repro.chaos.injector import chaos_hit
+from repro.chaos.plan import KIND_SERVER_KILL, SITE_NET_SERVE
 from repro.common.metrics import (
     COUNT_NET_BYTES_RECEIVED,
     COUNT_NET_BYTES_SAVED_COMPRESSION,
@@ -117,6 +119,17 @@ class MessageServer:
                     return  # protocol violation; drop the connection
                 # Byte counters are wire truth: the compressed size.
                 self.metrics.counter(COUNT_NET_BYTES_RECEIVED).add(wire_len)
+                if self._name != "driver":
+                    # The driver's server is exempt: killing it ends the
+                    # run rather than exercising §3.3 recovery.
+                    fault = chaos_hit(SITE_NET_SERVE, target=self._name)
+                    if fault is not None:
+                        if fault.kind == KIND_SERVER_KILL:
+                            self.close()
+                            return
+                        # KIND_RESPONSE_DROP: the handler never runs, the
+                        # caller sees its connection reset mid-exchange.
+                        return
                 response = self._handler(payload)
                 wire, flags, saved = compress_payload(
                     response, self._compression, self._compress_threshold

@@ -39,6 +39,14 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, Optional, Tuple
 
+from repro.chaos.injector import chaos_hit
+from repro.chaos.plan import (
+    KIND_NET_DROP,
+    KIND_NET_DUPLICATE,
+    SITE_NET_CALL,
+    SITE_NET_FRAME,
+    FaultEvent,
+)
 from repro.common.clock import Clock
 from repro.common.config import TransportConf
 from repro.common.errors import SerializationError, WorkerLost
@@ -83,6 +91,29 @@ _STAGE_MISS = "stage_miss"
 
 # Attempts for one launch negotiation (first send + stage_miss reships).
 _MAX_LAUNCH_ATTEMPTS = 3
+
+# Methods whose request may be dropped/garbled by chaos without wedging
+# the engine: every caller of these treats WorkerLost as a recoverable
+# signal (retry, FetchFailed, or §3.3 recovery).  Anything else — e.g.
+# notify_delivery_failed, which is itself the failure path's last resort —
+# degrades to a delay instead, so chaos never manufactures a hang the
+# engine has no handler for.
+_CHAOS_DROP_SAFE = frozenset(
+    {
+        "launch_tasks",
+        "fetch_bucket",
+        "fetch_buckets",
+        "notify_output",
+        "heartbeat",
+        "task_finished",
+        "pre_populate",
+    }
+)
+# Methods that are idempotent on the receiver, so delivering the request
+# twice (at-least-once semantics) is observationally safe.
+_CHAOS_DUP_SAFE = frozenset(
+    {"fetch_bucket", "fetch_buckets", "notify_output", "heartbeat", "pre_populate"}
+)
 
 
 class _ConnectRefused(WorkerLost):
@@ -213,6 +244,9 @@ class TcpTransport(BaseTransport):
             self._clock.sleep(self.latency_s)
         ctx = self.tracer.current() if self.tracer.enabled else None
         envelope = Envelope(dst_id, method, ctx)
+        fault = chaos_hit(SITE_NET_CALL, target=dst_id, method=method)
+        if fault is not None:
+            self._apply_call_fault(fault, dst_id, method, addr, envelope, args, kwargs)
         start = self._clock.now()
         try:
             status, value = self._exchange(addr, envelope, args, kwargs)
@@ -248,6 +282,31 @@ class TcpTransport(BaseTransport):
             self._forget_addr(dst_id)
             raise WorkerLost(dst_id, str(value))
         raise value  # _ERR: the handler's exception, re-raised caller-side
+
+    def _apply_call_fault(
+        self,
+        fault: FaultEvent,
+        dst_id: str,
+        method: str,
+        addr: Address,
+        envelope: Envelope,
+        args: Tuple,
+        kwargs: Optional[Dict],
+    ) -> None:
+        if fault.kind == KIND_NET_DROP and method in _CHAOS_DROP_SAFE:
+            # The request never leaves this host; the caller observes the
+            # same WorkerLost a vanished peer would produce.
+            raise WorkerLost(dst_id, f"chaos {fault.kind}: {method!r} request dropped")
+        if fault.kind == KIND_NET_DUPLICATE and method in _CHAOS_DUP_SAFE:
+            # Deliver once extra, discard the outcome: the real exchange
+            # below is the one whose response the caller sees.
+            try:
+                self._exchange(addr, envelope, args, kwargs)
+            except WorkerLost:
+                pass
+            return
+        # net_delay — or a drop/duplicate degraded on an unsafe method.
+        self._clock.sleep(fault.param if fault.param > 0 else 0.02)
 
     def _exchange(
         self, addr: Address, envelope: Envelope, args: Tuple, kwargs: Optional[Dict]
@@ -355,6 +414,15 @@ class TcpTransport(BaseTransport):
             self.metrics.counter(COUNT_NET_BYTES_SAVED_COMPRESSION).add(saved)
         frame = encode_frame(KIND_REQUEST, wire, flags)
         dst = envelope.dst
+        if envelope.method in _CHAOS_DROP_SAFE and (
+            chaos_hit(SITE_NET_FRAME, target=dst, method=envelope.method) is not None
+        ):
+            # Garble the frame HEADER (never the payload): the server's
+            # framing layer rejects it and drops the connection, so the
+            # caller sees a mid-exchange loss — the payload path would
+            # instead decode garbage into a SerializationError response,
+            # which is a programming-error signal, not a fault.
+            frame = b"\x00\x00" + frame[2:]
         try:
             with self.pool.connection(addr) as sock:
                 sock.sendall(frame)

@@ -10,7 +10,10 @@ analysis code one authoritative registry.
 from __future__ import annotations
 
 from repro.common.metrics import (
+    CHAOS_KIND_PREFIX,
     COUNT_BATCHES_EXECUTED,
+    COUNT_CHAOS_INJECTED,
+    COUNT_CHAOS_SUPPRESSED,
     COUNT_CHECKPOINTS,
     COUNT_GROUPS_SCHEDULED,
     COUNT_LAUNCH_RPCS,
@@ -20,6 +23,7 @@ from repro.common.metrics import (
     COUNT_NET_CONNECT_RETRIES,
     COUNT_NET_CONNECTIONS,
     COUNT_NET_FETCH_BATCHES,
+    COUNT_NET_REDIALS,
     COUNT_RECOVERIES,
     COUNT_RPC_MESSAGES,
     COUNT_SPECULATIVE,
@@ -82,8 +86,9 @@ PHASE_SPANS = (
 # ----------------------------------------------------------------------
 EVENT_TUNER_DECISION = "tuner.decision"  # §3.4 AIMD step, on the group span
 EVENT_TASK_RESUBMIT = "task.resubmit"  # recovery/speculation re-placement
+EVENT_CHAOS_FAULT = "chaos.fault"  # one injected fault (repro.chaos)
 
-EVENT_NAMES = frozenset({EVENT_TUNER_DECISION, EVENT_TASK_RESUBMIT})
+EVENT_NAMES = frozenset({EVENT_TUNER_DECISION, EVENT_TASK_RESUBMIT, EVENT_CHAOS_FAULT})
 
 # ----------------------------------------------------------------------
 # Metric names (re-exported so one import site covers spans AND metrics).
@@ -107,10 +112,13 @@ METRIC_NAMES = frozenset(
         COUNT_NET_CONNECTIONS,
         COUNT_NET_CONNECT_RETRIES,
         COUNT_NET_FETCH_BATCHES,
+        COUNT_NET_REDIALS,
         HIST_NET_BUCKETS_PER_FETCH,
         COUNT_NET_BYTES_SAVED_COMPRESSION,
         COUNT_STAGE_CACHE_HIT,
         COUNT_STAGE_CACHE_MISS,
+        COUNT_CHAOS_INJECTED,
+        COUNT_CHAOS_SUPPRESSED,
     }
 )
 
@@ -118,6 +126,9 @@ METRIC_NAMES = frozenset(
 # "{HIST_NET_CALL_LATENCY}.{method}" — a prefix family, not a member of
 # METRIC_NAMES, because the method suffix is open-ended.
 NET_CALL_LATENCY_PREFIX = HIST_NET_CALL_LATENCY
+# Per-kind injected-fault counters ("chaos.worker_kill", ...) are the
+# same kind of open-ended prefix family.
+CHAOS_METRIC_PREFIX = CHAOS_KIND_PREFIX
 
 # Span name -> metric counter that times the same code region; the CLI
 # uses this to cross-check span totals against the counter values.
@@ -142,8 +153,10 @@ __all__ = [
     "PHASE_SPANS",
     "EVENT_TUNER_DECISION",
     "EVENT_TASK_RESUBMIT",
+    "EVENT_CHAOS_FAULT",
     "EVENT_NAMES",
     "METRIC_NAMES",
     "NET_CALL_LATENCY_PREFIX",
+    "CHAOS_METRIC_PREFIX",
     "SPAN_TO_METRIC",
 ]

@@ -18,6 +18,12 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.chaos.injector import chaos_hit
+from repro.chaos.plan import (
+    KIND_CHECKPOINT_KILL,
+    SITE_STREAM_CHECKPOINT,
+    SITE_STREAM_GROUP,
+)
 from repro.common.clock import Clock, WallClock
 from repro.common.errors import StreamingError
 from repro.common.metrics import COUNT_CHECKPOINTS
@@ -125,6 +131,12 @@ class StreamingContext:
                 >= self.conf.effective_checkpoint_interval()
             ):
                 self.checkpoint()
+            if chaos_hit(SITE_STREAM_GROUP) is not None:
+                # KIND_FORCE_REPLAY: simulate a driver restart at a group
+                # boundary — restore the latest checkpoint and replay the
+                # suffix.  Exactly-once means the replay must not change
+                # any state or sink output.
+                self.restore_and_replay()
             if self._elasticity is not None:
                 self._elasticity.at_group_boundary(self.batch_stats)
 
@@ -170,6 +182,14 @@ class StreamingContext:
     # ------------------------------------------------------------------
     def checkpoint(self) -> Checkpoint:
         """Synchronous checkpoint at a group boundary."""
+        fault = chaos_hit(SITE_STREAM_CHECKPOINT)
+        if fault is not None and fault.kind == KIND_CHECKPOINT_KILL:
+            # A machine dies while the checkpoint is being taken; the
+            # checkpoint itself is driver-side state, so it completes, and
+            # the next group exercises recovery onto fewer machines.
+            alive = self.cluster.alive_workers()
+            if len(alive) > 1:
+                self.cluster.kill_worker(alive[-1], notify_driver=True)
         with self.tracer.start_span(
             SPAN_CHECKPOINT, root=True, actor="driver", batch_index=self.next_batch - 1
         ) as span:

@@ -1,0 +1,125 @@
+"""Tests for the chaos soak runner and its CLI.
+
+The fast configurations here (inproc transport, thread executor, few
+batches) keep the runs in the tier-1 budget; the CI ``test-chaos`` job
+runs the real tcp+process matrix.
+"""
+
+import json
+
+from repro.chaos import soak
+from repro.chaos.soak import SoakSettings, main, run_soak
+
+
+def fast_settings(**kwargs):
+    defaults = dict(
+        workload="wordcount",
+        profile="mixed",
+        transport="inproc",
+        executor="thread",
+        workers=3,
+        batches=3,
+        group_size=3,
+        stage_timeout_s=30.0,
+    )
+    defaults.update(kwargs)
+    return SoakSettings(**defaults)
+
+
+class TestRunSoak:
+    def test_seeded_runs_match_baseline(self, tmp_path):
+        summary = run_soak(
+            fast_settings(), seeds=2, out_dir=str(tmp_path), echo=lambda _: None
+        )
+        assert summary["ok"] is True
+        assert len(summary["results"]) == 2
+        for result in summary["results"]:
+            assert result["ok"] is True
+            # The acceptance bar: every armed run injected something.
+            assert result["injected"] >= 1
+            assert result["fault_log"]
+        written = json.loads((tmp_path / "soak-summary.json").read_text())
+        assert written["ok"] is True
+
+    def test_streaming_workload(self):
+        summary = run_soak(
+            fast_settings(workload="streaming", profile="streaming", batches=4),
+            seeds=1,
+            echo=lambda _: None,
+        )
+        assert summary["ok"] is True
+        assert summary["results"][0]["injected"] >= 1
+
+    def test_mismatch_dumps_seed_and_fault_log(self, tmp_path, monkeypatch):
+        # A workload whose chaos runs disagree with the baseline must fail
+        # the soak and leave a reproducible failure file behind.
+        def lying_workload(conf, batches):
+            if conf.chaos.enabled:
+                return [["wrong"]], 1, ["worker_kill @ worker.task hit 1"]
+            return [["right"]], 0, []
+
+        monkeypatch.setitem(soak.WORKLOADS, "lying", lying_workload)
+        lines = []
+        summary = run_soak(
+            fast_settings(workload="lying"),
+            seeds=1,
+            seed_base=5,
+            out_dir=str(tmp_path),
+            echo=lines.append,
+        )
+        assert summary["ok"] is False
+        assert summary["results"][0]["mismatch"] is True
+        failure = json.loads((tmp_path / "soak-failure-seed-5.json").read_text())
+        assert failure["seed"] == 5
+        assert failure["expected"] == [["right"]]
+        assert failure["got"] == [["wrong"]]
+        assert failure["fault_log"]
+        assert failure["plan"]
+        # The printed repro command pins the failing seed.
+        assert any("--seed-base 5" in line for line in lines)
+
+    def test_zero_injected_faults_is_a_failure(self, monkeypatch):
+        # Matching output is not enough: an armed run that injected
+        # nothing proves nothing, and the soak must say so.
+        def quiet_workload(conf, batches):
+            return [["same"]], 0, []
+
+        monkeypatch.setitem(soak.WORKLOADS, "quiet", quiet_workload)
+        summary = run_soak(
+            fast_settings(workload="quiet"), seeds=1, echo=lambda _: None
+        )
+        assert summary["ok"] is False
+
+
+class TestCli:
+    def test_soak_subcommand(self, tmp_path, capsys):
+        rc = main(
+            [
+                "soak",
+                "--seeds",
+                "1",
+                "--transport",
+                "inproc",
+                "--executor",
+                "thread",
+                "--batches",
+                "2",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "soak-summary.json").exists()
+        assert "1/1 seed(s) passed" in capsys.readouterr().out
+
+    def test_plan_subcommand(self, capsys):
+        assert main(["plan", "--seed", "3", "--profile", "storage"]) == 0
+        out = capsys.readouterr().out
+        assert "FaultPlan(seed=3" in out
+        assert "block_delete" in out
+
+    def test_profiles_subcommand(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        for profile in ("net", "workers", "storage", "streaming", "mixed"):
+            assert profile in out
