@@ -29,6 +29,7 @@ from repro.bench.figures import (
     fig9_workload_comparison,
     group_tuning_trace,
     table2_query_analysis,
+    telemetry_overhead,
     throughput_vs_latency,
     transport_coordination,
     yahoo_latency_cdf,
@@ -48,6 +49,9 @@ from repro.workloads.queries import TABLE2_DISTRIBUTION
 # Experiments that want structured rows in their BENCH_<name>.json (not
 # just the rendered table) deposit them here keyed by experiment id.
 _STRUCTURED_ROWS: dict = {}
+# Cluster-telemetry rollup captured by the telemetry experiment, embedded
+# into its BENCH json (see write_bench_json's telemetry parameter).
+_TELEMETRY_SNAPSHOTS: dict = {}
 
 
 def _fig4a() -> str:
@@ -228,6 +232,24 @@ def _transport() -> str:
     )
 
 
+def _telemetry() -> str:
+    rows, snapshot = telemetry_overhead()
+    _STRUCTURED_ROWS["telemetry"] = rows
+    if snapshot:
+        _TELEMETRY_SNAPSHOTS["telemetry"] = snapshot
+    return render_table(
+        ["transport", "telemetry", "group_size", "ms_per_batch",
+         "overhead_ratio", "rpc_messages", "deltas_ingested"],
+        [[r["transport"], r["telemetry"], r["group_size"], r["ms_per_batch"],
+          r["overhead_ratio"], r["rpc_messages"], r["deltas_ingested"]]
+         for r in rows],
+        title="Live telemetry plane — ms_per_batch with TelemetryConf "
+              "enabled vs disabled on the transport bench (shipping on "
+              "the dedicated __metrics__ path; rpc_messages unchanged "
+              "by design)",
+    )
+
+
 def _adaptability() -> str:
     rows = group_size_adaptation_sweep()
     return render_table(
@@ -257,6 +279,7 @@ EXPERIMENTS: List[Tuple[str, Callable[[], str]]] = [
     ("ablation-adaptability", _adaptability),
     ("executors", _executors),
     ("transport", _transport),
+    ("telemetry", _telemetry),
 ]
 
 
@@ -325,7 +348,11 @@ def main(argv: List[str] | None = None) -> int:
             if name in _STRUCTURED_ROWS:
                 payload["rows"] = _STRUCTURED_ROWS[name]
             path = write_bench_json(
-                name, payload, metrics=registry, out_dir=args.json_dir
+                name,
+                payload,
+                metrics=registry,
+                out_dir=args.json_dir,
+                telemetry=_TELEMETRY_SNAPSHOTS.get(name),
             )
             print(f"[{name}] wrote {path}", file=sys.stderr)
     report = "\n\n".join(sections)

@@ -630,3 +630,99 @@ def transport_coordination(
                 }
             )
     return rows
+
+
+def telemetry_overhead(
+    group_size: int = 5,
+    batches: int = 20,
+    workers: int = 2,
+    slots: int = 2,
+    transport: str = "tcp",
+    repeats: int = 3,
+) -> Tuple[List[Dict], Dict]:
+    """Cost of the live telemetry plane on the transport bench: the same
+    tcp workload as :func:`transport_coordination`, with
+    ``TelemetryConf`` disabled vs enabled (heartbeats off, so telemetry
+    rides the dedicated ``__metrics__`` path — its worst case: every
+    delta is an extra wire exchange rather than a heartbeat payload).
+
+    Returns ``(rows, snapshot)`` where ``snapshot`` is the enabled run's
+    cluster-telemetry rollup + signals, embedded into ``bench --json``
+    output as proof the plane saw the run it measured.
+    """
+    import time
+
+    from repro.common.config import (
+        EngineConf,
+        SchedulingMode,
+        TelemetryConf,
+        TransportConf,
+    )
+    from repro.dag.dataset import parallelize
+    from repro.dag.plan import compile_plan, dict_action
+    from repro.engine.cluster import LocalCluster
+
+    partitions = workers * slots
+
+    def build(b: int):
+        ds = (
+            parallelize(range(40), partitions)
+            .map(lambda x, b=b: (x % 4, x + b))
+            .reduce_by_key(lambda a, b: a + b, 2)
+        )
+        return compile_plan(ds, dict_action())
+
+    rows: List[Dict] = []
+    snapshot: Dict = {}
+    for enabled in (False, True):
+        # Best-of-N: each timed region is tens of ms, so one descheduling
+        # blip would otherwise dominate the enabled/disabled ratio.
+        best_wall: Optional[float] = None
+        counters: Dict[str, float] = {}
+        for _ in range(max(repeats, 1)):
+            conf = EngineConf(
+                num_workers=workers,
+                slots_per_worker=slots,
+                scheduling_mode=SchedulingMode.DRIZZLE,
+                group_size=group_size,
+                transport=TransportConf(backend=transport),
+                telemetry=TelemetryConf(enabled=enabled, interval_s=0.05),
+            )
+            with LocalCluster(conf) as cluster:
+                cluster.run_plan(build(10_000))  # warm-up: pools + closures
+                cluster.metrics.reset()
+                start = time.perf_counter()
+                done = 0
+                while done < batches:
+                    chunk = min(group_size, batches - done)
+                    cluster.run_group(
+                        [build(b) for b in range(done, done + chunk)]
+                    )
+                    done += chunk
+                wall_s = time.perf_counter() - start
+                if best_wall is None or wall_s < best_wall:
+                    best_wall = wall_s
+                    counters = cluster.metrics.counters_snapshot()
+                if enabled and cluster.telemetry is not None:
+                    # Give the 0.05s ship loop one more beat, then roll up.
+                    time.sleep(0.12)
+                    snapshot = {
+                        "rollup": cluster.telemetry.rollup(include_stale=True),
+                        "signals": cluster.telemetry.signals(),
+                    }
+        rows.append(
+            {
+                "transport": transport,
+                "telemetry": "enabled" if enabled else "disabled",
+                "group_size": group_size,
+                "batches": batches,
+                "wall_s": best_wall or 0.0,
+                "ms_per_batch": (best_wall or 0.0) / batches * 1e3,
+                "rpc_messages": counters.get("count.rpc_messages", 0.0),
+                "deltas_ingested": counters.get("telemetry.deltas_ingested", 0.0),
+            }
+        )
+    base = rows[0]["ms_per_batch"]
+    for row in rows:
+        row["overhead_ratio"] = row["ms_per_batch"] / base if base > 0 else 0.0
+    return rows, snapshot

@@ -122,6 +122,7 @@ def write_bench_json(
     payload: Any,
     metrics: Optional[MetricsRegistry] = None,
     out_dir: str = ".",
+    telemetry: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Write ``BENCH_<name>.json`` and return its path.
 
@@ -129,7 +130,9 @@ def write_bench_json(
     when a registry is supplied its full snapshot — counters, gauges,
     histogram/series percentile summaries — is embedded alongside, and
     every document records the environment it was produced on (see
-    :func:`bench_environment`).
+    :func:`bench_environment`).  ``telemetry`` optionally embeds a
+    cluster-telemetry rollup + signals document (repro.obs.live) from
+    the benchmarked cluster.
     """
     doc: Dict[str, Any] = {
         "experiment": name,
@@ -138,6 +141,8 @@ def write_bench_json(
     }
     if metrics is not None:
         doc["metrics"] = metrics.snapshot()
+    if telemetry is not None:
+        doc["telemetry"] = telemetry
     path = os.path.join(out_dir, f"BENCH_{name}.json")
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, default=str)

@@ -37,10 +37,14 @@ _ACTIVE: Optional["ChaosInjector"] = None
 class ChaosInjector:
     """Fires a :class:`FaultPlan`'s events on exact per-site hit counts."""
 
-    def __init__(self, plan: FaultPlan, metrics=None, tracer=None, kill_budget: int = 1):
+    def __init__(
+        self, plan: FaultPlan, metrics=None, tracer=None, kill_budget: int = 1,
+        telemetry=None,
+    ):
         self.plan = plan
         self.metrics = metrics
         self.tracer = tracer
+        self.telemetry = telemetry
         self.kill_budget = kill_budget
         self.records: List[Dict[str, object]] = []
         self._hits: Dict[str, int] = {}
@@ -80,6 +84,13 @@ class ChaosInjector:
                 )
             except Exception:
                 pass  # tracing must never turn a fault into a crash
+        if self.telemetry is not None and event is not None and target:
+            try:
+                # Pin the fault onto the affected worker's live timeline
+                # so dashboards show what hit whom, and when.
+                self.telemetry.annotate_fault(target, event.kind, site)
+            except Exception:
+                pass  # telemetry must never turn a fault into a crash
         return event
 
     def _record(

@@ -261,6 +261,62 @@ class TransportConf:
         self.data_plane.validate()
 
 
+def _default_telemetry_enabled() -> bool:
+    # REPRO_TELEMETRY=1 arms the live telemetry plane for a whole pytest
+    # or bench run, mirroring REPRO_TRANSPORT / REPRO_CHAOS_SEED.
+    return os.environ.get("REPRO_TELEMETRY", "").strip().lower() in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    )
+
+
+@dataclass
+class TelemetryConf:
+    """Cluster-wide live telemetry plane (:mod:`repro.obs.live`).
+
+    When enabled, every worker keeps a private metrics registry and
+    periodically ships *delta* snapshots of it to the driver — riding the
+    heartbeat when ``MonitorConf.enable_heartbeats`` is on, or over the
+    dedicated (uncounted) ``__metrics__`` plumbing path when it is off.
+    The driver aggregates the deltas into a :class:`ClusterTelemetry`
+    time-series store whose ``signals()`` feed the §3.4 tuner, the
+    ``obs top`` / ``obs serve`` surfaces, and the SLO watchdog.
+    """
+
+    enabled: bool = field(default_factory=_default_telemetry_enabled)
+    # Shipping cadence for the dedicated loop (heartbeats-off path); with
+    # heartbeats on, deltas ride the heartbeat_interval_s cadence instead.
+    interval_s: float = 0.05
+    # Ring-buffer entries retained per (worker, metric) on the driver.
+    retention: int = 512
+    # Cap on histogram samples shipped in one delta; the remainder ships
+    # on the next tick (bounds the payload of any single message).
+    max_samples_per_delta: int = 512
+    # Window over which signals() derives rates and percentiles.
+    signal_window_s: float = 5.0
+    # SLO watchdog thresholds, both in milliseconds; None disables a
+    # check.  slo_p99_ms bounds per-stage task-latency p99,
+    # slo_queue_delay_p99_ms bounds the cluster queueing-delay p99.
+    slo_p99_ms: Optional[float] = None
+    slo_queue_delay_p99_ms: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.interval_s <= 0:
+            raise ConfigError("telemetry interval_s must be positive")
+        if self.retention < 2:
+            raise ConfigError("telemetry retention must be >= 2")
+        if self.max_samples_per_delta < 1:
+            raise ConfigError("telemetry max_samples_per_delta must be >= 1")
+        if self.signal_window_s <= 0:
+            raise ConfigError("telemetry signal_window_s must be positive")
+        for knob in ("slo_p99_ms", "slo_queue_delay_p99_ms"):
+            value = getattr(self, knob)
+            if value is not None and value <= 0:
+                raise ConfigError(f"telemetry {knob} must be positive (or None)")
+
+
 @dataclass
 class MonitorConf:
     """Failure-detection (heartbeat) settings (§3.3)."""
@@ -359,6 +415,7 @@ class EngineConf:
     transport: TransportConf = field(default_factory=TransportConf)
     monitor: MonitorConf = field(default_factory=MonitorConf)
     chaos: ChaosConf = field(default_factory=ChaosConf)
+    telemetry: TelemetryConf = field(default_factory=TelemetryConf)
     # Deadline for one stage (and for wait_job when no explicit timeout is
     # given): a stalled stage raises a descriptive StageTimeout naming the
     # pending tasks and their workers instead of blocking forever.  None
@@ -409,6 +466,7 @@ class EngineConf:
         self.transport.validate()
         self.monitor.validate()
         self.chaos.validate()
+        self.telemetry.validate()
         if (
             self.scheduling_mode is SchedulingMode.PER_BATCH
             and self.group_size != 1

@@ -9,8 +9,9 @@ delay / task-transfer / compute breakdown of Figure 4(b).
 from __future__ import annotations
 
 import threading
+from collections import deque
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 from repro.common.clock import Clock, WallClock
 from repro.common.stats import percentile
@@ -38,25 +39,53 @@ class Counter:
             self._value = 0.0
 
 
-class TimeSeries:
-    """A thread-safe append-only list of samples."""
+# Ring capacity for TimeSeries.  Generous on purpose: series record
+# control-plane events (batches, groups, decisions), so even a multi-hour
+# soak at ~10 samples/s fits without eviction; the bound only exists so
+# an unattended streaming run cannot grow memory without limit.
+DEFAULT_SERIES_MAX_SAMPLES = 65_536
 
-    def __init__(self, name: str):
+
+class TimeSeries:
+    """A thread-safe bounded ring of samples.
+
+    Older samples are evicted once ``max_samples`` is reached; evictions
+    are counted and surfaced as ``dropped`` in registry snapshots, so a
+    summary computed over a truncated window says so explicitly.
+    """
+
+    def __init__(self, name: str, max_samples: int = DEFAULT_SERIES_MAX_SAMPLES):
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
-        self._samples: List[float] = []
+        self._samples: Deque[float] = deque(maxlen=max_samples)
+        self._dropped = 0
         self._lock = threading.Lock()
 
     def record(self, sample: float) -> None:
         with self._lock:
+            if len(self._samples) == self._samples.maxlen:
+                self._dropped += 1
             self._samples.append(sample)
 
     def snapshot(self) -> List[float]:
         with self._lock:
             return list(self._samples)
 
+    @property
+    def dropped(self) -> int:
+        """Samples evicted from the ring since the last reset."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def max_samples(self) -> int:
+        return self._samples.maxlen or 0
+
     def reset(self) -> None:
         with self._lock:
             self._samples.clear()
+            self._dropped = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -154,10 +183,12 @@ class MetricsRegistry:
                 self._counters[name] = Counter(name)
             return self._counters[name]
 
-    def series(self, name: str) -> TimeSeries:
+    def series(self, name: str, max_samples: Optional[int] = None) -> TimeSeries:
         with self._lock:
             if name not in self._series:
-                self._series[name] = TimeSeries(name)
+                self._series[name] = TimeSeries(
+                    name, max_samples or DEFAULT_SERIES_MAX_SAMPLES
+                )
             return self._series[name]
 
     def gauge(self, name: str) -> Gauge:
@@ -189,14 +220,29 @@ class MetricsRegistry:
         with self._lock:
             return {name: c.value for name, c in self._counters.items()}
 
+    def gauges_snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            return {name: g.value for name, g in self._gauges.items()}
+
+    def histogram_names(self) -> List[str]:
+        """Names of every histogram created so far (delta shippers walk
+        these to find new samples without materializing summaries)."""
+        with self._lock:
+            return list(self._histograms)
+
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """One unified snapshot: counters, gauges, and p50/p95/p99
-        summaries of every histogram and series (JSON-serializable)."""
+        summaries of every histogram and series (JSON-serializable).
+        Series summaries carry a ``dropped`` count: samples evicted from
+        the bounded ring, i.e. how much history the summary is missing."""
         with self._lock:
             counters = {name: c.value for name, c in self._counters.items()}
             gauges = {name: g.value for name, g in self._gauges.items()}
             histograms = {name: h.summary() for name, h in self._histograms.items()}
-            series = {name: _summarize(s.snapshot()) for name, s in self._series.items()}
+            series = {
+                name: {**_summarize(s.snapshot()), "dropped": s.dropped}
+                for name, s in self._series.items()
+            }
         return {
             "counters": counters,
             "gauges": gauges,
@@ -266,3 +312,22 @@ COUNT_STAGE_CACHE_MISS = "serde.stage_cache_miss"
 COUNT_CHAOS_INJECTED = "chaos.injected"
 COUNT_CHAOS_SUPPRESSED = "chaos.suppressed"
 CHAOS_KIND_PREFIX = "chaos"
+# Live telemetry plane (repro.obs.live).  The telemetry.* family is
+# recorded into each worker's *private* telemetry registry (within a
+# LocalCluster the main registry is shared, so per-worker attribution
+# needs a separate one) and shipped to the driver as delta snapshots.
+HIST_TELEMETRY_QUEUE_DELAY = "telemetry.queue_delay"  # accept -> run start
+COUNT_TELEMETRY_TASKS = "telemetry.tasks"
+COUNT_TELEMETRY_RECORDS = "telemetry.records"
+GAUGE_TELEMETRY_BACKLOG = "telemetry.backlog"  # tasks parked on deps
+# Per-stage task latency histograms are registered as
+# "{TELEMETRY_STAGE_LATENCY_PREFIX}.{stage_index}" — a prefix family
+# like net.call_latency.
+TELEMETRY_STAGE_LATENCY_PREFIX = "telemetry.stage_latency"
+# Driver-side telemetry bookkeeping (recorded on the driver registry).
+COUNT_TELEMETRY_DELTAS = "telemetry.deltas_ingested"
+GAUGE_TELEMETRY_STREAM_BACKLOG = "telemetry.stream_backlog"
+HIST_TELEMETRY_BATCH_WALL = "telemetry.batch_wall"
+# SLO watchdog: one count per threshold breach detected by the
+# ClusterTelemetry store (paired with an "slo.violation" trace instant).
+COUNT_SLO_VIOLATIONS = "slo.violations"

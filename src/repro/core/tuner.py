@@ -115,3 +115,26 @@ class GroupSizeTuner:
         )
         self.history.append(decision)
         return decision
+
+    def observe_signals(self, signals) -> TunerDecision:
+        """Feed one :meth:`ClusterTelemetry.signals` document instead of
+        raw timings — the cluster-rollup path to the same AIMD step: the
+        ``coordination`` block carries windowed scheduling + transfer
+        time and the matching wall time, so
+        ``observe_signals(telemetry.signals())`` is equivalent to
+        ``observe(coordination_s, wall_s)`` over that window.  A window
+        with no wall time yet (cluster just started, or an empty signals
+        document) holds at the current size rather than erroring."""
+        coord = signals.get("coordination") or {}
+        wall = float(coord.get("wall_s", 0.0))
+        if wall <= 0:
+            decision = TunerDecision(
+                observed_overhead=0.0,
+                smoothed_overhead=self._ewma.value if self._ewma.initialized else 0.0,
+                previous_group_size=self._group_size,
+                new_group_size=self._group_size,
+                action="hold",
+            )
+            self.history.append(decision)
+            return decision
+        return self.observe(float(coord.get("coordination_s", 0.0)), wall)

@@ -24,6 +24,7 @@ from repro.engine.driver import Driver
 from repro.engine.rpc import BaseTransport, Transport
 from repro.engine.worker import Worker
 from repro.obs.export import write_jsonl, write_perfetto
+from repro.obs.live import ClusterTelemetry
 from repro.obs.trace import NULL_RECORDER, Recorder, TraceRecorder
 
 
@@ -80,6 +81,25 @@ class LocalCluster:
         self.driver = Driver(
             self.transport, self.conf, self.metrics, self.clock, tracer=self.tracer
         )
+        # Live telemetry store (repro.obs.live): armed before workers so
+        # the first shipped delta already has somewhere to land.  With
+        # heartbeats off, arrivals come from the workers' telemetry loops;
+        # staleness then tracks that cadence instead of the hb timeout.
+        self.telemetry: Optional[ClusterTelemetry] = None
+        if self.conf.telemetry.enabled:
+            stale_after = (
+                self.conf.monitor.heartbeat_timeout_s
+                if self.conf.monitor.enable_heartbeats
+                else max(4 * self.conf.telemetry.interval_s, 0.2)
+            )
+            self.telemetry = ClusterTelemetry(
+                self.conf.telemetry,
+                clock=self.clock,
+                driver_metrics=self.metrics,
+                tracer=self.tracer,
+                stale_after_s=stale_after,
+            )
+            self.driver.telemetry = self.telemetry
         self.workers: dict[str, Worker] = {}
         self._worker_seq = 0
         self._lock = threading.Lock()
@@ -112,6 +132,7 @@ class LocalCluster:
                 metrics=self.metrics,
                 tracer=self.tracer,
                 kill_budget=kill_budget,
+                telemetry=self.telemetry,
             )
             install(self.chaos)
 

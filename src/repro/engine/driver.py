@@ -150,6 +150,9 @@ class Driver:
             GroupSizeTuner(conf.tuner, conf.group_size) if conf.tuner.enabled else None
         )
         self.last_group_ledger: Optional[CoordinationLedger] = None
+        # Live telemetry store (repro.obs.live), wired by LocalCluster
+        # when TelemetryConf.enabled; heartbeat deltas land here.
+        self.telemetry = None
         transport.register(DRIVER_ID, self)
 
     # ------------------------------------------------------------------
@@ -256,10 +259,22 @@ class Driver:
             launched += 1
         return launched
 
-    def heartbeat(self, worker_id: str, _ts: float) -> None:
+    def heartbeat(self, worker_id: str, _ts: float, telemetry=None) -> None:
+        """Liveness ping from a worker; ``telemetry`` optionally carries a
+        piggybacked metrics delta (same message, bigger payload)."""
         with self._lock:
             if worker_id in self._alive:
                 self._last_heartbeat[worker_id] = self.clock.now()
+        if self.telemetry is not None:
+            self.telemetry.ingest(worker_id, telemetry)
+
+    def ingest_telemetry(self, worker_id: str, delta) -> bool:
+        """Target of the uncounted ``__metrics__`` shipping path (used
+        when heartbeats are off).  Returns False when no store is armed."""
+        if self.telemetry is None:
+            return False
+        self.telemetry.ingest(worker_id, delta)
+        return True
 
     def _monitor_loop(self) -> None:
         interval = self.conf.monitor.heartbeat_interval_s

@@ -91,6 +91,14 @@ class BaseTransport:
         except WorkerLost:
             return False
 
+    def ship_telemetry(self, dst_id: str, src_id: str, delta: Any) -> bool:
+        """Deliver a telemetry delta to ``dst_id`` as *plumbing*: like
+        discovery (``__announce__``/``__ping__``), this never touches
+        ``COUNT_RPC_MESSAGES`` and never injects latency, so arming
+        telemetry preserves the ±0 message-count parity between
+        transports.  Best-effort: returns whether the delta was taken."""
+        return False
+
     def close(self) -> None:
         """Release transport resources (sockets, pools); no-op in-process."""
 
@@ -128,6 +136,19 @@ class Transport(BaseTransport):
     def endpoints(self) -> Dict[str, Any]:
         with self._lock:
             return dict(self._endpoints)
+
+    def ship_telemetry(self, dst_id: str, src_id: str, delta: Any) -> bool:
+        with self._lock:
+            if dst_id not in self._endpoints or dst_id in self._dead:
+                return False
+            target = self._endpoints[dst_id]
+        ingest = getattr(target, "ingest_telemetry", None)
+        if ingest is None:
+            return False
+        try:
+            return bool(ingest(src_id, delta))
+        except Exception:  # noqa: BLE001 - telemetry must never break the engine
+            return False
 
     def call(self, dst_id: str, method: str, *args: Any, **kwargs: Any) -> Any:
         """Deliver one message; returns the method's return value."""

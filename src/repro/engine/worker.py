@@ -32,7 +32,12 @@ from repro.common.config import EngineConf
 from repro.common.errors import FetchFailed, SerializationError, WorkerLost
 from repro.common.metrics import (
     COUNT_NET_FETCH_BATCHES,
+    COUNT_TELEMETRY_RECORDS,
+    COUNT_TELEMETRY_TASKS,
+    GAUGE_TELEMETRY_BACKLOG,
     HIST_NET_BUCKETS_PER_FETCH,
+    HIST_TELEMETRY_QUEUE_DELAY,
+    TELEMETRY_STAGE_LATENCY_PREFIX,
     TIME_COMPUTE,
     MetricsRegistry,
 )
@@ -41,6 +46,7 @@ from repro.engine.blocks import BUCKET_OK, BlockStore
 from repro.engine.executors import ComputeRequest, create_backend
 from repro.engine.rpc import BaseTransport
 from repro.engine.task import TaskDescriptor, TaskReport
+from repro.obs.live import DeltaSnapshotter
 from repro.obs.names import (
     SPAN_TASK_COMPUTE,
     SPAN_TASK_EXEC,
@@ -87,6 +93,21 @@ class Worker:
         self._dead = False
         self._hb_thread: Optional[threading.Thread] = None
         self._stop_hb = threading.Event()
+        # Live telemetry (repro.obs.live): a *private* registry so shipped
+        # metrics attribute to this worker even when `metrics` is the
+        # registry shared across the whole LocalCluster.  Deltas piggyback
+        # on heartbeats when those are on; otherwise _telemetry_loop ships
+        # them over the transport's uncounted plumbing path.
+        self.telemetry_metrics: Optional[MetricsRegistry] = None
+        self._telemetry_snap: Optional[DeltaSnapshotter] = None
+        self._accepted_at: Dict[str, float] = {}
+        self._tel_thread: Optional[threading.Thread] = None
+        self._stop_tel = threading.Event()
+        if conf.telemetry.enabled:
+            self.telemetry_metrics = MetricsRegistry(self.clock)
+            self._telemetry_snap = DeltaSnapshotter(
+                self.telemetry_metrics, conf.telemetry.max_samples_per_delta
+            )
         # Extra per-record work injected by benchmarks (simulating compute).
         self.compute_delay_per_task_s = 0.0
 
@@ -101,6 +122,14 @@ class Worker:
                 target=self._heartbeat_loop, name=f"{self.worker_id}-hb", daemon=True
             )
             self._hb_thread.start()
+        elif self._telemetry_snap is not None:
+            # No heartbeats to piggyback on: ship deltas on a dedicated
+            # loop over the transport's uncounted plumbing path.
+            self._stop_tel.clear()
+            self._tel_thread = threading.Thread(
+                target=self._telemetry_loop, name=f"{self.worker_id}-tel", daemon=True
+            )
+            self._tel_thread.start()
 
     def kill(self) -> None:
         """Crash this machine: no more heartbeats, its block store is
@@ -109,11 +138,14 @@ class Worker:
             self._dead = True
             self._pending.clear()
             self._parked.clear()
+            self._accepted_at.clear()
         self._stop_hb.set()
+        self._stop_tel.set()
         self.transport.mark_dead(self.worker_id)
 
     def shutdown(self) -> None:
         self._stop_hb.set()
+        self._stop_tel.set()
         self._backend.shutdown(wait=True)
 
     @property
@@ -125,7 +157,27 @@ class Worker:
         while not self._stop_hb.wait(self.conf.monitor.heartbeat_interval_s):
             if self.is_dead:
                 return
-            self.transport.try_call(DRIVER_ID, "heartbeat", self.worker_id, time.monotonic())
+            # Telemetry piggybacks on the heartbeat: same message count,
+            # bigger payload — ±0 count.rpc_messages parity preserved.
+            delta = self._telemetry_snap.delta() if self._telemetry_snap else None
+            self.transport.try_call(
+                DRIVER_ID, "heartbeat", self.worker_id, time.monotonic(), delta
+            )
+
+    def _telemetry_loop(self) -> None:
+        while not self._stop_tel.wait(self.conf.telemetry.interval_s):
+            if self.is_dead:
+                return
+            self.ship_telemetry()
+
+    def ship_telemetry(self) -> bool:
+        """Ship the next telemetry delta to the driver (uncounted, like
+        ``__announce__``/``__ping__``).  An empty delta still ships: with
+        heartbeats off, these arrivals are the driver's liveness signal."""
+        if self._telemetry_snap is None or self.is_dead:
+            return False
+        delta = self._telemetry_snap.delta()
+        return self.transport.ship_telemetry(DRIVER_ID, self.worker_id, delta)
 
     # ------------------------------------------------------------------
     # Driver -> worker RPCs
@@ -140,6 +192,7 @@ class Worker:
         with self._lock:
             if self._dead:
                 return
+            self._tel_note_accept(str(desc.task_id))
             if desc.pre_scheduled and desc.deps:
                 job_id = desc.task_id.job_id
                 table = self._pending.setdefault(job_id, PendingTaskTable())
@@ -149,9 +202,27 @@ class Worker:
                 ready = table.register(key, desc.deps)
                 if not ready:
                     self._parked[(job_id, key)] = desc
+                    self._tel_note_backlog()
                     return
                 # All deps were already satisfied by early notifications.
         self._backend.submit(self._run_task, desc)
+
+    def _tel_note_accept(self, key: str) -> None:
+        """Stamp a task's accept time for the queueing-delay signal.
+        Caller holds ``self._lock``.  The map is soft-capped: a driver
+        that cancels huge jobs wholesale could otherwise strand stamps."""
+        if self.telemetry_metrics is None:
+            return
+        if len(self._accepted_at) > 8192:
+            self._accepted_at.clear()
+        self._accepted_at[key] = self.clock.now()
+
+    def _tel_note_backlog(self) -> None:
+        """Refresh the parked-task backlog gauge.  Caller holds ``self._lock``."""
+        if self.telemetry_metrics is not None:
+            self.telemetry_metrics.gauge(GAUGE_TELEMETRY_BACKLOG).set(
+                len(self._parked)
+            )
 
     def pre_populate(
         self, job_id: int, completed: List[Tuple[DepKey, str]]
@@ -169,6 +240,8 @@ class Worker:
                     desc = self._parked.pop((job_id, key), None)
                     if desc is not None:
                         to_run.append(desc)
+            if to_run:
+                self._tel_note_backlog()
         for desc in to_run:
             self._backend.submit(self._run_task, desc)
 
@@ -178,6 +251,8 @@ class Worker:
             doomed = [k for k in self._parked if k[0] == job_id]
             for k in doomed:
                 del self._parked[k]
+            if doomed:
+                self._tel_note_backlog()
 
     def drop_job(self, job_id: int) -> None:
         self.blocks.drop_job(job_id)
@@ -203,6 +278,8 @@ class Worker:
                 desc = self._parked.pop((job_id, key), None)
                 if desc is not None:
                     to_run.append(desc)
+            if to_run:
+                self._tel_note_backlog()
         for desc in to_run:
             self._backend.submit(self._run_task, desc)
 
@@ -253,6 +330,14 @@ class Worker:
             if self.is_dead:
                 return
         started = self.clock.now()
+        tel = self.telemetry_metrics
+        if tel is not None:
+            with self._lock:
+                accepted = self._accepted_at.pop(str(desc.task_id), None)
+            if accepted is not None:
+                tel.histogram(HIST_TELEMETRY_QUEUE_DELAY).record(
+                    max(started - accepted, 0.0)
+                )
         # Parent the compute span to the stage context carried by the
         # descriptor, so worker-side work lands in the batch's trace tree.
         span = self.tracer.start_span(
@@ -288,6 +373,17 @@ class Worker:
             )
         report.compute_time_s = self.clock.now() - started
         self.metrics.counter(TIME_COMPUTE).add(report.compute_time_s)
+        if tel is not None:
+            tel.counter(COUNT_TELEMETRY_TASKS).add(1)
+            tel.histogram(
+                f"{TELEMETRY_STAGE_LATENCY_PREFIX}.{desc.task_id.stage_index}"
+            ).record(report.compute_time_s)
+            if report.output_sizes:
+                tel.counter(COUNT_TELEMETRY_RECORDS).add(
+                    sum(report.output_sizes.values())
+                )
+            elif isinstance(report.result, (list, tuple, dict)):
+                tel.counter(COUNT_TELEMETRY_RECORDS).add(len(report.result))
         if not report.succeeded:
             span.annotate(error=repr(report.error))
         # Same window as the TIME_COMPUTE counter add (exact agreement).

@@ -80,6 +80,9 @@ from repro.obs.trace import Recorder
 ANNOUNCE = "__announce__"
 RESOLVE = "__resolve__"
 PING = "__ping__"
+# Telemetry-delta shipping (repro.obs.live) when heartbeats are off:
+# plumbing like the three above, so ±0 message-count parity holds.
+METRICS = "__metrics__"
 
 _OK = "ok"
 _ERR = "err"
@@ -218,6 +221,20 @@ class TcpTransport(BaseTransport):
             addr = self._resolve(endpoint_id)
             status, value = self._internal_call(
                 addr, Envelope(endpoint_id, PING, None), ()
+            )
+        except WorkerLost:
+            return False
+        return status == _OK and bool(value)
+
+    def ship_telemetry(self, dst_id: str, src_id: str, delta: Any) -> bool:
+        """Deliver a telemetry delta over the wire as an uncounted
+        ``__metrics__`` exchange — plumbing like ``__ping__``: no
+        ``COUNT_RPC_MESSAGES``, no injected latency, no per-method
+        latency histogram (bytes counters still see it: wire truth)."""
+        try:
+            addr = self._resolve(dst_id)
+            status, value = self._internal_call(
+                addr, Envelope(dst_id, METRICS, None), (src_id, delta)
             )
         except WorkerLost:
             return False
@@ -496,6 +513,21 @@ class TcpTransport(BaseTransport):
                     envelope.dst in self._local and envelope.dst not in self._dead
                 )
             return (_OK, alive)
+        if method == METRICS:
+            src_id, delta = args
+            with self._lock:
+                target = (
+                    self._local.get(envelope.dst)
+                    if envelope.dst not in self._dead
+                    else None
+                )
+            ingest = getattr(target, "ingest_telemetry", None)
+            if ingest is None:
+                return (_OK, False)
+            try:
+                return (_OK, bool(ingest(src_id, delta)))
+            except Exception:  # noqa: BLE001 - telemetry must never break the engine
+                return (_OK, False)
         with self._lock:
             if envelope.dst not in self._local:
                 return (_LOST, f"unknown endpoint: {envelope.dst}")

@@ -20,12 +20,15 @@ from repro.obs.analyze import (
     summarize,
 )
 from repro.obs.export import load_trace, to_trace_events, write_jsonl, write_perfetto
+from repro.obs.live import DRIVER_TIMELINE, ClusterTelemetry, DeltaSnapshotter
 from repro.obs.names import (
     EVENT_NAMES,
     METRIC_NAMES,
+    METRIC_PREFIXES,
     PHASE_SPANS,
     SPAN_NAMES,
     SPAN_TO_METRIC,
+    is_registered_metric,
 )
 from repro.obs.trace import (
     NULL_RECORDER,
@@ -55,4 +58,9 @@ __all__ = [
     "per_worker_breakdown",
     "render_tree",
     "summarize",
+    "ClusterTelemetry",
+    "DeltaSnapshotter",
+    "DRIVER_TIMELINE",
+    "METRIC_PREFIXES",
+    "is_registered_metric",
 ]

@@ -26,12 +26,21 @@ from repro.common.metrics import (
     COUNT_NET_REDIALS,
     COUNT_RECOVERIES,
     COUNT_RPC_MESSAGES,
+    COUNT_SLO_VIOLATIONS,
     COUNT_SPECULATIVE,
     COUNT_STAGE_CACHE_HIT,
     COUNT_STAGE_CACHE_MISS,
     COUNT_TASKS_LAUNCHED,
+    COUNT_TELEMETRY_DELTAS,
+    COUNT_TELEMETRY_RECORDS,
+    COUNT_TELEMETRY_TASKS,
+    GAUGE_TELEMETRY_BACKLOG,
+    GAUGE_TELEMETRY_STREAM_BACKLOG,
     HIST_NET_BUCKETS_PER_FETCH,
     HIST_NET_CALL_LATENCY,
+    HIST_TELEMETRY_BATCH_WALL,
+    HIST_TELEMETRY_QUEUE_DELAY,
+    TELEMETRY_STAGE_LATENCY_PREFIX,
     TIME_COMPUTE,
     TIME_COORDINATION,
     TIME_SCHEDULING,
@@ -87,8 +96,11 @@ PHASE_SPANS = (
 EVENT_TUNER_DECISION = "tuner.decision"  # §3.4 AIMD step, on the group span
 EVENT_TASK_RESUBMIT = "task.resubmit"  # recovery/speculation re-placement
 EVENT_CHAOS_FAULT = "chaos.fault"  # one injected fault (repro.chaos)
+EVENT_SLO_VIOLATION = "slo.violation"  # telemetry watchdog threshold breach
 
-EVENT_NAMES = frozenset({EVENT_TUNER_DECISION, EVENT_TASK_RESUBMIT, EVENT_CHAOS_FAULT})
+EVENT_NAMES = frozenset(
+    {EVENT_TUNER_DECISION, EVENT_TASK_RESUBMIT, EVENT_CHAOS_FAULT, EVENT_SLO_VIOLATION}
+)
 
 # ----------------------------------------------------------------------
 # Metric names (re-exported so one import site covers spans AND metrics).
@@ -119,6 +131,14 @@ METRIC_NAMES = frozenset(
         COUNT_STAGE_CACHE_MISS,
         COUNT_CHAOS_INJECTED,
         COUNT_CHAOS_SUPPRESSED,
+        HIST_TELEMETRY_QUEUE_DELAY,
+        COUNT_TELEMETRY_TASKS,
+        COUNT_TELEMETRY_RECORDS,
+        GAUGE_TELEMETRY_BACKLOG,
+        COUNT_TELEMETRY_DELTAS,
+        GAUGE_TELEMETRY_STREAM_BACKLOG,
+        HIST_TELEMETRY_BATCH_WALL,
+        COUNT_SLO_VIOLATIONS,
     }
 )
 
@@ -129,6 +149,27 @@ NET_CALL_LATENCY_PREFIX = HIST_NET_CALL_LATENCY
 # Per-kind injected-fault counters ("chaos.worker_kill", ...) are the
 # same kind of open-ended prefix family.
 CHAOS_METRIC_PREFIX = CHAOS_KIND_PREFIX
+# Per-stage latency histograms ("telemetry.stage_latency.0", ...) shipped
+# by the live telemetry plane.
+STAGE_LATENCY_PREFIX = TELEMETRY_STAGE_LATENCY_PREFIX
+
+# Open-ended metric families: any emitted name starting with one of
+# these prefixes (plus a ".") is considered registered.  The bench
+# harness times each experiment as "bench.<name>".
+METRIC_PREFIXES = (
+    NET_CALL_LATENCY_PREFIX,
+    CHAOS_METRIC_PREFIX,
+    STAGE_LATENCY_PREFIX,
+    "bench",
+)
+
+
+def is_registered_metric(name: str) -> bool:
+    """True when ``name`` is in the catalog, either as an exact member of
+    ``METRIC_NAMES`` or under one of the ``METRIC_PREFIXES`` families."""
+    if name in METRIC_NAMES:
+        return True
+    return any(name.startswith(prefix + ".") for prefix in METRIC_PREFIXES)
 
 # Span name -> metric counter that times the same code region; the CLI
 # uses this to cross-check span totals against the counter values.
@@ -154,9 +195,13 @@ __all__ = [
     "EVENT_TUNER_DECISION",
     "EVENT_TASK_RESUBMIT",
     "EVENT_CHAOS_FAULT",
+    "EVENT_SLO_VIOLATION",
     "EVENT_NAMES",
     "METRIC_NAMES",
     "NET_CALL_LATENCY_PREFIX",
     "CHAOS_METRIC_PREFIX",
+    "STAGE_LATENCY_PREFIX",
+    "METRIC_PREFIXES",
+    "is_registered_metric",
     "SPAN_TO_METRIC",
 ]

@@ -1,0 +1,109 @@
+"""`python -m repro.obs serve` — telemetry rollups as JSON over HTTP.
+
+A small localhost scrape endpoint (stdlib ``http.server``, no deps) over
+a :class:`~repro.obs.live.ClusterTelemetry` store:
+
+* ``/`` or ``/snapshot`` — rollup + signals in one document,
+* ``/rollup`` — per-worker and cluster-merged rollups,
+* ``/signals`` — derived health signals only,
+* ``/healthz`` — ``{"ok": true, "live_workers": N}``.
+
+Binds 127.0.0.1 only: this is a diagnostics port, not a service.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Tuple
+
+from repro.obs.live import ClusterTelemetry
+
+
+def snapshot_doc(telemetry: ClusterTelemetry) -> Dict[str, Any]:
+    """The ``/`` document: everything a scraper wants in one fetch."""
+    return {
+        "version": 1,
+        "rollup": telemetry.rollup(include_stale=True),
+        "signals": telemetry.signals(),
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set by TelemetryHTTPServer.
+    telemetry: ClusterTelemetry
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        telemetry = self.server.telemetry  # type: ignore[attr-defined]
+        if path in ("/", "/snapshot"):
+            doc: Any = snapshot_doc(telemetry)
+        elif path == "/rollup":
+            doc = telemetry.rollup(include_stale=True)
+        elif path == "/signals":
+            doc = telemetry.signals()
+        elif path == "/healthz":
+            doc = {"ok": True, "live_workers": len(telemetry.live_workers())}
+        else:
+            self.send_error(404, "unknown path (try /, /rollup, /signals, /healthz)")
+            return
+        body = json.dumps(doc).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # a diagnostics endpoint should not spam the driver's stderr
+
+
+class TelemetryHTTPServer:
+    """Owns the listening socket; serve in a daemon thread via start()."""
+
+    def __init__(self, telemetry: ClusterTelemetry, port: int = 0):
+        self._server = ThreadingHTTPServer(("127.0.0.1", port), _Handler)
+        self._server.daemon_threads = True  # no leaked per-request threads
+        self._server.telemetry = telemetry  # type: ignore[attr-defined]
+        self._thread = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "TelemetryHTTPServer":
+        import threading
+
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="obs-serve",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def write_snapshot(telemetry: ClusterTelemetry, path: str) -> None:
+    """Dump the ``/`` document to a file (CI artifact mode)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot_doc(telemetry), fh, indent=2, sort_keys=True)
+        fh.write("\n")

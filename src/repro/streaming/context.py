@@ -125,6 +125,9 @@ class StreamingContext:
             self._run_group(range(self.next_batch, self.next_batch + group_size))
             self.next_batch += group_size
             remaining -= group_size
+            telemetry = getattr(self.cluster, "telemetry", None)
+            if telemetry is not None:
+                telemetry.observe_stream_backlog(remaining)
             self._batches_since_checkpoint += group_size
             if (
                 self._batches_since_checkpoint
@@ -159,6 +162,10 @@ class StreamingContext:
                 keys.append((op.index, batch_index))
         results = self.driver.run_group(plans, job_keys=keys, reuse=reuse)
         wall = self.clock.now() - start
+        telemetry = getattr(self.cluster, "telemetry", None)
+        if telemetry is not None:
+            for _ in batch_indices:
+                telemetry.observe_batch(wall / max(len(batch_indices), 1))
         group_id = self._group_seq
         self._group_seq += 1
         # Deliver callbacks strictly in batch order.

@@ -65,6 +65,33 @@ class TestMetricsRegistry:
         assert m.series("s").snapshot() == [1.0, 2.0]
         assert len(m.series("s")) == 2
 
+    def test_series_ring_bounded_with_dropped_count(self):
+        m = MetricsRegistry()
+        s = m.series("s", max_samples=3)
+        for i in range(5):
+            s.record(float(i))
+        assert s.snapshot() == [2.0, 3.0, 4.0]  # oldest two evicted
+        assert s.dropped == 2
+        assert s.max_samples == 3
+        assert m.snapshot()["series"]["s"]["dropped"] == 2
+
+    def test_series_reset_clears_dropped(self):
+        m = MetricsRegistry()
+        s = m.series("s", max_samples=2)
+        for i in range(4):
+            s.record(float(i))
+        assert s.dropped == 2
+        m.reset()
+        assert s.snapshot() == [] and s.dropped == 0
+
+    def test_series_default_bound_and_validation(self):
+        from repro.common.metrics import DEFAULT_SERIES_MAX_SAMPLES, TimeSeries
+
+        m = MetricsRegistry()
+        assert m.series("s").max_samples == DEFAULT_SERIES_MAX_SAMPLES
+        with pytest.raises(ValueError):
+            TimeSeries("bad", max_samples=0)
+
     def test_timed(self):
         clock = ManualClock()
         m = MetricsRegistry(clock)

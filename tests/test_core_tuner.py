@@ -141,3 +141,55 @@ class TestProperties:
         for o in overheads:
             tuner.observe(o, 1.0)
         assert len(tuner.history) == len(overheads)
+
+
+class TestSignalsIntegration:
+    """The tuner can consume the live telemetry plane's derived signals.
+
+    ``ClusterTelemetry.signals()["coordination"]`` carries the same
+    coordination-time / wall-time pair the driver already feeds into
+    ``observe``; ``observe_signals`` must reduce to exactly that call, so
+    wiring the tuner to the telemetry plane changes no decisions.
+    """
+
+    def make_signals(self, scheduling_s, transfer_s, wall_s):
+        from repro.common.clock import ManualClock
+        from repro.common.config import TelemetryConf
+        from repro.common.metrics import (
+            TIME_SCHEDULING,
+            TIME_TASK_TRANSFER,
+            MetricsRegistry,
+        )
+        from repro.obs.live import ClusterTelemetry
+
+        clock = ManualClock(start=100.0)
+        registry = MetricsRegistry(clock)
+        store = ClusterTelemetry(
+            TelemetryConf(enabled=True),
+            clock=clock,
+            driver_metrics=registry,
+            stale_after_s=60.0,
+        )
+        store.poll_driver()
+        registry.counter(TIME_SCHEDULING).add(scheduling_s)
+        registry.counter(TIME_TASK_TRANSFER).add(transfer_s)
+        clock.advance(wall_s)
+        return store.signals(window_s=10.0)
+
+    def test_high_overhead_signal_matches_direct_observe(self):
+        signals = self.make_signals(scheduling_s=0.3, transfer_s=0.2, wall_s=1.0)
+        assert signals["coordination"]["overhead"] == pytest.approx(0.5)
+        via_signals = make_tuner(initial=10).observe_signals(signals)
+        direct = make_tuner(initial=10).observe(0.5, 1.0)
+        assert via_signals.action == direct.action == "increase"
+        assert via_signals.new_group_size == direct.new_group_size == 20
+
+    def test_low_overhead_signal_decreases(self):
+        signals = self.make_signals(scheduling_s=0.0005, transfer_s=0.0005, wall_s=1.0)
+        decision = make_tuner(initial=10).observe_signals(signals)
+        assert decision.action == "decrease"
+        assert decision.new_group_size == 8
+
+    def test_empty_signals_hold_without_error(self):
+        decision = make_tuner(initial=10).observe_signals({})
+        assert decision.new_group_size == 10

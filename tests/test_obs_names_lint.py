@@ -1,0 +1,154 @@
+"""Lint: every metric name emitted anywhere in ``src/repro`` is registered.
+
+The observability contract (``repro.obs.names``) only works if the
+registry is complete: a counter someone adds to the engine but not to
+``METRIC_NAMES`` silently falls out of dashboards, trace tooling, and
+the telemetry plane.  This test walks the AST of every source file,
+finds ``.counter(...)/.gauge(...)/.histogram(...)/.series(...)/.timed(...)``
+call sites, resolves the name argument (string literals, module-level
+constants, and f-strings built from them), and checks each against
+:func:`repro.obs.names.is_registered_metric`.
+"""
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+import repro.common.metrics as metrics_mod
+from repro.obs.names import METRIC_NAMES, METRIC_PREFIXES, is_registered_metric
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src"
+EMITTER_METHODS = {"counter", "gauge", "histogram", "series", "timed"}
+
+
+def iter_source_files():
+    return sorted((SRC_ROOT / "repro").rglob("*.py"))
+
+
+def module_name_for(path: pathlib.Path) -> str:
+    rel = path.relative_to(SRC_ROOT).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def resolve_name_arg(node: ast.expr, module) -> str:
+    """Resolve a metric-name AST node to a concrete (or template) string.
+
+    Module-level constants resolve via the imported module; dynamic
+    f-string pieces become an ``x`` placeholder, which still exercises
+    the prefix-family check (``prefix + ".x"``).  Raises ValueError for
+    shapes we cannot resolve.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        value = getattr(module, node.id, None)
+        if isinstance(value, str):
+            return value
+        raise ValueError(f"constant {node.id} is not a module-level string")
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            elif isinstance(piece, ast.FormattedValue) and isinstance(
+                piece.value, ast.Name
+            ):
+                value = getattr(module, piece.value.id, None)
+                parts.append(value if isinstance(value, str) else "x")
+            else:
+                parts.append("x")
+        return "".join(parts)
+    raise ValueError(f"unresolvable metric name node: {ast.dump(node)}")
+
+
+def emitted_metric_names():
+    """Yield (location, resolved_name) for every literal emit site."""
+    for path in iter_source_files():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        module = importlib.import_module(module_name_for(path))
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in EMITTER_METHODS
+                and node.args
+            ):
+                continue
+            arg = node.args[0]
+            # Pass-through parameters (e.g. helpers taking `name`) are
+            # not emit sites with a concrete name; only lint resolvable
+            # literals/constants.
+            if isinstance(arg, ast.Name) and not isinstance(
+                getattr(module, arg.id, None), str
+            ):
+                continue
+            if isinstance(arg, ast.Attribute):
+                continue  # self.name style indirection
+            location = f"{path.relative_to(SRC_ROOT)}:{node.lineno}"
+            yield location, resolve_name_arg(arg, module)
+
+
+def test_every_emitted_metric_name_is_registered():
+    sites = list(emitted_metric_names())
+    assert len(sites) >= 30  # the walker actually found the engine's emits
+    unregistered = [
+        f"{where}: {name!r}"
+        for where, name in sites
+        if not is_registered_metric(name)
+    ]
+    assert not unregistered, (
+        "metric names emitted but missing from repro.obs.names:\n  "
+        + "\n  ".join(unregistered)
+    )
+
+
+def test_every_metrics_module_constant_is_registered():
+    prefixes = ("COUNT_", "GAUGE_", "HIST_", "TIME_")
+    constants = {
+        name: value
+        for name, value in vars(metrics_mod).items()
+        if name.startswith(prefixes) and isinstance(value, str)
+    }
+    assert len(constants) >= 25
+    missing = {
+        const: value
+        for const, value in constants.items()
+        if not is_registered_metric(value) and not is_registered_metric(value + ".x")
+    }
+    assert not missing, f"metrics.py constants unregistered in obs.names: {missing}"
+
+
+def test_telemetry_and_slo_names_are_registered():
+    for name in (
+        "telemetry.tasks",
+        "telemetry.records",
+        "telemetry.backlog",
+        "telemetry.queue_delay",
+        "telemetry.deltas_ingested",
+        "telemetry.stream_backlog",
+        "telemetry.batch_wall",
+        "telemetry.stage_latency.3",
+        "slo.violations",
+    ):
+        assert is_registered_metric(name), name
+
+
+def test_prefix_families_do_not_swallow_everything():
+    assert not is_registered_metric("not.a.metric")
+    assert not is_registered_metric("telemetry")  # bare prefix is not a name
+
+
+def test_registered_names_are_well_formed():
+    for name in METRIC_NAMES:
+        assert name == name.strip() and " " not in name, name
+    for prefix in METRIC_PREFIXES:
+        assert prefix and not prefix.endswith("."), prefix
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-v"])
