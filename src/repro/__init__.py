@@ -1,13 +1,47 @@
 """repro — a from-scratch reproduction of *Drizzle: Fast and Adaptable
 Stream Processing at Scale* (SOSP 2017).
 
+Stable public API
+-----------------
+
+Everything a user needs to stand up a cluster and run batch or streaming
+jobs is importable from the top level.  The deep modules remain the
+*implementation* homes and keep working, but the names below are the
+supported surface:
+
+=============================================  ==========================
+Old deep import (still works)                  Stable top-level name
+=============================================  ==========================
+``repro.engine.cluster.LocalCluster``          ``repro.LocalCluster``
+``repro.common.config.EngineConf``             ``repro.EngineConf``
+``repro.common.config.SchedulingMode``         ``repro.SchedulingMode``
+``repro.common.config.ExecutorConf``           ``repro.ExecutorConf``
+``repro.common.config.TransportConf``          ``repro.TransportConf``
+``repro.common.config.DataPlaneConf``          ``repro.DataPlaneConf``
+``repro.common.config.TelemetryConf``          ``repro.TelemetryConf``
+``repro.common.config.ChaosConf``              ``repro.ChaosConf``
+``repro.common.config.TemplateConf``           ``repro.TemplateConf``
+``repro.common.config.TunerConf``              ``repro.TunerConf``
+``repro.common.config.TracingConf``            ``repro.TracingConf``
+``repro.common.config.MonitorConf``            ``repro.MonitorConf``
+``repro.common.config.SpeculationConf``        ``repro.SpeculationConf``
+``repro.streaming.context.StreamingContext``   ``repro.StreamingContext``
+=============================================  ==========================
+
+Legacy shorthand aliases from before the redesign (``Cluster``,
+``Config``, ``StreamContext``) still resolve but raise a
+:class:`DeprecationWarning`; they are defined *only* here, never
+re-exported by any other module (enforced by
+``tests/test_public_api_lint.py``).
+
 Layers (bottom-up):
 
 * :mod:`repro.dag` — dataset DAG, stage planner, shuffle specs, combiners.
 * :mod:`repro.engine` — real threaded BSP engine (the "Spark" substrate)
   with Drizzle's group scheduling and pre-scheduling built in.
 * :mod:`repro.core` — the paper's contribution as pure policy: group
-  planning, pre-scheduling dependency tables, the AIMD group-size tuner.
+  planning, pre-scheduling dependency tables, execution templates, the
+  AIMD group-size tuner.
 * :mod:`repro.streaming` — micro-batch streaming (DStreams, state,
   checkpoints, exactly-once sinks) on top of the engine.
 * :mod:`repro.continuous` — a continuous-operator engine (the "Flink"
@@ -19,8 +53,85 @@ Layers (bottom-up):
 * :mod:`repro.bench` — one experiment definition per paper table/figure.
 """
 
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
 __version__ = "1.0.0"
 
-from repro.common.config import EngineConf, SchedulingMode, TracingConf, TunerConf
+from repro.common.config import (
+    ChaosConf,
+    DataPlaneConf,
+    EngineConf,
+    ExecutorConf,
+    MonitorConf,
+    SchedulingMode,
+    SpeculationConf,
+    TelemetryConf,
+    TemplateConf,
+    TracingConf,
+    TransportConf,
+    TunerConf,
+)
 
-__all__ = ["EngineConf", "SchedulingMode", "TracingConf", "TunerConf", "__version__"]
+# Heavyweight entry points resolve lazily (module __getattr__, PEP 562):
+# `import repro` stays cheap, and repro.common does not drag the engine
+# or streaming layers in through the package __init__.
+_LAZY_EXPORTS = {
+    "LocalCluster": ("repro.engine.cluster", "LocalCluster"),
+    "StreamingContext": ("repro.streaming.context", "StreamingContext"),
+}
+
+# Pre-redesign shorthand names, kept importable one release with a
+# warning.  These aliases exist ONLY at the top level — no other module
+# may re-export them (tests/test_public_api_lint.py).
+DEPRECATED_ALIASES = {
+    "Cluster": "LocalCluster",
+    "Config": "EngineConf",
+    "StreamContext": "StreamingContext",
+}
+
+__all__ = [
+    "ChaosConf",
+    "DataPlaneConf",
+    "EngineConf",
+    "ExecutorConf",
+    "LocalCluster",
+    "MonitorConf",
+    "SchedulingMode",
+    "SpeculationConf",
+    "StreamingContext",
+    "TelemetryConf",
+    "TemplateConf",
+    "TracingConf",
+    "TransportConf",
+    "TunerConf",
+    "__version__",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in DEPRECATED_ALIASES:
+        target = DEPRECATED_ALIASES[name]
+        warnings.warn(
+            f"repro.{name} is deprecated; use repro.{target}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        name = target
+    entry = _LAZY_EXPORTS.get(name)
+    if entry is None:
+        if name in __all__:
+            # A deprecated alias resolved to an eagerly-imported name.
+            return globals()[name]
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(entry[0]), entry[1])
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(__all__) | set(DEPRECATED_ALIASES))

@@ -158,6 +158,8 @@ _BASELINE_KEY_FIELDS = (
     "system",
     "mode",
     "machines",
+    "workload",
+    "templates",
     "group_size",
 )
 

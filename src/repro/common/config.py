@@ -389,6 +389,42 @@ class ChaosConf:
             raise ConfigError("chaos max_worker_kills must be >= 0")
 
 
+def _default_templates_enabled() -> bool:
+    # REPRO_TEMPLATES=1 arms execution templates for a whole pytest or
+    # soak run, mirroring REPRO_TELEMETRY / REPRO_TRANSPORT.
+    return os.environ.get("REPRO_TEMPLATES", "").strip().lower() in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    )
+
+
+@dataclass
+class TemplateConf:
+    """Execution templates for O(1) steady-state group launches.
+
+    After the first launch of a (plan, placement, group-size)
+    combination, each worker caches the full instantiated group schedule
+    — task descriptors, slot placement, and pre-scheduled shuffle wiring
+    — keyed by a content digest.  Subsequent launches of the same shape
+    become one small ``instantiate_template(template_id, batch_ids,
+    epoch)`` RPC per worker instead of per-task payloads (Execution
+    Templates, Mashayekhi et al.; see "Execution templates" in
+    ``docs/networking.md``).  Templates are invalidated whenever cluster
+    membership changes (worker join/leave/re-announce).
+    """
+
+    enabled: bool = field(default_factory=_default_templates_enabled)
+    # Templates cached per worker (and tracked per peer on the driver's
+    # transport); oldest-installed entries are evicted beyond this.
+    max_per_worker: int = 32
+
+    def validate(self) -> None:
+        if self.max_per_worker < 1:
+            raise ConfigError("templates max_per_worker must be >= 1")
+
+
 @dataclass
 class EngineConf:
     """Configuration for the local BSP engine and the simulator."""
@@ -416,6 +452,7 @@ class EngineConf:
     monitor: MonitorConf = field(default_factory=MonitorConf)
     chaos: ChaosConf = field(default_factory=ChaosConf)
     telemetry: TelemetryConf = field(default_factory=TelemetryConf)
+    templates: TemplateConf = field(default_factory=TemplateConf)
     # Deadline for one stage (and for wait_job when no explicit timeout is
     # given): a stalled stage raises a descriptive StageTimeout naming the
     # pending tasks and their workers instead of blocking forever.  None
@@ -467,6 +504,7 @@ class EngineConf:
         self.monitor.validate()
         self.chaos.validate()
         self.telemetry.validate()
+        self.templates.validate()
         if (
             self.scheduling_mode is SchedulingMode.PER_BATCH
             and self.group_size != 1

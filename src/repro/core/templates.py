@@ -1,0 +1,269 @@
+"""Execution templates for O(1) steady-state group launches.
+
+Drizzle's group scheduling (§3.1) already amortizes scheduling *decisions*
+across a group, but the driver still ships per-task descriptors on every
+group launch — an O(tasks) = O(group size × stages × partitions) wire
+payload.  *Execution Templates* (Mashayekhi et al., 2017) goes one step
+further: the workers cache the entire instantiated schedule and the
+controller re-launches it with one small parameterized RPC.
+
+This module is the pure-policy core of that idea, shared by the driver
+(:mod:`repro.engine.driver`) and the tcp wire layer
+(:mod:`repro.net.transport`):
+
+* :func:`compute_template_id` — content digest of one worker's slice of a
+  group launch: slot-relative task identities, plan *content* digests,
+  dependency sets, and downstream placement.  Two groups whose plans
+  serialize to identical bytes under identical placement produce the same
+  id, no matter which batch indices they carry — the batch ids are the
+  *parameters*, everything else is the template.
+* :class:`TemplateSender` — driver-transport bookkeeping: which peer has
+  acknowledged which ``(template_id, epoch)``, and how many wire bytes the
+  full launch cost (the savings baseline for ``net.template_bytes_saved``).
+* :class:`TemplateStore` — worker-side cache of installed templates; an
+  ``instantiate(template_id, batch_ids, epoch)`` substitutes the new batch
+  (job) ids into the cached descriptors and returns fresh copies, or
+  ``None`` when the template is absent or from a stale membership epoch
+  (the ``template_miss`` signal).
+
+Invalidation rule: the *epoch* counts cluster-membership changes (worker
+join / leave / re-announce).  Templates bake worker placement into their
+``downstream`` pointers, so any membership change makes every cached
+template unsafe; the driver bumps its epoch and clears the sender's
+shipped sets, and a worker refuses to instantiate a template recorded
+under an older epoch — wrong-epoch results are structurally impossible,
+the launch just degrades to a full (template-installing) send.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+# Default cap on cached templates per worker (and tracked per peer on the
+# driver's transport); TemplateConf.max_per_worker overrides it.
+DEFAULT_MAX_TEMPLATES = 32
+
+
+class PlanDigestCache:
+    """Content digest per plan object, memoized by identity.
+
+    Serializing a plan is the expensive part of digesting it; under
+    steady-state streaming the same plan object is digested once per
+    group, so an identity memo (holding the plan reference to keep its
+    ``id`` stable) makes repeat digests free — the same trick as
+    :class:`repro.net.stageblobs.StageBlobSender`.
+    """
+
+    def __init__(self, cache_entries: int = 64):
+        self._cache_entries = cache_entries
+        self._lock = threading.Lock()
+        self._digests: Dict[int, Tuple[Any, str]] = {}
+
+    def digest(self, plan: Any) -> str:
+        with self._lock:
+            entry = self._digests.get(id(plan))
+            if entry is not None and entry[0] is plan:
+                return entry[1]
+        # Import here keeps repro.core importable without the serde layer
+        # loaded until a digest is actually needed.
+        from repro.dag.serde import dumps_closure
+
+        blob = dumps_closure(plan, context="template plan digest")
+        digest = hashlib.sha256(blob).hexdigest()[:16]
+        with self._lock:
+            if len(self._digests) >= self._cache_entries:
+                self._digests.clear()
+            self._digests[id(plan)] = (plan, digest)
+        return digest
+
+
+def compute_template_id(
+    descriptors: Sequence[Any],
+    batch_ids: Sequence[int],
+    plan_digests: PlanDigestCache,
+) -> str:
+    """Digest one worker's group-launch slice into a template id.
+
+    ``descriptors`` is the ordered list of task descriptors the driver
+    would send this worker; ``batch_ids`` the ordered job ids of the
+    group.  Job ids enter the digest only as *slot indices* (their
+    position in ``batch_ids``), which is exactly what makes the id stable
+    across groups: batch 17 and batch 42 of the same streaming query
+    digest identically as "slot 0".
+    """
+    slot_of = {job_id: i for i, job_id in enumerate(batch_ids)}
+    h = hashlib.sha256()
+    h.update(repr(len(batch_ids)).encode())
+    for desc in descriptors:
+        h.update(
+            repr(
+                (
+                    slot_of[desc.task_id.job_id],
+                    desc.task_id.stage_index,
+                    desc.task_id.partition,
+                    desc.task_id.attempt,
+                    plan_digests.digest(desc.plan),
+                    sorted(desc.deps),
+                    sorted(desc.downstream.items()),
+                    sorted(desc.map_locations.items()),
+                    desc.pre_scheduled,
+                )
+            ).encode()
+        )
+    return h.hexdigest()[:16]
+
+
+class TemplateSender:
+    """Driver-transport side: which peer holds which template, at which
+    epoch, and what the full launch cost on the wire."""
+
+    def __init__(self, max_per_peer: int = DEFAULT_MAX_TEMPLATES):
+        self._max_per_peer = max_per_peer
+        self._lock = threading.Lock()
+        # peer -> template_id -> (epoch, full_launch_wire_bytes)
+        self._shipped: Dict[str, Dict[str, Tuple[int, int]]] = {}
+
+    def holds(self, dst_id: str, template_id: str, epoch: int) -> bool:
+        with self._lock:
+            entry = self._shipped.get(dst_id, {}).get(template_id)
+            return entry is not None and entry[0] == epoch
+
+    def full_size(self, dst_id: str, template_id: str) -> int:
+        """Wire bytes the full (template-installing) launch cost; the
+        baseline a template hit is measured against."""
+        with self._lock:
+            entry = self._shipped.get(dst_id, {}).get(template_id)
+            return entry[1] if entry is not None else 0
+
+    def mark_shipped(
+        self, dst_id: str, template_id: str, epoch: int, wire_bytes: int
+    ) -> None:
+        """The peer acknowledged a full launch carrying this template."""
+        with self._lock:
+            per_peer = self._shipped.setdefault(dst_id, {})
+            if template_id not in per_peer and len(per_peer) >= self._max_per_peer:
+                # Oldest-installed first: steady state reuses one or two
+                # templates, so FIFO eviction never touches the hot entry.
+                per_peer.pop(next(iter(per_peer)))
+            per_peer[template_id] = (epoch, wire_bytes)
+
+    def forget(self, dst_id: str, template_id: str) -> None:
+        """The peer answered ``template_miss``: its copy is gone."""
+        with self._lock:
+            self._shipped.get(dst_id, {}).pop(template_id, None)
+
+    def forget_peer(self, dst_id: str) -> int:
+        """The peer re-registered (restart at a new address): its cache
+        died with it.  Returns how many templates were dropped."""
+        with self._lock:
+            return len(self._shipped.pop(dst_id, {}))
+
+    def invalidate_all(self) -> int:
+        """Membership changed: every template's placement is suspect.
+        Returns how many templates were dropped (for the metric)."""
+        with self._lock:
+            dropped = sum(len(per_peer) for per_peer in self._shipped.values())
+            self._shipped.clear()
+            return dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(per_peer) for per_peer in self._shipped.values())
+
+
+class TemplateStore:
+    """Worker side: installed templates, instantiable by batch ids.
+
+    A template is one worker's descriptor slice of a group launch, plus
+    the *slot* each descriptor's job occupied in the group — the
+    parameterization that lets a later group substitute its own job ids.
+    """
+
+    def __init__(self, max_templates: int = DEFAULT_MAX_TEMPLATES):
+        self._max_templates = max_templates
+        self._lock = threading.Lock()
+        # template_id -> (epoch, [(descriptor, slot), ...], num_slots)
+        self._templates: Dict[str, Tuple[int, List[Tuple[Any, int]], int]] = {}
+
+    def install(
+        self,
+        template_id: str,
+        epoch: int,
+        descriptors: Sequence[Any],
+        batch_ids: Sequence[int],
+    ) -> bool:
+        """Cache a group launch for later instantiation.  Returns False
+        (and caches nothing) if a descriptor's job id is not in
+        ``batch_ids`` — a driver bug, never worth a wrong template."""
+        slot_of = {job_id: i for i, job_id in enumerate(batch_ids)}
+        entries: List[Tuple[Any, int]] = []
+        for desc in descriptors:
+            slot = slot_of.get(desc.task_id.job_id)
+            if slot is None:
+                return False
+            entries.append((desc, slot))
+        with self._lock:
+            # A newer membership epoch obsoletes everything older: those
+            # templates can never instantiate again (epoch check below),
+            # so holding them only wastes the cap.
+            stale = [
+                tid for tid, (ep, _, _) in self._templates.items() if ep < epoch
+            ]
+            for tid in stale:
+                del self._templates[tid]
+            if (
+                template_id not in self._templates
+                and len(self._templates) >= self._max_templates
+            ):
+                self._templates.pop(next(iter(self._templates)))
+            self._templates[template_id] = (epoch, entries, len(batch_ids))
+        return True
+
+    def instantiate(
+        self, template_id: str, batch_ids: Sequence[int], epoch: int
+    ) -> Optional[List[Any]]:
+        """Substitute ``batch_ids`` into the cached descriptors.
+
+        Returns fresh descriptor copies (cached ones are never mutated —
+        they may be instantiated again), or ``None`` when the template is
+        absent, recorded under a different membership epoch, or shaped
+        for a different group size — all of which the transport surfaces
+        as ``template_miss`` so the driver falls back to a full launch.
+        """
+        with self._lock:
+            entry = self._templates.get(template_id)
+            if entry is None:
+                return None
+            stored_epoch, entries, num_slots = entry
+            if stored_epoch != epoch or num_slots != len(batch_ids):
+                return None
+        return [
+            replace(desc, task_id=replace(desc.task_id, job_id=batch_ids[slot]))
+            for desc, slot in entries
+        ]
+
+    def invalidate_all(self) -> int:
+        with self._lock:
+            dropped = len(self._templates)
+            self._templates.clear()
+            return dropped
+
+    def __contains__(self, template_id: str) -> bool:
+        with self._lock:
+            return template_id in self._templates
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._templates)
+
+
+__all__ = [
+    "DEFAULT_MAX_TEMPLATES",
+    "PlanDigestCache",
+    "TemplateSender",
+    "TemplateStore",
+    "compute_template_id",
+]

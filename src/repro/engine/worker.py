@@ -42,6 +42,7 @@ from repro.common.metrics import (
     MetricsRegistry,
 )
 from repro.core.prescheduling import DepKey, PendingTaskTable
+from repro.core.templates import TemplateStore
 from repro.engine.blocks import BUCKET_OK, BlockStore
 from repro.engine.executors import ComputeRequest, create_backend
 from repro.engine.rpc import BaseTransport
@@ -108,6 +109,16 @@ class Worker:
             self._telemetry_snap = DeltaSnapshotter(
                 self.telemetry_metrics, conf.telemetry.max_samples_per_delta
             )
+        # Execution templates (repro.core.templates): cached group-launch
+        # shapes, re-runnable via one instantiate_template message.  The
+        # epoch tracks the last cluster-membership generation a template
+        # arrived under, and tags PendingTaskTables built from it.
+        self.templates: Optional[TemplateStore] = (
+            TemplateStore(conf.templates.max_per_worker)
+            if conf.templates.enabled
+            else None
+        )
+        self._template_epoch = 0
         # Extra per-record work injected by benchmarks (simulating compute).
         self.compute_delay_per_task_s = 0.0
 
@@ -139,6 +150,8 @@ class Worker:
             self._pending.clear()
             self._parked.clear()
             self._accepted_at.clear()
+        if self.templates is not None:
+            self.templates.invalidate_all()
         self._stop_hb.set()
         self._stop_tel.set()
         self.transport.mark_dead(self.worker_id)
@@ -182,11 +195,41 @@ class Worker:
     # ------------------------------------------------------------------
     # Driver -> worker RPCs
     # ------------------------------------------------------------------
-    def launch_tasks(self, descriptors: List[TaskDescriptor]) -> None:
+    def launch_tasks(
+        self,
+        descriptors: List[TaskDescriptor],
+        template: Optional[Tuple[str, List[int], int]] = None,
+    ) -> None:
         """Receive a batch of tasks in one message.  Under group scheduling
-        this batch spans every micro-batch in the group (§3.1)."""
+        this batch spans every micro-batch in the group (§3.1).
+
+        ``template`` — optional ``(template_id, batch_ids, epoch)`` from a
+        template-eligible group launch: cache this batch as an execution
+        template so the next launch of the same shape can arrive as
+        :meth:`instantiate_template` instead of a full payload."""
+        if template is not None and self.templates is not None:
+            template_id, batch_ids, epoch = template
+            if self.templates.install(template_id, epoch, descriptors, batch_ids):
+                self._template_epoch = max(self._template_epoch, epoch)
         for desc in descriptors:
             self._accept(desc)
+
+    def instantiate_template(
+        self, template_id: str, batch_ids: List[int], epoch: int
+    ) -> bool:
+        """Re-run a cached execution template with fresh batch (job) ids —
+        the steady-state group launch.  Returns False when the template is
+        absent, stale (older membership epoch), or shaped for a different
+        group size; the transport surfaces that as ``template_miss`` and
+        the driver falls back to a full launch."""
+        if self.templates is None:
+            return False
+        descriptors = self.templates.instantiate(template_id, batch_ids, epoch)
+        if descriptors is None:
+            return False
+        for desc in descriptors:
+            self._accept(desc)
+        return True
 
     def _accept(self, desc: TaskDescriptor) -> None:
         with self._lock:
@@ -195,7 +238,7 @@ class Worker:
             self._tel_note_accept(str(desc.task_id))
             if desc.pre_scheduled and desc.deps:
                 job_id = desc.task_id.job_id
-                table = self._pending.setdefault(job_id, PendingTaskTable())
+                table = self._pending.setdefault(job_id, PendingTaskTable(self._template_epoch))
                 # Key by attempt so a recovery resubmission of the same
                 # task registers cleanly alongside its dead predecessor.
                 key = str(desc.task_id)
@@ -233,7 +276,7 @@ class Worker:
         with self._lock:
             if self._dead:
                 return
-            table = self._pending.setdefault(job_id, PendingTaskTable())
+            table = self._pending.setdefault(job_id, PendingTaskTable(self._template_epoch))
             for (shuffle_id, map_index), location in completed:
                 self._dep_locations[(job_id, shuffle_id, map_index)] = location
                 for key in table.notify((shuffle_id, map_index)):
@@ -273,7 +316,7 @@ class Worker:
             if self._dead:
                 return
             self._dep_locations[(job_id, shuffle_id, map_index)] = src_worker
-            table = self._pending.setdefault(job_id, PendingTaskTable())
+            table = self._pending.setdefault(job_id, PendingTaskTable(self._template_epoch))
             for key in table.notify((shuffle_id, map_index)):
                 desc = self._parked.pop((job_id, key), None)
                 if desc is not None:

@@ -65,6 +65,33 @@ class WireLaunch:
     blobs: Dict[str, bytes]
 
 
+@dataclass
+class WireGroupLaunch:
+    """A full group launch that doubles as a template installation
+    (repro.core.templates): the receiver decodes ``launch`` as usual,
+    then caches the decoded descriptors under ``template_id`` with
+    ``batch_ids`` as the substitution parameters, so the *next* launch of
+    the same shape can be a :class:`WireTemplateInstantiate` instead."""
+
+    launch: WireLaunch
+    template_id: str
+    batch_ids: List[int]
+    epoch: int
+
+
+@dataclass
+class WireTemplateInstantiate:
+    """The steady-state group launch: no descriptors, no blobs — just the
+    template to re-run and the batch (job) ids to substitute into it.
+    A receiver that does not hold ``(template_id, epoch)`` answers
+    ``template_miss`` and the sender re-ships the full
+    :class:`WireGroupLaunch` within the same counted exchange."""
+
+    template_id: str
+    batch_ids: List[int]
+    epoch: int
+
+
 class StageBlobSender:
     """Driver/launcher side: plan serialization memo + per-peer shipped
     sets."""

@@ -1,0 +1,244 @@
+"""Execution templates, pure-policy layer (repro.core.templates):
+template-id digests, sender bookkeeping, worker-side store substitution,
+epoch invalidation — plus TemplateConf wiring and the epoch tag on
+PendingTaskTable."""
+
+import pytest
+
+from repro.common.config import ConfigError, EngineConf, TemplateConf
+from repro.core.prescheduling import PendingTaskTable
+from repro.core.templates import (
+    DEFAULT_MAX_TEMPLATES,
+    PlanDigestCache,
+    TemplateSender,
+    TemplateStore,
+    compute_template_id,
+)
+from repro.dag.dataset import parallelize
+from repro.dag.plan import collect_action, compile_plan
+from repro.engine.task import TaskDescriptor, TaskId
+
+
+def _plan(bump: int = 1):
+    return compile_plan(
+        parallelize([1, 2, 3], 2).map(lambda x: x + bump), collect_action()
+    )
+
+
+def _descriptors(plan, job_id=0, n=2):
+    return [
+        TaskDescriptor(task_id=TaskId(job_id, 0, p), plan=plan, pre_scheduled=True)
+        for p in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Template-id digesting
+# ----------------------------------------------------------------------
+class TestTemplateId:
+    def test_same_shape_different_batch_ids_same_id(self):
+        """Batch ids are the template's *parameters*: two groups of the
+        same shape digest identically no matter which batches they carry."""
+        cache = PlanDigestCache()
+        plan = _plan()
+        tid_a = compute_template_id(_descriptors(plan, job_id=7), (7,), cache)
+        tid_b = compute_template_id(_descriptors(plan, job_id=42), (42,), cache)
+        assert tid_a == tid_b
+        assert len(tid_a) == 16
+
+    def test_content_identical_plan_objects_same_id(self):
+        """Plans enter by *content* digest, so a rebuilt (but identical)
+        plan object — a fresh compile per micro-batch — still hits."""
+        cache = PlanDigestCache()
+        tid_a = compute_template_id(_descriptors(_plan()), (0,), cache)
+        tid_b = compute_template_id(_descriptors(_plan()), (0,), cache)
+        assert tid_a == tid_b
+
+    def test_different_plan_content_different_id(self):
+        cache = PlanDigestCache()
+        tid_a = compute_template_id(_descriptors(_plan(bump=1)), (0,), cache)
+        tid_b = compute_template_id(_descriptors(_plan(bump=2)), (0,), cache)
+        assert tid_a != tid_b
+
+    def test_group_size_changes_id(self):
+        cache = PlanDigestCache()
+        plan = _plan()
+        one = compute_template_id(_descriptors(plan, job_id=0), (0,), cache)
+        two = compute_template_id(
+            _descriptors(plan, job_id=0) + _descriptors(plan, job_id=1),
+            (0, 1),
+            cache,
+        )
+        assert one != two
+
+    def test_placement_changes_id(self):
+        cache = PlanDigestCache()
+        plan = _plan()
+        base = _descriptors(plan)
+        moved = [
+            TaskDescriptor(
+                task_id=d.task_id,
+                plan=d.plan,
+                pre_scheduled=d.pre_scheduled,
+                deps=d.deps,
+                downstream={0: "worker-9"},
+                map_locations=d.map_locations,
+            )
+            for d in base
+        ]
+        assert compute_template_id(base, (0,), cache) != compute_template_id(
+            moved, (0,), cache
+        )
+
+    def test_digest_cache_memoizes_by_identity(self):
+        cache = PlanDigestCache()
+        plan = _plan()
+        assert cache.digest(plan) == cache.digest(plan)
+
+
+# ----------------------------------------------------------------------
+# Driver-side sender bookkeeping
+# ----------------------------------------------------------------------
+class TestTemplateSender:
+    def test_holds_requires_matching_epoch(self):
+        sender = TemplateSender()
+        sender.mark_shipped("w0", "t1", epoch=3, wire_bytes=1000)
+        assert sender.holds("w0", "t1", 3)
+        assert not sender.holds("w0", "t1", 4)
+        assert not sender.holds("w1", "t1", 3)
+        assert sender.full_size("w0", "t1") == 1000
+
+    def test_forget_and_forget_peer(self):
+        sender = TemplateSender()
+        sender.mark_shipped("w0", "t1", 0, 10)
+        sender.mark_shipped("w0", "t2", 0, 10)
+        sender.forget("w0", "t1")
+        assert not sender.holds("w0", "t1", 0)
+        assert sender.holds("w0", "t2", 0)
+        assert sender.forget_peer("w0") == 1
+        assert len(sender) == 0
+
+    def test_invalidate_all_counts_drops(self):
+        sender = TemplateSender()
+        sender.mark_shipped("w0", "t1", 0, 10)
+        sender.mark_shipped("w1", "t1", 0, 10)
+        assert sender.invalidate_all() == 2
+        assert not sender.holds("w0", "t1", 0)
+
+    def test_per_peer_cap_evicts_fifo(self):
+        sender = TemplateSender(max_per_peer=2)
+        sender.mark_shipped("w0", "t1", 0, 10)
+        sender.mark_shipped("w0", "t2", 0, 10)
+        sender.mark_shipped("w0", "t3", 0, 10)
+        assert not sender.holds("w0", "t1", 0)  # oldest evicted
+        assert sender.holds("w0", "t2", 0) and sender.holds("w0", "t3", 0)
+
+
+# ----------------------------------------------------------------------
+# Worker-side store
+# ----------------------------------------------------------------------
+class TestTemplateStore:
+    def test_instantiate_substitutes_batch_ids(self):
+        store = TemplateStore()
+        plan = _plan()
+        assert store.install("t1", 0, _descriptors(plan, job_id=5), (5,))
+        out = store.instantiate("t1", (9,), 0)
+        assert [d.task_id.job_id for d in out] == [9, 9]
+        assert [d.task_id.partition for d in out] == [0, 1]
+        assert out[0].plan is plan  # plans are shared, not copied
+
+    def test_instantiate_never_mutates_cached_descriptors(self):
+        store = TemplateStore()
+        descs = _descriptors(_plan(), job_id=5)
+        store.install("t1", 0, descs, (5,))
+        store.instantiate("t1", (9,), 0)
+        assert [d.task_id.job_id for d in descs] == [5, 5]
+        again = store.instantiate("t1", (11,), 0)
+        assert [d.task_id.job_id for d in again] == [11, 11]
+
+    def test_epoch_mismatch_refuses(self):
+        store = TemplateStore()
+        store.install("t1", 2, _descriptors(_plan()), (0,))
+        assert store.instantiate("t1", (1,), 3) is None
+        assert store.instantiate("t1", (1,), 1) is None
+        assert store.instantiate("t1", (1,), 2) is not None
+
+    def test_group_size_mismatch_refuses(self):
+        store = TemplateStore()
+        store.install("t1", 0, _descriptors(_plan()), (0,))
+        assert store.instantiate("t1", (1, 2), 0) is None
+
+    def test_unknown_template_refuses(self):
+        assert TemplateStore().instantiate("nope", (0,), 0) is None
+
+    def test_install_rejects_foreign_job_id(self):
+        store = TemplateStore()
+        assert not store.install("t1", 0, _descriptors(_plan(), job_id=5), (6,))
+        assert "t1" not in store
+
+    def test_newer_epoch_evicts_stale_templates(self):
+        store = TemplateStore()
+        plan = _plan()
+        store.install("old", 0, _descriptors(plan), (0,))
+        store.install("new", 1, _descriptors(plan), (0,))
+        assert "old" not in store and "new" in store
+
+    def test_cap_evicts_fifo(self):
+        store = TemplateStore(max_templates=2)
+        plan = _plan()
+        for i in range(3):
+            store.install(f"t{i}", 0, _descriptors(plan), (0,))
+        assert "t0" not in store and len(store) == 2
+
+    def test_invalidate_all(self):
+        store = TemplateStore()
+        store.install("t1", 0, _descriptors(_plan()), (0,))
+        assert store.invalidate_all() == 1
+        assert len(store) == 0
+
+
+# ----------------------------------------------------------------------
+# TemplateConf
+# ----------------------------------------------------------------------
+class TestTemplateConf:
+    def test_defaults(self):
+        conf = TemplateConf()
+        assert conf.enabled is False
+        assert conf.max_per_worker == DEFAULT_MAX_TEMPLATES
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEMPLATES", "1")
+        assert TemplateConf().enabled is True
+        monkeypatch.setenv("REPRO_TEMPLATES", "off")
+        assert TemplateConf().enabled is False
+
+    def test_validate_rejects_bad_cap(self):
+        with pytest.raises(ConfigError, match="max_per_worker"):
+            EngineConf(templates=TemplateConf(max_per_worker=0)).validate()
+
+    def test_engine_conf_round_trip(self):
+        conf = EngineConf(templates=TemplateConf(enabled=True, max_per_worker=7))
+        data = conf.to_dict()
+        assert data["templates"] == {"enabled": True, "max_per_worker": 7}
+        back = EngineConf.from_dict(data)
+        assert back.templates.enabled is True
+        assert back.templates.max_per_worker == 7
+
+    def test_from_dict_rejects_unknown_template_key(self):
+        with pytest.raises(ConfigError):
+            EngineConf.from_dict({"templates": {"enabledd": True}})
+
+
+# ----------------------------------------------------------------------
+# PendingTaskTable epoch tag
+# ----------------------------------------------------------------------
+class TestPendingTableEpoch:
+    def test_default_epoch_zero(self):
+        assert PendingTaskTable().epoch == 0
+
+    def test_epoch_recorded(self):
+        table = PendingTaskTable(epoch=4)
+        assert table.epoch == 4
+        # The tag never disturbs the §3.2 protocol.
+        assert table.register("task", frozenset({(1, 0)})) is False
+        assert table.notify((1, 0)) == ["task"]

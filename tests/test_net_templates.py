@@ -1,0 +1,320 @@
+"""Execution templates over the wire: the instantiate_template fast path,
+the ``template_miss`` reship fallback (mirroring the stage_miss tests in
+``test_net_dataplane.py``), invalidation on membership change and worker
+re-announce, and the end-to-end tcp cluster behaviour."""
+
+from repro.common.config import (
+    EngineConf,
+    SchedulingMode,
+    TemplateConf,
+    TransportConf,
+)
+from repro.common.metrics import (
+    COUNT_NET_LAUNCH_BYTES_SENT,
+    COUNT_NET_TEMPLATE_BYTES_SAVED,
+    COUNT_RPC_MESSAGES,
+    COUNT_TEMPLATE_HIT,
+    COUNT_TEMPLATE_INVALIDATED,
+    COUNT_TEMPLATE_MISS,
+    HIST_NET_CALL_LATENCY,
+    MetricsRegistry,
+)
+from repro.core.templates import PlanDigestCache, TemplateStore, compute_template_id
+from repro.dag.dataset import parallelize
+from repro.dag.plan import collect_action, compile_plan
+from repro.engine.cluster import LocalCluster
+from repro.engine.rpc import INSTANTIATE_TEMPLATE
+from repro.engine.task import TaskDescriptor, TaskId
+from repro.net import TcpTransport
+
+
+def _plan():
+    return compile_plan(
+        parallelize([1, 2, 3], 2).map(lambda x: x + 1), collect_action()
+    )
+
+
+def _descriptors(plan, job_id=0, n=2):
+    return [
+        TaskDescriptor(task_id=TaskId(job_id, 0, p), plan=plan, pre_scheduled=True)
+        for p in range(n)
+    ]
+
+
+def _tcp(metrics=None, hub_addr=None, name=None, **conf_kwargs):
+    conf_kwargs.setdefault("backend", "tcp")
+    conf_kwargs.setdefault("max_retries", 1)
+    conf_kwargs.setdefault("retry_backoff_s", 0.001)
+    return TcpTransport(
+        metrics or MetricsRegistry(),
+        conf=TransportConf(**conf_kwargs),
+        hub_addr=hub_addr,
+        name=name,
+    )
+
+
+class _TemplateSink:
+    """Worker stand-in speaking the template side of the launch protocol
+    (a real Worker does exactly this in launch_tasks/instantiate_template)."""
+
+    def __init__(self):
+        self.store = TemplateStore()
+        self.launches = []  # full (template-installing) launches
+        self.instantiations = []  # instantiate_template deliveries
+
+    def launch_tasks(self, descriptors, template=None):
+        self.launches.append(descriptors)
+        if template is not None:
+            template_id, batch_ids, epoch = template
+            self.store.install(template_id, epoch, descriptors, batch_ids)
+        return "accepted"
+
+    def instantiate_template(self, template_id, batch_ids, epoch):
+        descriptors = self.store.instantiate(template_id, batch_ids, epoch)
+        if descriptors is None:
+            return False
+        self.instantiations.append(descriptors)
+        return True
+
+
+def _meta(descriptors, batch_ids, cache, epoch=0):
+    return (compute_template_id(descriptors, batch_ids, cache), batch_ids, epoch)
+
+
+class TestTcpTemplates:
+    def test_steady_state_hits_after_one_full_launch(self):
+        hub = _tcp(name="hub")
+        peer = _tcp(hub_addr=hub.address, name="peer")
+        try:
+            sink = _TemplateSink()
+            peer.register("worker", sink)
+            plan, cache = _plan(), PlanDigestCache()
+
+            hub.call(
+                "worker",
+                "launch_tasks",
+                _descriptors(plan, job_id=0),
+                _meta(_descriptors(plan, job_id=0), (0,), cache),
+            )
+            assert hub.metrics.counter(COUNT_TEMPLATE_MISS).value == 1
+            assert len(sink.launches) == 1
+
+            for job_id in (1, 2, 3):
+                rpc_before = hub.metrics.counter(COUNT_RPC_MESSAGES).value
+                descs = _descriptors(plan, job_id=job_id)
+                hub.call(
+                    "worker", "launch_tasks", descs, _meta(descs, (job_id,), cache)
+                )
+                # The template tier is still one counted RPC per launch.
+                assert (
+                    hub.metrics.counter(COUNT_RPC_MESSAGES).value == rpc_before + 1
+                )
+            assert hub.metrics.counter(COUNT_TEMPLATE_HIT).value == 3
+            assert len(sink.launches) == 1  # no further full payloads
+            assert len(sink.instantiations) == 3
+            # Substitution delivered the *new* batch ids.
+            assert [d.task_id.job_id for d in sink.instantiations[-1]] == [3, 3]
+            # The tier is visible: its own latency histogram and a
+            # strictly positive wire saving against the full launch.
+            hist = hub.metrics.histogram(
+                f"{HIST_NET_CALL_LATENCY}.{INSTANTIATE_TEMPLATE}"
+            )
+            assert len(hist.snapshot()) == 3
+            assert hub.metrics.counter(COUNT_NET_TEMPLATE_BYTES_SAVED).value > 0
+        finally:
+            peer.close()
+            hub.close()
+
+    def test_template_miss_reships_full_launch_uncounted(self):
+        hub = _tcp(name="hub")
+        peer = _tcp(hub_addr=hub.address, name="peer")
+        try:
+            sink = _TemplateSink()
+            peer.register("worker", sink)
+            plan, cache = _plan(), PlanDigestCache()
+
+            first = _descriptors(plan, job_id=0)
+            hub.call("worker", "launch_tasks", first, _meta(first, (0,), cache))
+            # The worker loses its template cache (restart, eviction); the
+            # hub still believes it holds the template.
+            sink.store.invalidate_all()
+
+            rpc_before = hub.metrics.counter(COUNT_RPC_MESSAGES).value
+            second = _descriptors(plan, job_id=1)
+            hub.call("worker", "launch_tasks", second, _meta(second, (1,), cache))
+            # Renegotiation is plumbing: one call() = one counted message.
+            assert hub.metrics.counter(COUNT_RPC_MESSAGES).value == rpc_before + 1
+            assert hub.metrics.counter(COUNT_TEMPLATE_HIT).value == 0
+            assert hub.metrics.counter(COUNT_TEMPLATE_MISS).value == 2
+            assert len(sink.launches) == 2 and len(sink.instantiations) == 0
+            # The reship re-installed it: the next launch hits again.
+            third = _descriptors(plan, job_id=2)
+            hub.call("worker", "launch_tasks", third, _meta(third, (2,), cache))
+            assert hub.metrics.counter(COUNT_TEMPLATE_HIT).value == 1
+        finally:
+            peer.close()
+            hub.close()
+
+    def test_stale_epoch_instantiate_refused_then_reinstalled(self):
+        """A worker holding an epoch-0 template refuses an epoch-1
+        instantiate — wrong-epoch results are structurally impossible; the
+        sender degrades to a full launch under the new epoch."""
+        hub = _tcp(name="hub")
+        peer = _tcp(hub_addr=hub.address, name="peer")
+        try:
+            sink = _TemplateSink()
+            peer.register("worker", sink)
+            plan, cache = _plan(), PlanDigestCache()
+            first = _descriptors(plan, job_id=0)
+            hub.call("worker", "launch_tasks", first, _meta(first, (0,), cache))
+
+            # Membership changed: driver bumps the epoch and clears the
+            # sender (exactly what Driver._bump_template_epoch does).
+            hub.invalidate_templates()
+            assert hub.metrics.counter(COUNT_TEMPLATE_INVALIDATED).value == 1
+
+            second = _descriptors(plan, job_id=1)
+            hub.call(
+                "worker", "launch_tasks", second, _meta(second, (1,), cache, epoch=1)
+            )
+            # Full launch (sender no longer holds it), installed at epoch 1.
+            assert len(sink.launches) == 2 and len(sink.instantiations) == 0
+            # And the stale epoch-0 copy was evicted on install.
+            assert sink.store.instantiate(
+                _meta(second, (1,), cache)[0], (9,), 0
+            ) is None
+            third = _descriptors(plan, job_id=2)
+            hub.call(
+                "worker", "launch_tasks", third, _meta(third, (2,), cache, epoch=1)
+            )
+            assert hub.metrics.counter(COUNT_TEMPLATE_HIT).value == 1
+        finally:
+            peer.close()
+            hub.close()
+
+    def test_reannounce_at_new_port_forgets_templates(self):
+        hub = _tcp(name="hub")
+        first = _tcp(hub_addr=hub.address, name="workerB-1")
+        second = None
+        try:
+            sink1 = _TemplateSink()
+            first.register("workerB", sink1)
+            plan, cache = _plan(), PlanDigestCache()
+            descs = _descriptors(plan, job_id=0)
+            hub.call("workerB", "launch_tasks", descs, _meta(descs, (0,), cache))
+
+            old_addr = first.address
+            first.close()  # worker process dies...
+            second = _tcp(hub_addr=hub.address, name="workerB-2")
+            sink2 = _TemplateSink()
+            second.register("workerB", sink2)  # ...and re-announces
+            hub.pool.invalidate(old_addr)
+            # Re-registration dropped the peer's shipped set, so this is a
+            # full launch against the fresh worker — never an instantiate
+            # against a cache that died with the old process.
+            assert hub.metrics.counter(COUNT_TEMPLATE_INVALIDATED).value == 1
+            descs2 = _descriptors(plan, job_id=1)
+            hub.call("workerB", "launch_tasks", descs2, _meta(descs2, (1,), cache))
+            assert len(sink2.launches) == 1 and len(sink2.instantiations) == 0
+        finally:
+            for t in (second, first, hub):
+                if t is not None:
+                    t.close()
+
+    def test_plain_launch_without_meta_untouched(self):
+        """The 1-arg launch path (recovery resubmissions, templates off)
+        is byte-for-byte the PR 4 stage-blob protocol."""
+        hub = _tcp(name="hub")
+        peer = _tcp(hub_addr=hub.address, name="peer")
+        try:
+            sink = _TemplateSink()
+            peer.register("worker", sink)
+            plan = _plan()
+            assert (
+                hub.call("worker", "launch_tasks", _descriptors(plan)) == "accepted"
+            )
+            assert hub.metrics.counter(COUNT_TEMPLATE_MISS).value == 0
+            assert hub.metrics.counter(COUNT_NET_LAUNCH_BYTES_SENT).value > 0
+            assert len(sink.store) == 0
+        finally:
+            peer.close()
+            hub.close()
+
+
+# ----------------------------------------------------------------------
+# End-to-end: tcp LocalCluster with templates enabled
+# ----------------------------------------------------------------------
+def _template_cluster(workers=2, **conf_kwargs):
+    conf = EngineConf(
+        num_workers=workers,
+        slots_per_worker=2,
+        scheduling_mode=SchedulingMode.DRIZZLE,
+        transport=TransportConf(backend="tcp"),
+        templates=TemplateConf(enabled=True),
+        **conf_kwargs,
+    )
+    return LocalCluster(conf)
+
+
+def _job(cluster, tag=2):
+    dataset = parallelize(list(range(20)), 4).map(lambda x: x * tag)
+    result = cluster.collect(dataset)
+    assert sorted(result) == sorted(x * tag for x in range(20))
+
+
+class TestTcpClusterTemplates:
+    def test_repeat_jobs_hit_templates_and_stay_correct(self):
+        with _template_cluster() as cluster:
+            for _ in range(3):
+                _job(cluster)
+            metrics = cluster.metrics
+            assert metrics.counter(COUNT_TEMPLATE_MISS).value == 2  # 1 per worker
+            assert metrics.counter(COUNT_TEMPLATE_HIT).value == 4  # 2 rounds x 2
+            assert metrics.counter(COUNT_NET_TEMPLATE_BYTES_SAVED).value > 0
+
+    def test_worker_kill_invalidates_and_recovers(self):
+        """Membership change mid-stream (the chaos ``workers`` profile's
+        worker_kill): templates from the old epoch are dropped on both
+        sides and the next group falls back to a full launch — correct
+        results, no wrong-epoch instantiations."""
+        with _template_cluster(workers=3) as cluster:
+            for _ in range(2):
+                _job(cluster)
+            assert cluster.metrics.counter(COUNT_TEMPLATE_HIT).value > 0
+            hits_before = cluster.metrics.counter(COUNT_TEMPLATE_HIT).value
+
+            cluster.kill_worker("worker-1")
+            assert cluster.metrics.counter(COUNT_TEMPLATE_INVALIDATED).value > 0
+
+            # Next job replans over the survivors: full launches first
+            # (no hit), then steady-state hits resume on the new epoch.
+            _job(cluster, tag=3)
+            assert cluster.metrics.counter(COUNT_TEMPLATE_HIT).value == hits_before
+            _job(cluster, tag=3)
+            assert cluster.metrics.counter(COUNT_TEMPLATE_HIT).value > hits_before
+
+    def test_added_worker_invalidates_templates(self):
+        with _template_cluster(workers=2) as cluster:
+            for _ in range(2):
+                _job(cluster)
+            invalidated = cluster.metrics.counter(COUNT_TEMPLATE_INVALIDATED).value
+            cluster.add_worker()
+            assert (
+                cluster.metrics.counter(COUNT_TEMPLATE_INVALIDATED).value
+                > invalidated
+            )
+            _job(cluster, tag=5)  # replanned over 3 workers, still correct
+
+    def test_templates_disabled_by_default(self):
+        conf = EngineConf(
+            num_workers=2,
+            slots_per_worker=2,
+            scheduling_mode=SchedulingMode.DRIZZLE,
+            transport=TransportConf(backend="tcp"),
+            templates=TemplateConf(enabled=False),
+        )
+        with LocalCluster(conf) as cluster:
+            for _ in range(2):
+                _job(cluster)
+            assert cluster.metrics.counter(COUNT_TEMPLATE_MISS).value == 0
+            assert cluster.metrics.counter(COUNT_TEMPLATE_HIT).value == 0

@@ -1,0 +1,112 @@
+"""Lint + behaviour for the redesigned top-level API (``repro``).
+
+The stable surface lives in ``repro/__init__.py``: canonical names plus a
+small set of *deprecated* legacy aliases that warn on access.  The lint
+half walks the AST of every other source module and asserts none of them
+defines, imports, or re-exports those alias names — the aliases exist in
+exactly one place, so deleting them next release is a one-file change.
+"""
+
+import ast
+import pathlib
+import warnings
+
+import pytest
+
+import repro
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src"
+ALIASES = set(repro.DEPRECATED_ALIASES)
+
+
+def iter_other_source_files():
+    for path in sorted((SRC_ROOT / "repro").rglob("*.py")):
+        if path == SRC_ROOT / "repro" / "__init__.py":
+            continue
+        yield path
+
+
+def alias_reexports(tree):
+    """Yield (lineno, name) wherever a module binds a deprecated alias
+    name at module level: assignment, import-as, def/class, or __all__."""
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if target.id in ALIASES:
+                        yield node.lineno, target.id
+                    if target.id == "__all__" and isinstance(
+                        node.value, (ast.List, ast.Tuple)
+                    ):
+                        for elt in node.value.elts:
+                            if (
+                                isinstance(elt, ast.Constant)
+                                and elt.value in ALIASES
+                            ):
+                                yield elt.lineno, elt.value
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if bound in ALIASES:
+                    yield node.lineno, bound
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name in ALIASES:
+                yield node.lineno, node.name
+
+
+def test_no_module_outside_init_reexports_deprecated_aliases():
+    assert ALIASES  # the shim set must exist for this lint to mean anything
+    offenders = []
+    for path in iter_other_source_files():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, name in alias_reexports(tree):
+            offenders.append(f"{path.relative_to(SRC_ROOT)}:{lineno}: {name}")
+    assert not offenders, (
+        "deprecated alias names may only exist in repro/__init__.py:\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_top_level_all_resolves():
+    for symbol in repro.__all__:
+        assert getattr(repro, symbol, None) is not None, symbol
+
+
+def test_canonical_names_are_the_deep_objects():
+    from repro.common.config import EngineConf, TemplateConf
+    from repro.engine.cluster import LocalCluster
+    from repro.streaming.context import StreamingContext
+
+    assert repro.LocalCluster is LocalCluster
+    assert repro.StreamingContext is StreamingContext
+    assert repro.EngineConf is EngineConf
+    assert repro.TemplateConf is TemplateConf
+
+
+@pytest.mark.parametrize("alias,target", sorted(repro.DEPRECATED_ALIASES.items()))
+def test_deprecated_aliases_warn_and_resolve(alias, target):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = getattr(repro, alias)
+    assert value is getattr(repro, target)
+    assert any(
+        issubclass(w.category, DeprecationWarning) and target in str(w.message)
+        for w in caught
+    ), f"accessing repro.{alias} must raise DeprecationWarning naming {target}"
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        repro.DoesNotExist
+
+
+def test_docstring_documents_the_migration():
+    doc = repro.__doc__
+    for old_path in (
+        "repro.engine.cluster.LocalCluster",
+        "repro.common.config.EngineConf",
+        "repro.streaming.context.StreamingContext",
+        "repro.common.config.TemplateConf",
+    ):
+        assert old_path in doc, f"migration table must mention {old_path}"
