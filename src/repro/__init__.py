@@ -21,6 +21,7 @@ Old deep import (still works)                  Stable top-level name
 ``repro.common.config.TelemetryConf``          ``repro.TelemetryConf``
 ``repro.common.config.ChaosConf``              ``repro.ChaosConf``
 ``repro.common.config.TemplateConf``           ``repro.TemplateConf``
+``repro.common.config.ElasticConf``            ``repro.ElasticConf``
 ``repro.common.config.TunerConf``              ``repro.TunerConf``
 ``repro.common.config.TracingConf``            ``repro.TracingConf``
 ``repro.common.config.MonitorConf``            ``repro.MonitorConf``
@@ -63,6 +64,7 @@ __version__ = "1.0.0"
 from repro.common.config import (
     ChaosConf,
     DataPlaneConf,
+    ElasticConf,
     EngineConf,
     ExecutorConf,
     MonitorConf,
@@ -95,6 +97,7 @@ DEPRECATED_ALIASES = {
 __all__ = [
     "ChaosConf",
     "DataPlaneConf",
+    "ElasticConf",
     "EngineConf",
     "ExecutorConf",
     "LocalCluster",

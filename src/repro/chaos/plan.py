@@ -33,6 +33,7 @@ SITE_EXEC_COMPUTE = "exec.compute"  # Worker._execute, pre-backend
 SITE_BLOCKS_FETCH = "blocks.fetch"  # BlockStore bucket lookup
 SITE_STREAM_CHECKPOINT = "streaming.checkpoint"  # StreamingContext.checkpoint
 SITE_STREAM_GROUP = "streaming.group"  # run_batches group boundary
+SITE_ELASTIC_RESIZE = "elastic.resize"  # MigrationExecutor, mid shard move
 
 ALL_SITES = (
     SITE_NET_DIAL,
@@ -44,6 +45,7 @@ ALL_SITES = (
     SITE_BLOCKS_FETCH,
     SITE_STREAM_CHECKPOINT,
     SITE_STREAM_GROUP,
+    SITE_ELASTIC_RESIZE,
 )
 
 # ----------------------------------------------------------------------
@@ -95,6 +97,16 @@ _STREAMING_TEMPLATES: List[Tuple[str, str, float]] = [
     (SITE_WORKER_TASK, KIND_WORKER_KILL, 1.0),
     (SITE_EXEC_COMPUTE, KIND_EXEC_STRAGGLE, 1.0),
 ]
+# The elastic profile's signature fault is a worker killed *racing* a
+# resize: the migration executor hits SITE_ELASTIC_RESIZE between the
+# shard extract and install, so a kill scheduled there lands exactly in
+# the abort/requeue window the move protocol must survive.
+_ELASTIC_TEMPLATES: List[Tuple[str, str, float]] = [
+    (SITE_ELASTIC_RESIZE, KIND_WORKER_KILL, 3.0),
+    (SITE_WORKER_TASK, KIND_WORKER_KILL, 1.0),
+    (SITE_STREAM_GROUP, KIND_FORCE_REPLAY, 1.0),
+    (SITE_EXEC_COMPUTE, KIND_EXEC_STRAGGLE, 1.0),
+]
 
 # Guaranteed first event per profile: fired at a low hit count on a
 # high-traffic site so every armed run injects at least one fault.
@@ -118,6 +130,10 @@ _PROFILE_TEMPLATES: Dict[str, Dict[str, object]] = {
     "mixed": {
         "templates": _NET_TEMPLATES + _WORKER_TEMPLATES + _STORAGE_TEMPLATES,
         "guaranteed": (SITE_WORKER_TASK, KIND_WORKER_KILL),
+    },
+    "elastic": {
+        "templates": _ELASTIC_TEMPLATES,
+        "guaranteed": (SITE_ELASTIC_RESIZE, KIND_WORKER_KILL),
     },
 }
 assert set(_PROFILE_TEMPLATES) == set(CHAOS_PROFILES)

@@ -157,14 +157,56 @@ def _run_streaming(
     return canonical, injected, log
 
 
+def _run_elastic(
+    conf: EngineConf, batches: List[List[str]]
+) -> Tuple[Any, int, List[str]]:
+    """Streaming wordcount under a *scripted* resize schedule: scale out
+    after the first boundary, back in later, with sharded state migrating
+    at each resize.  The schedule is deterministic (boundary-indexed), so
+    the fault-free baseline resizes identically — the property under test
+    is that a worker kill racing a scale-in (the ``elastic`` profile's
+    guaranteed fault, injected mid shard-move) still yields the exact
+    fixed-size result: no key lost, none duplicated."""
+    from repro.elastic.controller import ElasticController
+    from repro.elastic.policies import ScheduleScalingPolicy
+    from repro.engine.cluster import LocalCluster
+    from repro.streaming.context import StreamingContext
+    from repro.streaming.sources import FixedBatchSource
+
+    with LocalCluster(conf) as cluster:
+        source = FixedBatchSource(batches, 4)
+        ctx = StreamingContext(cluster, source, batch_interval_s=0.05)
+        controller = ElasticController(
+            cluster,
+            policy=ScheduleScalingPolicy({1: +1, 3: -1}),
+            batch_interval_s=0.05,
+        )
+        ctx.set_elasticity(controller)
+        store = ctx.state_store("counts")
+        partitioner = ctx.shard_partitioner("counts")
+        stream = (
+            ctx.stream()
+            .map(lambda w: (w, 1))
+            .reduce_by_key(lambda a, b: a + b, 3, partitioner=partitioner)
+        )
+        stream.update_state(store, merge=lambda a, b: a + b)
+        ctx.run_batches(len(batches))
+        canonical = sorted(store.items())
+        injected = cluster.chaos.injected_count if cluster.chaos else 0
+        log = cluster.chaos.fault_log() if cluster.chaos else []
+    return canonical, injected, log
+
+
 WORKLOADS: Dict[str, Callable[[EngineConf, List[List[str]]], Tuple[Any, int, List[str]]]] = {
     "wordcount": _run_wordcount,
     "streaming": _run_streaming,
+    "elastic": _run_elastic,
 }
 
 # The streaming workload defaults to the streaming fault profile (its
-# checkpoint/replay sites see no traffic under plain wordcount).
-DEFAULT_PROFILE = {"wordcount": "mixed", "streaming": "streaming"}
+# checkpoint/replay sites see no traffic under plain wordcount); the
+# elastic workload to the resize-racing kill profile for the same reason.
+DEFAULT_PROFILE = {"wordcount": "mixed", "streaming": "streaming", "elastic": "elastic"}
 
 
 def run_soak(

@@ -336,7 +336,7 @@ class MonitorConf:
 # live in repro.chaos.plan (which imports this tuple to stay in sync);
 # validation happens here so a bad profile fails at conf time, before a
 # cluster exists.
-CHAOS_PROFILES = ("net", "workers", "storage", "streaming", "mixed")
+CHAOS_PROFILES = ("net", "workers", "storage", "streaming", "mixed", "elastic")
 
 
 def _default_chaos_enabled() -> bool:
@@ -425,6 +425,68 @@ class TemplateConf:
             raise ConfigError("templates max_per_worker must be >= 1")
 
 
+# Names resolvable by ElasticController when no policy object is given;
+# the authoritative constructors live in repro.elastic.policies.
+ELASTIC_POLICIES = ("signals", "utilization")
+
+
+def _default_elastic_enabled() -> bool:
+    # REPRO_ELASTIC=1 arms the autoscaling controller for a whole pytest
+    # or soak run, mirroring REPRO_TEMPLATES / REPRO_TELEMETRY.
+    return os.environ.get("REPRO_ELASTIC", "").strip().lower() in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    )
+
+
+@dataclass
+class ElasticConf:
+    """Live autoscaling + stateful key-range migration (:mod:`repro.elastic`).
+
+    When enabled, the streaming context attaches an
+    :class:`repro.elastic.controller.ElasticController` that consumes the
+    cluster's live signals at every group boundary (§3.3 — "Drizzle
+    updates the list of available resources and adjusts the tasks to be
+    scheduled for the next group") and may add or drain workers between
+    groups.  Stateful operator state is tracked per key-range shard so a
+    resize moves only the minimal set of shards to the new layout, over
+    the ordinary transport, inside the group-boundary barrier.
+    """
+
+    enabled: bool = field(default_factory=_default_elastic_enabled)
+    # Cluster-size bounds the controller may move within (the policy's
+    # own min/max are clamped to these).
+    min_workers: int = 1
+    max_workers: int = 8
+    # Group boundaries to hold after a resize before the next decision
+    # may fire (lets signals reflect the new layout before reacting).
+    cooldown_groups: int = 1
+    # Named policy used when no policy object is handed to the
+    # controller: "signals" (live telemetry thresholds) or "utilization"
+    # (batch wall-time vs interval).
+    policy: str = "signals"
+    # Key-range shards per worker in the initial shard map; more shards
+    # means finer-grained (smaller) moves at each resize.
+    shards_per_worker: int = 4
+
+    def validate(self) -> None:
+        if self.min_workers < 1:
+            raise ConfigError("elastic min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ConfigError("elastic max_workers must be >= min_workers")
+        if self.cooldown_groups < 0:
+            raise ConfigError("elastic cooldown_groups must be >= 0")
+        if self.policy not in ELASTIC_POLICIES:
+            raise ConfigError(
+                f"elastic policy must be one of {ELASTIC_POLICIES}, "
+                f"got {self.policy!r}"
+            )
+        if self.shards_per_worker < 1:
+            raise ConfigError("elastic shards_per_worker must be >= 1")
+
+
 @dataclass
 class EngineConf:
     """Configuration for the local BSP engine and the simulator."""
@@ -453,6 +515,7 @@ class EngineConf:
     chaos: ChaosConf = field(default_factory=ChaosConf)
     telemetry: TelemetryConf = field(default_factory=TelemetryConf)
     templates: TemplateConf = field(default_factory=TemplateConf)
+    elastic: ElasticConf = field(default_factory=ElasticConf)
     # Deadline for one stage (and for wait_job when no explicit timeout is
     # given): a stalled stage raises a descriptive StageTimeout naming the
     # pending tasks and their workers instead of blocking forever.  None
@@ -505,6 +568,7 @@ class EngineConf:
         self.chaos.validate()
         self.telemetry.validate()
         self.templates.validate()
+        self.elastic.validate()
         if (
             self.scheduling_mode is SchedulingMode.PER_BATCH
             and self.group_size != 1

@@ -345,3 +345,20 @@ HIST_TELEMETRY_BATCH_WALL = "telemetry.batch_wall"
 # SLO watchdog: one count per threshold breach detected by the
 # ClusterTelemetry store (paired with an "slo.violation" trace instant).
 COUNT_SLO_VIOLATIONS = "slo.violations"
+# Elastic autoscaling (repro.elastic.controller): every policy decision
+# counts once (including delta-0 holds); a resize is a decision that
+# actually changed the worker set at a group boundary, split out by
+# direction on workers_added / workers_removed.
+COUNT_ELASTIC_DECISIONS = "elastic.decisions"
+COUNT_ELASTIC_RESIZES = "elastic.resizes"
+COUNT_ELASTIC_WORKERS_ADDED = "elastic.workers_added"
+COUNT_ELASTIC_WORKERS_REMOVED = "elastic.workers_removed"
+# Key-range state migration (repro.elastic.migration): shards/keys that
+# crossed the transport during resizes, moves aborted by a mid-migration
+# WorkerLost, requeued retries after an abort, and the wall-clock spent
+# inside the group-boundary barrier executing moves.
+COUNT_MIGRATION_SHARDS_MOVED = "migration.shards_moved"
+COUNT_MIGRATION_KEYS_MOVED = "migration.keys_moved"
+COUNT_MIGRATION_ABORTS = "migration.aborts"
+COUNT_MIGRATION_RETRIES = "migration.retries"
+HIST_MIGRATION_WALL = "migration.wall_s"

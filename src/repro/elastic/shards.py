@@ -1,0 +1,318 @@
+"""Key-range shards over the stable 31-bit hash space.
+
+Stateful operator state is tracked per *key-range shard*: a contiguous
+slice of ``[0, 2**31)`` positions under the same deterministic hash the
+shuffle partitioners use (:func:`repro.dag.partitioning._stable_hash`).
+A cluster resize then moves only the shards whose owner changes —
+split/merge of ranges rather than whole-partition reshuffles (the
+fine-grained-scalability approach) — and the :class:`ShardMap` epoch is
+what the next group's tasks hash against after the flip.
+
+This module is deliberately dependency-light (only ``repro.dag``): the
+engine's worker imports it for the shard-hosting RPCs without pulling in
+the controller, which would cycle back through the streaming layer.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigError
+from repro.dag.partitioning import Partitioner, _stable_hash
+
+# The hash positions partitioners see: _stable_hash of tuples is already
+# masked to 31 bits; ints/crc32 values are masked here the same way.
+HASH_SPACE = 1 << 31
+
+
+def shard_position(key: Any) -> int:
+    """Deterministic position of ``key`` in ``[0, HASH_SPACE)``."""
+    return _stable_hash(key) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True, order=True)
+class KeyRange:
+    """A half-open slice ``[start, stop)`` of the hash space."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.stop <= HASH_SPACE:
+            raise ConfigError(f"invalid key range [{self.start}, {self.stop})")
+
+    @property
+    def width(self) -> int:
+        return self.stop - self.start
+
+    def contains(self, position: int) -> bool:
+        return self.start <= position < self.stop
+
+    def contains_key(self, key: Any) -> bool:
+        return self.contains(shard_position(key))
+
+    def split(self, at: int) -> Tuple["KeyRange", "KeyRange"]:
+        if not self.start < at < self.stop:
+            raise ConfigError(f"split point {at} outside ({self.start}, {self.stop})")
+        return KeyRange(self.start, at), KeyRange(at, self.stop)
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.start, self.stop)
+
+
+@dataclass(frozen=True)
+class ShardMove:
+    """One planned shard transfer: ``range`` leaves ``src`` for ``dst``.
+
+    ``src`` is ``None`` for a shard whose previous owner is already gone
+    (crashed mid-plan): the payload must come from the driver's
+    authoritative mirror instead of a worker extract.
+    """
+
+    range: KeyRange
+    src: Optional[str]
+    dst: str
+
+
+class ShardMap:
+    """An epoch-versioned assignment of key ranges to worker ids.
+
+    The ranges must tile ``[0, HASH_SPACE)`` exactly — no gaps, no
+    overlap — which :meth:`validate` enforces and the Hypothesis property
+    suite hammers.  Maps are value objects: resizes build a *new* map via
+    :func:`plan_resize` and the controller flips to it atomically at the
+    group boundary.
+    """
+
+    def __init__(self, assignments: Sequence[Tuple[KeyRange, str]], epoch: int = 0):
+        self.assignments: Tuple[Tuple[KeyRange, str], ...] = tuple(
+            sorted(assignments, key=lambda a: a[0].start)
+        )
+        self.epoch = epoch
+        self.validate()
+        self._starts = [r.start for r, _ in self.assignments]
+
+    @classmethod
+    def initial(cls, workers: Sequence[str], shards_per_worker: int = 4) -> "ShardMap":
+        """Even tiling of the hash space: ``len(workers) * shards_per_worker``
+        shards dealt round-robin so each worker owns interleaved ranges."""
+        workers = sorted(workers)
+        if not workers:
+            raise ConfigError("ShardMap.initial needs at least one worker")
+        n = len(workers) * max(1, shards_per_worker)
+        bounds = [(i * HASH_SPACE) // n for i in range(n)] + [HASH_SPACE]
+        assignments = [
+            (KeyRange(bounds[i], bounds[i + 1]), workers[i % len(workers)])
+            for i in range(n)
+        ]
+        return cls(assignments, epoch=0)
+
+    def validate(self) -> None:
+        if not self.assignments:
+            raise ConfigError("ShardMap must have at least one shard")
+        expected = 0
+        for key_range, owner in self.assignments:
+            if key_range.start != expected:
+                raise ConfigError(
+                    f"shard map gap/overlap at {expected}: next range starts "
+                    f"at {key_range.start}"
+                )
+            if not owner:
+                raise ConfigError("shard owner must be a worker id")
+            expected = key_range.stop
+        if expected != HASH_SPACE:
+            raise ConfigError(f"shard map covers [0, {expected}), not the full space")
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def shard_index(self, position: int) -> int:
+        if not 0 <= position < HASH_SPACE:
+            raise ConfigError(f"position {position} outside the hash space")
+        return bisect.bisect_right(self._starts, position) - 1
+
+    def range_of(self, key: Any) -> KeyRange:
+        return self.assignments[self.shard_index(shard_position(key))][0]
+
+    def owner_of(self, key: Any) -> str:
+        return self.assignments[self.shard_index(shard_position(key))][1]
+
+    def ranges_for(self, worker: str) -> List[KeyRange]:
+        return [r for r, owner in self.assignments if owner == worker]
+
+    def workers(self) -> List[str]:
+        return sorted({owner for _, owner in self.assignments})
+
+    def load(self) -> Dict[str, int]:
+        """Total hash-space width owned per worker."""
+        out: Dict[str, int] = {}
+        for key_range, owner in self.assignments:
+            out[owner] = out.get(owner, 0) + key_range.width
+        return out
+
+    def num_shards(self) -> int:
+        return len(self.assignments)
+
+    def partitioner(self) -> "ShardRangePartitioner":
+        return ShardRangePartitioner(
+            tuple(r.start for r, _ in self.assignments[1:]), self.epoch
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ShardMap(epoch={self.epoch}, shards={len(self.assignments)})"
+
+
+class ShardRangePartitioner(Partitioner):
+    """Partitions keys by which shard range their hash position lands in.
+
+    A frozen value object (it travels inside task closures to process
+    executors), carrying the map epoch so two layouts with coincidentally
+    equal boundaries still compare unequal across a flip — plan caches
+    keyed on the partitioner recompile after every resize.
+    """
+
+    def __init__(self, upper_starts: Tuple[int, ...], epoch: int):
+        super().__init__(len(upper_starts) + 1)
+        self.upper_starts = tuple(upper_starts)
+        self.epoch = epoch
+
+    def partition(self, key: Any) -> int:
+        return bisect.bisect_right(self.upper_starts, shard_position(key))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ShardRangePartitioner)
+            and self.upper_starts == other.upper_starts
+            and self.epoch == other.epoch
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ShardRangePartitioner", self.upper_starts, self.epoch))
+
+
+def _coalesce(
+    assignments: Iterable[Tuple[KeyRange, str]],
+) -> List[Tuple[KeyRange, str]]:
+    """Merge adjacent ranges with the same owner (scale-in's range merge)."""
+    merged: List[Tuple[KeyRange, str]] = []
+    for key_range, owner in sorted(assignments, key=lambda a: a[0].start):
+        if merged and merged[-1][1] == owner and merged[-1][0].stop == key_range.start:
+            merged[-1] = (KeyRange(merged[-1][0].start, key_range.stop), owner)
+        else:
+            merged.append((key_range, owner))
+    return merged
+
+
+def plan_resize(
+    current: ShardMap, new_workers: Sequence[str], lost: Sequence[str] = ()
+) -> Tuple[ShardMap, List[ShardMove]]:
+    """Compute the minimal shard-move plan from ``current`` to a layout
+    over ``new_workers``.
+
+    Only shards whose owner changes move; surviving owners keep their
+    ranges in place.  Scale-out *splits* the widest surviving ranges to
+    feed joining workers up to the mean load; scale-in reassigns a
+    leaving worker's ranges to the least-loaded survivors and *merges*
+    adjacent ranges that end up under one owner.  The result is a new
+    :class:`ShardMap` at ``current.epoch + 1`` plus the move list, in
+    deterministic order.
+
+    ``lost`` names old owners that are *crashed* (not merely draining):
+    their moves get ``src=None`` so the payload comes from the driver's
+    mirror.  A decommissioned-but-alive worker stays a valid source — its
+    shards ship over the transport like any other move.
+    """
+    new_workers = sorted(set(new_workers))
+    if not new_workers:
+        raise ConfigError("plan_resize needs at least one worker")
+    if new_workers == current.workers():
+        # Same worker set: nothing to move, keep the epoch.
+        return current, []
+
+    joiners = [w for w in new_workers if w not in set(current.workers())]
+    working: List[Tuple[KeyRange, Optional[str]]] = [
+        (r, owner if owner in set(new_workers) else None)
+        for r, owner in current.assignments
+    ]
+
+    load: Dict[str, int] = {w: 0 for w in new_workers}
+    for key_range, owner in working:
+        if owner is not None:
+            load[owner] += key_range.width
+
+    # Orphaned ranges (leaving/crashed owners) go to the least-loaded
+    # remaining worker, one range at a time, widest first.
+    orphans = sorted(
+        (i for i, (_, owner) in enumerate(working) if owner is None),
+        key=lambda i: (-working[i][0].width, working[i][0].start),
+    )
+    for i in orphans:
+        dst = min(new_workers, key=lambda w: (load[w], w))
+        working[i] = (working[i][0], dst)
+        load[dst] += working[i][0].width
+
+    # Joining workers take width from the most-loaded owners by splitting
+    # their widest ranges until each joiner reaches the mean.
+    target = HASH_SPACE // len(new_workers)
+    for joiner in joiners:
+        while load[joiner] < target:
+            donor = max(new_workers, key=lambda w: (load[w], w))
+            if donor == joiner or load[donor] <= target:
+                break
+            candidates = [
+                i
+                for i, (_, owner) in enumerate(working)
+                if owner == donor
+            ]
+            i = max(candidates, key=lambda i: (working[i][0].width, -working[i][0].start))
+            key_range = working[i][0]
+            need = min(target - load[joiner], load[donor] - target)
+            take = min(key_range.width, max(1, need))
+            if take < key_range.width:
+                keep, give = key_range.split(key_range.stop - take)
+                working[i] = (keep, donor)
+                working.insert(i + 1, (give, joiner))
+            else:
+                working[i] = (key_range, joiner)
+            load[donor] -= take
+            load[joiner] += take
+
+    final = _coalesce((r, owner) for r, owner in working)  # type: ignore[misc]
+    new_map = ShardMap(final, epoch=current.epoch + 1)
+
+    # Moves = regions whose owner changed, expressed over the *new* map's
+    # ranges (what actually ships), with the source looked up range-by-
+    # range in the old map (a new range never spans old owners: splits
+    # only ever subdivide a single old range).
+    moves: List[ShardMove] = []
+    lost_set = set(lost)
+    for key_range, owner in new_map.assignments:
+        position = key_range.start
+        while position < key_range.stop:
+            old_range, old_owner = current.assignments[current.shard_index(position)]
+            piece_stop = min(key_range.stop, old_range.stop)
+            if old_owner != owner:
+                src = None if old_owner in lost_set else old_owner
+                moves.append(ShardMove(KeyRange(position, piece_stop), src, owner))
+            position = piece_stop
+    moves.sort(key=lambda m: m.range.start)
+    return new_map, moves
+
+
+def extract_range(state: Dict[Any, Any], key_range: KeyRange) -> Dict[Any, Any]:
+    """The subset of ``state`` whose keys hash into ``key_range``."""
+    return {k: v for k, v in state.items() if key_range.contains_key(k)}
+
+
+__all__ = [
+    "HASH_SPACE",
+    "KeyRange",
+    "ShardMap",
+    "ShardMove",
+    "ShardRangePartitioner",
+    "extract_range",
+    "plan_resize",
+    "shard_position",
+]

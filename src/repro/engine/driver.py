@@ -171,6 +171,7 @@ class Driver:
             self._draining.discard(worker_id)
             self._last_heartbeat[worker_id] = self.clock.now()
             self._bump_template_epoch()
+        self._annotate_scale_event(worker_id, "join", "worker added")
 
     def decommission_worker(self, worker_id: str) -> None:
         """Graceful removal: excluded from future placement; running tasks
@@ -178,6 +179,14 @@ class Driver:
         with self._lock:
             self._draining.add(worker_id)
             self._bump_template_epoch()
+        self._annotate_scale_event(worker_id, "leave", "decommissioned")
+
+    def _annotate_scale_event(self, worker_id: str, action: str, reason: str) -> None:
+        if self.telemetry is not None:
+            try:
+                self.telemetry.annotate_scale_event(worker_id, action, reason)
+            except Exception:
+                pass  # observability must never break membership changes
 
     def _bump_template_epoch(self) -> None:
         """Membership changed (caller holds the lock): cached execution
@@ -1076,6 +1085,7 @@ class Driver:
         self.metrics.counter(COUNT_RECOVERIES).add(1)
         self.transport.mark_dead(worker_id)
         self._bump_template_epoch()
+        self._annotate_scale_event(worker_id, "lost", reason)
         for job in self.jobs.values():
             if not job.is_finished():
                 self._note_fault(job, f"worker {worker_id} lost: {reason}")

@@ -70,6 +70,9 @@ DRIVER_TIMELINE = "driver"
 _MAX_FAULTS = 64
 # Bounded SLO violation log.
 _MAX_VIOLATIONS = 256
+# Bounded cluster-wide scale-event ring (joins/leaves/losses + controller
+# decisions; membership churn is orders of magnitude rarer than deltas).
+_MAX_SCALE_EVENTS = 64
 
 
 class DeltaSnapshotter:
@@ -237,6 +240,7 @@ class ClusterTelemetry:
         # Driver poll times: the wall-clock spine for coordination signals.
         self._poll_times: Deque[float] = deque(maxlen=self.conf.retention)
         self.violations: List[Dict[str, Any]] = []
+        self.scale_events: Deque[Dict[str, Any]] = deque(maxlen=_MAX_SCALE_EVENTS)
         self._last_slo_check = float("-inf")
         self._lock = threading.Lock()
 
@@ -300,6 +304,18 @@ class ClusterTelemetry:
                 # make it immediately stale rather than freshly seen.
                 timeline.last_seen = now - self.stale_after_s - 1e-9
             timeline.faults.append({"t": now, "kind": kind, "site": site})
+
+    def annotate_scale_event(
+        self, worker_id: str, action: str, reason: str = ""
+    ) -> None:
+        """Record a membership change (``join`` / ``leave`` / ``lost``)
+        with the controller's (or failure detector's) reason, for the
+        dashboard's scale-event lines."""
+        now = self.clock.now()
+        with self._lock:
+            self.scale_events.append(
+                {"t": now, "worker": worker_id, "action": action, "reason": reason}
+            )
 
     def _timeline_locked(self, worker_id: str, now: float) -> _Timeline:
         timeline = self._timelines.get(worker_id)
@@ -389,12 +405,15 @@ class ClusterTelemetry:
                     merged_samples.setdefault(name, []).extend(
                         v for _t, v in ring
                     )
+        with self._lock:
+            scale_events = list(self.scale_events)
         return {
             "generated_at": now,
             "stale_after_s": self.stale_after_s,
             "workers": per_worker,
             "live_workers": live,
             "stale_workers": stale,
+            "scale_events": scale_events,
             "cluster": {
                 "counters": cluster_counters,
                 "histograms": {

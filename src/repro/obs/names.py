@@ -15,8 +15,16 @@ from repro.common.metrics import (
     COUNT_CHAOS_INJECTED,
     COUNT_CHAOS_SUPPRESSED,
     COUNT_CHECKPOINTS,
+    COUNT_ELASTIC_DECISIONS,
+    COUNT_ELASTIC_RESIZES,
+    COUNT_ELASTIC_WORKERS_ADDED,
+    COUNT_ELASTIC_WORKERS_REMOVED,
     COUNT_GROUPS_SCHEDULED,
     COUNT_LAUNCH_RPCS,
+    COUNT_MIGRATION_ABORTS,
+    COUNT_MIGRATION_KEYS_MOVED,
+    COUNT_MIGRATION_RETRIES,
+    COUNT_MIGRATION_SHARDS_MOVED,
     COUNT_NET_BYTES_RECEIVED,
     COUNT_NET_BYTES_SAVED_COMPRESSION,
     COUNT_NET_BYTES_SENT,
@@ -41,6 +49,7 @@ from repro.common.metrics import (
     COUNT_TELEMETRY_TASKS,
     GAUGE_TELEMETRY_BACKLOG,
     GAUGE_TELEMETRY_STREAM_BACKLOG,
+    HIST_MIGRATION_WALL,
     HIST_NET_BUCKETS_PER_FETCH,
     HIST_NET_CALL_LATENCY,
     HIST_TELEMETRY_BATCH_WALL,
@@ -68,6 +77,7 @@ SPAN_TASK_EXEC = "task.exec"  # the compute core on an executor backend
 SPAN_TASK_REPORT = "task.report"  # worker -> driver completion report
 SPAN_CHECKPOINT = "checkpoint"  # synchronous group-boundary checkpoint
 SPAN_RECOVERY = "recovery"  # worker-loss / replay recovery window
+SPAN_MIGRATION = "migration"  # key-range shard moves at one resize boundary
 
 SPAN_NAMES = frozenset(
     {
@@ -82,6 +92,7 @@ SPAN_NAMES = frozenset(
         SPAN_TASK_REPORT,
         SPAN_CHECKPOINT,
         SPAN_RECOVERY,
+        SPAN_MIGRATION,
     }
 )
 
@@ -102,9 +113,18 @@ EVENT_TUNER_DECISION = "tuner.decision"  # §3.4 AIMD step, on the group span
 EVENT_TASK_RESUBMIT = "task.resubmit"  # recovery/speculation re-placement
 EVENT_CHAOS_FAULT = "chaos.fault"  # one injected fault (repro.chaos)
 EVENT_SLO_VIOLATION = "slo.violation"  # telemetry watchdog threshold breach
+EVENT_SCALE_DECISION = "elastic.decision"  # §3.3 controller verdict per boundary
+EVENT_MIGRATION_ABORT = "migration.abort"  # one move abandoned mid-flight
 
 EVENT_NAMES = frozenset(
-    {EVENT_TUNER_DECISION, EVENT_TASK_RESUBMIT, EVENT_CHAOS_FAULT, EVENT_SLO_VIOLATION}
+    {
+        EVENT_TUNER_DECISION,
+        EVENT_TASK_RESUBMIT,
+        EVENT_CHAOS_FAULT,
+        EVENT_SLO_VIOLATION,
+        EVENT_SCALE_DECISION,
+        EVENT_MIGRATION_ABORT,
+    }
 )
 
 # ----------------------------------------------------------------------
@@ -149,6 +169,15 @@ METRIC_NAMES = frozenset(
         GAUGE_TELEMETRY_STREAM_BACKLOG,
         HIST_TELEMETRY_BATCH_WALL,
         COUNT_SLO_VIOLATIONS,
+        COUNT_ELASTIC_DECISIONS,
+        COUNT_ELASTIC_RESIZES,
+        COUNT_ELASTIC_WORKERS_ADDED,
+        COUNT_ELASTIC_WORKERS_REMOVED,
+        COUNT_MIGRATION_SHARDS_MOVED,
+        COUNT_MIGRATION_KEYS_MOVED,
+        COUNT_MIGRATION_ABORTS,
+        COUNT_MIGRATION_RETRIES,
+        HIST_MIGRATION_WALL,
     }
 )
 
@@ -200,12 +229,15 @@ __all__ = [
     "SPAN_TASK_REPORT",
     "SPAN_CHECKPOINT",
     "SPAN_RECOVERY",
+    "SPAN_MIGRATION",
     "SPAN_NAMES",
     "PHASE_SPANS",
     "EVENT_TUNER_DECISION",
     "EVENT_TASK_RESUBMIT",
     "EVENT_CHAOS_FAULT",
     "EVENT_SLO_VIOLATION",
+    "EVENT_SCALE_DECISION",
+    "EVENT_MIGRATION_ABORT",
     "EVENT_NAMES",
     "METRIC_NAMES",
     "NET_CALL_LATENCY_PREFIX",

@@ -145,6 +145,20 @@ def render_dashboard(telemetry: ClusterTelemetry) -> str:
     if stage_rows:
         lines.append("per-stage task latency")
         lines.extend(_table(["stage", "latency ms"], stage_rows))
+
+    # Membership churn: one line per worker join/leave/loss, newest last,
+    # with the controller's (or failure detector's) reason.
+    events = rollup.get("scale_events") or []
+    if events:
+        lines.append("")
+        lines.append("scale events")
+        t0 = events[0]["t"]
+        for event in events[-10:]:
+            reason = f" — {event['reason']}" if event.get("reason") else ""
+            lines.append(
+                f"  +{event['t'] - t0:7.2f}s {event['action']:<5} "
+                f"{event['worker']}{reason}"
+            )
     return "\n".join(lines)
 
 

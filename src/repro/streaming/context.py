@@ -33,7 +33,12 @@ from repro.obs.names import SPAN_CHECKPOINT, SPAN_RECOVERY
 from repro.obs.trace import NULL_RECORDER
 from repro.streaming.dstream import DStream, SourceDStream
 from repro.streaming.sources import LogSource, StreamSource
-from repro.streaming.state import Checkpoint, CheckpointStore, StateStore
+from repro.streaming.state import (
+    Checkpoint,
+    CheckpointStore,
+    ShardedStateStore,
+    StateStore,
+)
 
 
 @dataclass
@@ -85,12 +90,28 @@ class StreamingContext:
         self._group_seq = 0
         self._batches_since_checkpoint = 0
         self._lock = threading.Lock()
-        self._elasticity = None  # optional ElasticityController
+        self._elasticity = None  # optional Elastic(ity)Controller
+        if getattr(self.conf, "elastic", None) is not None and self.conf.elastic.enabled:
+            # The live autoscaler (repro.elastic): imported here, not at
+            # module top, because repro.elastic.controller is pure
+            # driver-side logic with no streaming dependency — and the
+            # attach is conditional on conf.
+            from repro.elastic.controller import ElasticController
+
+            self.set_elasticity(
+                ElasticController(cluster, batch_interval_s=batch_interval_s)
+            )
 
     def set_elasticity(self, controller) -> None:
         """Attach an elastic-scaling controller, consulted at every group
-        boundary (§3.3: resources adjust between groups, never within)."""
+        boundary (§3.3: resources adjust between groups, never within).
+        A :class:`repro.elastic.ElasticController` additionally gets every
+        sharded state store registered for key-range migration."""
         self._elasticity = controller
+        if hasattr(controller, "register_store"):
+            for store in self.state_stores.values():
+                if isinstance(store, ShardedStateStore):
+                    controller.register_store(store)
 
     # ------------------------------------------------------------------
     # Graph construction
@@ -104,10 +125,39 @@ class StreamingContext:
         self.output_ops.append(OutputOp(len(self.output_ops), stream, callback))
 
     def state_store(self, name: str) -> StateStore:
-        """Create-or-get a named state store (included in checkpoints)."""
+        """Create-or-get a named state store (included in checkpoints).
+
+        With an elastic controller attached the store is sharded: its
+        keyspace is tracked per key-range shard so a resize migrates
+        state instead of dropping it."""
         if name not in self.state_stores:
-            self.state_stores[name] = StateStore(name)
+            if self._elasticity is not None and hasattr(
+                self._elasticity, "register_store"
+            ):
+                store: StateStore = ShardedStateStore(name)
+                self.state_stores[name] = store
+                self._elasticity.register_store(store)
+            else:
+                self.state_stores[name] = StateStore(name)
         return self.state_stores[name]
+
+    def shard_partitioner(self, name: str):
+        """A per-batch partitioner provider for ``name``'s shard layout:
+        pass to :meth:`DStream.reduce_by_key` so each batch hashes with
+        the *current* shard-map epoch — after a resize flips the epoch at
+        a group boundary, the next group's tasks hash to the new layout.
+        Returns ``None`` from the provider when no elastic controller (or
+        no such store) is attached, which falls back to the default hash
+        partitioner."""
+        self.state_store(name)  # ensure the store exists and is registered
+
+        def _provider():
+            controller = self._elasticity
+            if controller is None or not hasattr(controller, "partitioner_for"):
+                return None
+            return controller.partitioner_for(name)
+
+        return _provider
 
     # ------------------------------------------------------------------
     # The job generator / batch loop

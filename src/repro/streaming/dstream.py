@@ -49,11 +49,25 @@ class DStream:
         return self.transform(lambda ds: ds.map_partitions(fn))
 
     def reduce_by_key(
-        self, fn: Callable[[Any, Any], Any], num_partitions: Optional[int] = None
+        self,
+        fn: Callable[[Any, Any], Any],
+        num_partitions: Optional[int] = None,
+        partitioner: Any = None,
     ) -> "DStream":
         """Per-batch keyed reduction; with map-side combining enabled this
-        is the optimized (`reduceby`) data plane of §5.4."""
-        return self.transform(lambda ds: ds.reduce_by_key(fn, num_partitions))
+        is the optimized (`reduceby`) data plane of §5.4.
+
+        ``partitioner`` may be a :class:`~repro.dag.partitioning.Partitioner`
+        or a zero-argument callable returning one (or ``None``).  The
+        callable form is resolved per batch, so an elastic resize between
+        groups re-partitions the *next* batch under the flipped shard-map
+        epoch (see :meth:`StreamingContext.shard_partitioner`)."""
+
+        def _apply(ds):
+            p = partitioner() if callable(partitioner) else partitioner
+            return ds.reduce_by_key(fn, num_partitions, partitioner=p)
+
+        return self.transform(_apply)
 
     def group_by_key(self, num_partitions: Optional[int] = None) -> "DStream":
         """Per-batch grouping without combining (the `groupby` plane)."""

@@ -1,108 +1,46 @@
-"""Elastic scaling policies (§3.3, Elasticity).
+"""Elastic scaling policies (§3.3, Elasticity) — compatibility shim.
 
-"we integrate with existing cluster managers ... and the application
-layer can choose policies on when to request or relinquish resources.  At
-the end of a group boundary, Drizzle updates the list of available
-resources and adjusts the tasks to be scheduled for the next group."
+The policy layer moved to :mod:`repro.elastic.policies` and the live
+controller that actually applies decisions (with stateful key-range
+shard migration) lives in :mod:`repro.elastic.controller`.  This module
+re-exports both so existing imports keep working.
 
-A policy inspects recent batch timings and recommends a resize; the
-streaming context applies recommendations only at group boundaries, so
-in-flight groups are never disturbed.
+:class:`ElasticityController` remains the simple *advisory* controller:
+it applies add/decommission decisions but does not migrate operator
+state.  New code should use :class:`repro.elastic.ElasticController`,
+which a :class:`~repro.streaming.context.StreamingContext` attaches
+automatically when ``EngineConf.elastic.enabled``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Any, List, Sequence
 
-from repro.common.errors import StreamingError
-from repro.streaming.context import BatchStats
-
-
-@dataclass(frozen=True)
-class ScalingDecision:
-    """Recommendation for the next group boundary."""
-
-    delta_workers: int  # >0 add, <0 remove, 0 hold
-    reason: str
-
-
-class ScalingPolicy:
-    """Interface: called once per completed group."""
-
-    def decide(
-        self, recent: Sequence[BatchStats], current_workers: int
-    ) -> ScalingDecision:
-        raise NotImplementedError
-
-
-class UtilizationScalingPolicy(ScalingPolicy):
-    """Scale on the ratio of batch processing time to the batch interval.
-
-    * ratio above ``scale_up_threshold``  -> request one more machine
-      (the system is close to falling behind);
-    * ratio below ``scale_down_threshold`` -> relinquish one machine
-      (diurnal troughs: "more than 10x difference in load between peak
-      and non-peak durations", §1);
-    * otherwise hold.
-    """
-
-    def __init__(
-        self,
-        batch_interval_s: float,
-        scale_up_threshold: float = 0.8,
-        scale_down_threshold: float = 0.3,
-        min_workers: int = 1,
-        max_workers: int = 1024,
-        lookback_batches: int = 6,
-    ):
-        if batch_interval_s <= 0:
-            raise StreamingError("batch_interval_s must be positive")
-        if not 0.0 < scale_down_threshold < scale_up_threshold:
-            raise StreamingError("need 0 < scale_down < scale_up")
-        if not 1 <= min_workers <= max_workers:
-            raise StreamingError("need 1 <= min_workers <= max_workers")
-        if lookback_batches < 1:
-            raise StreamingError("lookback_batches must be >= 1")
-        self.batch_interval_s = batch_interval_s
-        self.scale_up_threshold = scale_up_threshold
-        self.scale_down_threshold = scale_down_threshold
-        self.min_workers = min_workers
-        self.max_workers = max_workers
-        self.lookback_batches = lookback_batches
-
-    def decide(
-        self, recent: Sequence[BatchStats], current_workers: int
-    ) -> ScalingDecision:
-        window = list(recent)[-self.lookback_batches :]
-        if not window:
-            return ScalingDecision(0, "no data")
-        utilization = sum(s.wall_time_s for s in window) / (
-            len(window) * self.batch_interval_s
-        )
-        if utilization > self.scale_up_threshold and current_workers < self.max_workers:
-            return ScalingDecision(
-                +1, f"utilization {utilization:.2f} > {self.scale_up_threshold}"
-            )
-        if (
-            utilization < self.scale_down_threshold
-            and current_workers > self.min_workers
-        ):
-            return ScalingDecision(
-                -1, f"utilization {utilization:.2f} < {self.scale_down_threshold}"
-            )
-        return ScalingDecision(0, f"utilization {utilization:.2f} in band")
+from repro.elastic.controller import ElasticController, ScalePlan
+from repro.elastic.policies import (
+    ScalingDecision,
+    ScalingPolicy,
+    ScheduleScalingPolicy,
+    SignalScalingPolicy,
+    UtilizationScalingPolicy,
+    resolve_policy,
+)
 
 
 class ElasticityController:
-    """Applies a policy's decisions to a LocalCluster at group boundaries."""
+    """Applies a policy's decisions to a LocalCluster at group boundaries.
+
+    Advisory predecessor of :class:`repro.elastic.ElasticController`:
+    resizes the worker set but moves no operator state (fine for
+    stateless pipelines and for tests that only exercise membership).
+    """
 
     def __init__(self, cluster, policy: ScalingPolicy):
         self.cluster = cluster
         self.policy = policy
         self.decisions: List[ScalingDecision] = []
 
-    def at_group_boundary(self, batch_stats: Sequence[BatchStats]) -> ScalingDecision:
+    def at_group_boundary(self, batch_stats: Sequence[Any]) -> ScalingDecision:
         # Count only schedulable machines (excludes ones already draining).
         workers = self.cluster.driver.placement_workers()
         decision = self.policy.decide(batch_stats, len(workers))
@@ -116,3 +54,16 @@ class ElasticityController:
             for worker_id in sorted(workers)[decision.delta_workers :]:
                 self.cluster.decommission_worker(worker_id)
         return decision
+
+
+__all__ = [
+    "ElasticController",
+    "ElasticityController",
+    "ScalePlan",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "ScheduleScalingPolicy",
+    "SignalScalingPolicy",
+    "UtilizationScalingPolicy",
+    "resolve_policy",
+]

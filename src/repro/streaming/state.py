@@ -16,7 +16,7 @@ from __future__ import annotations
 import copy
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 
 class StateStore:
@@ -65,6 +65,91 @@ class StateStore:
     def restore(self, snapshot: Dict[Any, Any]) -> None:
         with self._lock:
             self._state = copy.deepcopy(snapshot)
+
+
+class ShardedStateStore(StateStore):
+    """A :class:`StateStore` whose keyspace is tracked per key-range shard.
+
+    The driver-side store stays the authority for checkpoints and emitted
+    windows (so results are byte-identical across resizes); on top of
+    that it keeps the bookkeeping the migration plane
+    (:mod:`repro.elastic.migration`) needs:
+
+    * *dirty keys* — keys updated (or deleted: tombstones) since the
+      owning worker's shard copy was last synchronized.  A migrating
+      shard's payload is the source worker's base copy overlaid with the
+      driver's dirty delta for that range, so the worker-held state is
+      load-bearing and the wire genuinely carries it.
+    * :meth:`delta_for_range` / :meth:`mark_range_synced` — the overlay
+      and the acknowledgement that a destination now holds the current
+      contents of a range.
+
+    Recovery restores make every key dirty again: worker copies may be
+    stale or gone after a replay, and a full overlay is always correct.
+    """
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._dirty: Set[Any] = set()
+        self._tombstones: Set[Any] = set()
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._state[key] = value
+            self._dirty.add(key)
+            self._tombstones.discard(key)
+
+    def delete(self, key: Any) -> None:
+        with self._lock:
+            existed = key in self._state or key in self._dirty
+            self._state.pop(key, None)
+            if existed:
+                self._tombstones.add(key)
+            self._dirty.discard(key)
+
+    def update_many(
+        self, updates: Dict[Any, Any], merge: Callable[[Any, Any], Any]
+    ) -> None:
+        super().update_many(updates, merge)
+        with self._lock:
+            self._dirty.update(updates)
+            self._tombstones.difference_update(updates)
+
+    def restore(self, snapshot: Dict[Any, Any]) -> None:
+        super().restore(snapshot)
+        with self._lock:
+            self._dirty = set(self._state)
+            self._tombstones = set()
+
+    def extract_range(self, key_range: Any) -> Dict[Any, Any]:
+        """Authoritative current contents of ``key_range`` (the recovery
+        payload when a move's source worker is gone)."""
+        with self._lock:
+            return {
+                k: copy.deepcopy(v)
+                for k, v in self._state.items()
+                if key_range.contains_key(k)
+            }
+
+    def delta_for_range(self, key_range: Any) -> Dict[str, Any]:
+        """Updates and deletions inside ``key_range`` since its last sync,
+        as ``{"updates": {...}, "deleted": [...]}``."""
+        with self._lock:
+            updates = {
+                k: copy.deepcopy(self._state[k])
+                for k in self._dirty
+                if k in self._state and key_range.contains_key(k)
+            }
+            deleted = [k for k in self._tombstones if key_range.contains_key(k)]
+        return {"updates": updates, "deleted": deleted}
+
+    def mark_range_synced(self, key_range: Any) -> None:
+        """A destination acked ``key_range``: its worker copy is current."""
+        with self._lock:
+            self._dirty = {k for k in self._dirty if not key_range.contains_key(k)}
+            self._tombstones = {
+                k for k in self._tombstones if not key_range.contains_key(k)
+            }
 
 
 @dataclass

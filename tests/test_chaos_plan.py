@@ -11,6 +11,7 @@ from repro.chaos.plan import (
     KIND_NET_GARBLE,
     KIND_WORKER_KILL,
     SITE_BLOCKS_FETCH,
+    SITE_ELASTIC_RESIZE,
     SITE_EXEC_COMPUTE,
     SITE_NET_CALL,
     SITE_STREAM_CHECKPOINT,
@@ -38,7 +39,13 @@ _PROFILE_SITES = {
         SITE_WORKER_TASK,
         SITE_EXEC_COMPUTE,
     },
-    "mixed": set(ALL_SITES) - {SITE_STREAM_CHECKPOINT, SITE_STREAM_GROUP},
+    "elastic": {
+        SITE_ELASTIC_RESIZE,
+        SITE_WORKER_TASK,
+        SITE_STREAM_GROUP,
+        SITE_EXEC_COMPUTE,
+    },
+    "mixed": set(ALL_SITES) - {SITE_STREAM_CHECKPOINT, SITE_STREAM_GROUP, SITE_ELASTIC_RESIZE},
 }
 
 

@@ -1,0 +1,228 @@
+"""The elastic controller end to end: a streaming job that resizes at
+group boundaries must produce results byte-identical to a fixed-size run,
+with zero extra RPCs on every non-resize boundary."""
+
+import pytest
+
+from repro.common.config import ElasticConf, EngineConf, TelemetryConf
+from repro.common.errors import ConfigError
+from repro.common.metrics import (
+    COUNT_ELASTIC_RESIZES,
+    COUNT_ELASTIC_WORKERS_ADDED,
+    COUNT_ELASTIC_WORKERS_REMOVED,
+    COUNT_MIGRATION_KEYS_MOVED,
+    COUNT_RPC_MESSAGES,
+)
+from repro.elastic.controller import ElasticController
+from repro.elastic.policies import (
+    ScalingDecision,
+    ScheduleScalingPolicy,
+    SignalScalingPolicy,
+)
+from repro.engine.cluster import LocalCluster
+from repro.streaming.context import StreamingContext
+from repro.streaming.sources import FixedBatchSource
+from repro.streaming.state import ShardedStateStore
+
+WORDS = "the quick brown fox jumps over the lazy dog again and again".split()
+BATCHES = [[WORDS[(i + j) % len(WORDS)] for j in range(6)] for i in range(12)]
+# The load spike: batches 4..7 carry triple traffic.
+for i in range(4, 8):
+    BATCHES[i] = BATCHES[i] * 3
+
+
+def _run(schedule, *, shards_per_worker=2, elastic=True):
+    """Streaming wordcount over BATCHES; returns (final counts, metrics
+    snapshot, controller or None)."""
+    conf = EngineConf(
+        num_workers=2,
+        group_size=2,
+        elastic=ElasticConf(enabled=False, shards_per_worker=shards_per_worker),
+        telemetry=TelemetryConf(enabled=True),
+    )
+    with LocalCluster(conf) as cluster:
+        source = FixedBatchSource(BATCHES, 4)
+        ctx = StreamingContext(cluster, source, batch_interval_s=0.05)
+        controller = None
+        if elastic:
+            controller = ElasticController(
+                cluster,
+                policy=ScheduleScalingPolicy(schedule),
+                batch_interval_s=0.05,
+            )
+            ctx.set_elasticity(controller)
+            store = ctx.state_store("counts")
+            partitioner = ctx.shard_partitioner("counts")
+        else:
+            store = ctx.state_store("counts")
+            partitioner = None
+        stream = (
+            ctx.stream()
+            .map(lambda w: (w, 1))
+            # 4 partitions == 2 workers x 2 shards: the sharded and the
+            # fixed plan have identical task structure, so rpc parity is
+            # exact, not approximate.
+            .reduce_by_key(lambda a, b: a + b, 4, partitioner=partitioner)
+        )
+        stream.update_state(store, merge=lambda a, b: a + b)
+        ctx.run_batches(len(BATCHES))
+        counts = sorted(store.items())
+        snap = cluster.metrics.counters_snapshot()
+        rollup = cluster.telemetry.rollup() if cluster.telemetry else {}
+    return counts, snap, controller, rollup
+
+
+class TestLoadSpikeEquivalence:
+    def test_scale_out_and_back_is_byte_identical(self):
+        fixed, _, _, _ = _run({}, elastic=False)
+        elastic, snap, controller, rollup = _run({1: +2, 4: -2})
+        assert elastic == fixed
+        # The resizes really happened, and shards really moved.
+        assert snap[COUNT_ELASTIC_RESIZES] == 2
+        assert snap[COUNT_ELASTIC_WORKERS_ADDED] == 2
+        assert snap[COUNT_ELASTIC_WORKERS_REMOVED] == 2
+        assert snap[COUNT_MIGRATION_KEYS_MOVED] > 0
+        deltas = [p.delta for p in controller.plans]
+        assert deltas == [+2, -2]
+        # Each applied plan records the epoch its shard maps flipped to.
+        assert controller.plans[0].epochs[0][1] == 1
+        assert controller.plans[1].epochs[0][1] == 2
+
+    def test_rpc_parity_without_resizes(self):
+        """A controller that never resizes must cost exactly zero RPCs:
+        ``count.rpc_messages`` parity with the fixed-size run is +-0."""
+        _, fixed_snap, _, _ = _run({}, elastic=False)
+        _, elastic_snap, _, _ = _run({}, elastic=True)
+        assert (
+            elastic_snap[COUNT_RPC_MESSAGES] == fixed_snap[COUNT_RPC_MESSAGES]
+        )
+
+    def test_scale_events_surface_in_rollup(self):
+        _, _, _, rollup = _run({1: +1, 4: -1})
+        events = rollup.get("scale_events") or []
+        actions = [e["action"] for e in events]
+        assert "scale" in actions  # the controller's decision lines
+        assert "join" in actions  # per-worker membership lines
+        assert "leave" in actions
+        scale_lines = [e for e in events if e["action"] == "scale"]
+        assert any(e["reason"].startswith("+1:") for e in scale_lines)
+        assert any(e["reason"].startswith("-1:") for e in scale_lines)
+
+
+class TestControllerGuardrails:
+    def test_cooldown_suppresses_consecutive_resizes(self):
+        conf = ElasticConf(enabled=True, cooldown_groups=2)
+        with LocalCluster(EngineConf(num_workers=2)) as cluster:
+            controller = ElasticController(
+                cluster,
+                policy=ScheduleScalingPolicy({0: +1, 1: +1, 2: +1}),
+                conf=conf,
+            )
+            for _ in range(3):
+                controller.at_group_boundary([])
+            assert [d.delta_workers for d in controller.decisions] == [1, 0, 0]
+            assert "cooldown" in controller.decisions[1].reason
+            assert len(controller.plans) == 1
+            assert len(cluster.alive_workers()) == 3
+
+    def test_min_max_clamp(self):
+        conf = ElasticConf(enabled=True, min_workers=2, max_workers=3, cooldown_groups=0)
+        with LocalCluster(EngineConf(num_workers=2)) as cluster:
+            controller = ElasticController(
+                cluster, policy=ScheduleScalingPolicy({0: +5, 1: -5}), conf=conf
+            )
+            controller.at_group_boundary([])
+            assert len(cluster.driver.placement_workers()) == 3  # clamped to max
+            controller.at_group_boundary([])
+            assert len(cluster.driver.placement_workers()) == 2  # clamped to min
+            # .decisions keeps the policy's raw ask; .plans what was applied.
+            assert [d.delta_workers for d in controller.decisions] == [5, -5]
+            assert [p.delta for p in controller.plans] == [1, -1]
+
+    def test_crash_between_boundaries_repairs_layout(self):
+        """delta == 0 boundaries still repair shard maps after a crash:
+        the dead machine's ranges reassign from the driver mirror."""
+        with LocalCluster(EngineConf(num_workers=3)) as cluster:
+            controller = ElasticController(
+                cluster, policy=ScheduleScalingPolicy({})
+            )
+            store = ShardedStateStore("s")
+            for i in range(20):
+                store.put(f"k{i}", i)
+            controller.register_store(store)
+            cluster.kill_worker("worker-2", notify_driver=True)
+            decision = controller.at_group_boundary([])
+            assert decision.delta_workers == 0
+            final = controller.shard_map("s")
+            final.validate()
+            assert "worker-2" not in final.workers()
+
+
+class TestSignalPolicy:
+    def test_queueing_delay_is_the_leading_indicator(self):
+        policy = SignalScalingPolicy(batch_interval_s=0.1, queue_delay_p99_ms=50.0)
+        d = policy.decide_with_signals(
+            {"queueing_delay_ms": {"p99": 120.0}}, [], current_workers=2
+        )
+        assert d.delta_workers == +1 and "queueing delay" in d.reason
+
+    def test_backlog_scales_out(self):
+        policy = SignalScalingPolicy(batch_interval_s=0.1, backlog_threshold=3)
+        d = policy.decide_with_signals({"backlog": 7}, [], current_workers=2)
+        assert d.delta_workers == +1 and "backlog" in d.reason
+
+    def test_healthy_signals_fall_back_to_utilization(self):
+        policy = SignalScalingPolicy(batch_interval_s=0.1)
+        d = policy.decide_with_signals(
+            {"queueing_delay_ms": {"p99": 1.0}, "backlog": 0},
+            [],
+            current_workers=2,
+        )
+        assert d.delta_workers == 0
+
+
+class TestConfAndCompat:
+    def test_elastic_conf_validation(self):
+        for bad in (
+            ElasticConf(min_workers=0),
+            ElasticConf(min_workers=4, max_workers=2),
+            ElasticConf(cooldown_groups=-1),
+            ElasticConf(policy="nope"),
+            ElasticConf(shards_per_worker=0),
+        ):
+            with pytest.raises(ConfigError):
+                bad.validate()
+
+    def test_auto_attach_via_conf(self):
+        conf = EngineConf(
+            num_workers=2, elastic=ElasticConf(enabled=True, shards_per_worker=2)
+        )
+        with LocalCluster(conf) as cluster:
+            ctx = StreamingContext(
+                cluster, FixedBatchSource([["a"]], 2), batch_interval_s=0.05
+            )
+            assert isinstance(ctx._elasticity, ElasticController)
+            store = ctx.state_store("counts")
+            assert isinstance(store, ShardedStateStore)
+            assert ctx._elasticity.shard_map("counts") is not None
+
+    def test_old_import_location_still_works(self):
+        from repro.streaming import elasticity as legacy
+        from repro.elastic import policies
+
+        assert legacy.ScalingPolicy is policies.ScalingPolicy
+        assert legacy.ScalingDecision is policies.ScalingDecision
+        assert legacy.UtilizationScalingPolicy is policies.UtilizationScalingPolicy
+
+    def test_legacy_advisory_controller(self):
+        from repro.streaming.elasticity import ElasticityController
+
+        class AlwaysUp:
+            def decide(self, recent, current_workers):
+                return ScalingDecision(+1, "test")
+
+        with LocalCluster(EngineConf(num_workers=2)) as cluster:
+            legacy = ElasticityController(cluster, AlwaysUp())
+            legacy.at_group_boundary([])
+            assert len(cluster.alive_workers()) == 3
+            assert legacy.decisions[-1].delta_workers == 1

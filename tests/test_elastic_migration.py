@@ -1,0 +1,225 @@
+"""Shard migration protocol: extract -> install -> release with abort and
+requeue semantics under worker loss (the §3.3 safety argument: a resize
+must never be less safe than a crash)."""
+
+import pytest
+
+from repro.chaos.injector import ChaosInjector, install, uninstall
+from repro.chaos.plan import (
+    KIND_WORKER_KILL,
+    SITE_ELASTIC_RESIZE,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.common.config import EngineConf
+from repro.common.metrics import (
+    COUNT_MIGRATION_ABORTS,
+    COUNT_MIGRATION_RETRIES,
+    COUNT_MIGRATION_SHARDS_MOVED,
+)
+from repro.elastic.controller import ElasticController
+from repro.elastic.migration import MigrationExecutor, refine_with_outcomes
+from repro.elastic.policies import ScheduleScalingPolicy
+from repro.elastic.shards import HASH_SPACE, ShardMap, plan_resize
+from repro.engine.cluster import LocalCluster
+from repro.streaming.state import ShardedStateStore
+
+
+@pytest.fixture()
+def cluster():
+    with LocalCluster(EngineConf(num_workers=3)) as c:
+        yield c
+
+
+def _executor(cluster):
+    return MigrationExecutor(
+        cluster.transport,
+        cluster.metrics,
+        tracer=cluster.tracer,
+        clock=cluster.clock,
+        on_worker_lost=cluster.driver.on_worker_lost,
+    )
+
+
+def _store_with(keys):
+    store = ShardedStateStore("s")
+    for i, key in enumerate(keys):
+        store.put(key, i)
+    return store
+
+
+class TestMoveProtocol:
+    def test_happy_path_ships_and_releases(self, cluster):
+        store = _store_with([f"k{i}" for i in range(20)])
+        m = ShardMap.initial(["worker-0", "worker-1"], 2)
+        target, moves = plan_resize(m, ["worker-0", "worker-1", "worker-2"])
+        outcome = _executor(cluster).execute(store, target.epoch, moves)
+        assert outcome.all_ok and outcome.aborts == 0
+        # Destination now hosts exactly the keys hashing into its ranges.
+        w2 = cluster.workers["worker-2"]
+        held = dict(w2.state_shard_items("s"))
+        expected = {
+            k: v for k, v in store.items() if target.owner_of(k) == "worker-2"
+        }
+        assert held == expected
+        # Moved ranges are synced: their keys left the dirty set.
+        for key in expected:
+            delta = store.delta_for_range(target.range_of(key))
+            assert key not in delta["updates"]
+        # Sources released their copies of the moved ranges.
+        for mv in moves:
+            if mv.src is None:
+                continue
+            src_items = dict(cluster.workers[mv.src].state_shard_items("s"))
+            assert not any(mv.range.contains_key(k) for k in src_items)
+
+    def test_worker_held_base_is_load_bearing(self, cluster):
+        """A source's installed base must reach the destination even for
+        keys the driver no longer tracks as dirty — the wire genuinely
+        carries worker-held state."""
+        store = ShardedStateStore("s")
+        m = ShardMap.initial(["worker-0", "worker-1"], 1)
+        # Seed worker-0 with base contents via the normal install path,
+        # with nothing dirty driver-side.
+        r0 = m.ranges_for("worker-0")[0]
+        base_keys = [f"k{i}" for i in range(40) if r0.contains_key(f"k{i}")][:5]
+        assert base_keys, "need at least one key hashing into worker-0's range"
+        payload = {k: f"base-{k}" for k in base_keys}
+        cluster.workers["worker-0"].install_state_shards(
+            "s", m.epoch, [(r0.as_tuple(), payload)]
+        )
+        target, moves = plan_resize(m, ["worker-1"])
+        outcome = _executor(cluster).execute(store, target.epoch, moves)
+        assert outcome.all_ok
+        held = dict(cluster.workers["worker-1"].state_shard_items("s"))
+        for k in base_keys:
+            assert held[k] == f"base-{k}"
+
+    def test_install_is_idempotent_and_epoch_gated(self, cluster):
+        w = cluster.workers["worker-0"]
+        full = (0, HASH_SPACE)
+        assert w.install_state_shards("s", 3, [(full, {"a": 1, "b": 2})])
+        # Duplicate delivery at the same epoch: harmless overwrite.
+        assert w.install_state_shards("s", 3, [(full, {"a": 1, "b": 2})])
+        assert dict(w.state_shard_items("s")) == {"a": 1, "b": 2}
+        # A straggler from a superseded epoch is refused outright.
+        assert not w.install_state_shards("s", 2, [(full, {"stale": 9})])
+        assert dict(w.state_shard_items("s")) == {"a": 1, "b": 2}
+        # Newer epochs supersede.
+        assert w.install_state_shards("s", 4, [(full, {"c": 3})])
+        assert dict(w.state_shard_items("s")) == {"c": 3}
+
+    def test_dead_destination_aborts_and_source_retains(self, cluster):
+        store = _store_with([f"k{i}" for i in range(20)])
+        m = ShardMap.initial(["worker-0", "worker-1"], 2)
+        # Give worker-1 a base so retention is observable.
+        for r in m.ranges_for("worker-1"):
+            cluster.workers["worker-1"].install_state_shards(
+                "s", m.epoch, [(r.as_tuple(), store.extract_range(r))]
+            )
+        before = dict(cluster.workers["worker-1"].state_shard_items("s"))
+        dirty_before = {
+            k for r in m.ranges_for("worker-1")
+            for k in store.delta_for_range(r)["updates"]
+        }
+        target, moves = plan_resize(m, ["worker-0", "worker-1", "worker-2"])
+        cluster.kill_worker("worker-2", notify_driver=False)
+        outcome = _executor(cluster).execute(store, target.epoch, moves)
+        assert not outcome.all_ok
+        assert outcome.failed and outcome.aborts >= len(outcome.failed)
+        assert cluster.metrics.counters_snapshot()[COUNT_MIGRATION_ABORTS] >= 1
+        # The source kept every shard (no release without an ack) and the
+        # driver's dirty window stayed open for the failed ranges.
+        assert dict(cluster.workers["worker-1"].state_shard_items("s")) == before
+        dirty_after = {
+            k for r in m.ranges_for("worker-1")
+            for k in store.delta_for_range(r)["updates"]
+        }
+        assert dirty_after == dirty_before
+
+    def test_dead_source_falls_back_to_driver_mirror(self, cluster):
+        store = _store_with([f"k{i}" for i in range(20)])
+        m = ShardMap.initial(["worker-0", "worker-1"], 2)
+        target, moves = plan_resize(m, ["worker-0", "worker-1", "worker-2"])
+        srcs = {mv.src for mv in moves} - {None}
+        victim = sorted(srcs)[0]
+        cluster.kill_worker(victim, notify_driver=False)
+        outcome = _executor(cluster).execute(store, target.epoch, moves)
+        # Every move still lands: the mirror serves the payload.
+        assert outcome.all_ok
+        assert outcome.aborts >= 1  # the extract abort was recorded
+        held = dict(cluster.workers["worker-2"].state_shard_items("s"))
+        expected = {
+            k: v for k, v in store.items() if target.owner_of(k) == "worker-2"
+        }
+        assert held == expected
+
+
+class TestRefineWithOutcomes:
+    def test_failed_pieces_keep_old_owner(self):
+        old = ShardMap.initial(["w0", "w1"], 2)
+        target, moves = plan_resize(old, ["w0", "w1", "w2"])
+        refined = refine_with_outcomes(old, target, moves)  # everything failed
+        refined.validate()
+        assert refined.epoch == target.epoch
+        # All failed pieces stayed with their old owners: w2 owns nothing.
+        assert "w2" not in refined.load()
+        # Nothing failed: refinement reproduces the target ownership.
+        refined_ok = refine_with_outcomes(old, target, [])
+        for key in [f"k{i}" for i in range(30)]:
+            assert refined_ok.owner_of(key) == target.owner_of(key)
+
+
+class TestMidMigrationKill:
+    def test_kill_racing_scale_in_aborts_then_requeues(self):
+        """The elastic chaos profile's signature race: scale-in drains a
+        worker, and a *destination* of its shards dies between extract and
+        install.  The move aborts (source retains), the controller
+        requeues against refreshed membership — the dead machine's own
+        ranges come back from the driver mirror — and the final layout
+        holds every key exactly once."""
+        plan = FaultPlan(
+            [FaultEvent(0, SITE_ELASTIC_RESIZE, KIND_WORKER_KILL, 1)],
+            seed=0,
+            profile="elastic",
+        )
+        with LocalCluster(EngineConf(num_workers=3)) as cluster:
+            injector = ChaosInjector(
+                plan, metrics=cluster.metrics, tracer=cluster.tracer, kill_budget=1
+            )
+            install(injector)
+            try:
+                controller = ElasticController(
+                    cluster, policy=ScheduleScalingPolicy({0: -1})
+                )
+                store = ShardedStateStore("s")
+                for i in range(30):
+                    store.put(f"k{i}", i)
+                controller.register_store(store)
+                controller.at_group_boundary([])
+            finally:
+                uninstall(injector)
+            assert injector.injected_count == 1
+            snap = cluster.metrics.counters_snapshot()
+            assert snap[COUNT_MIGRATION_ABORTS] >= 1
+            assert snap.get(COUNT_MIGRATION_RETRIES, 0) >= 1
+            assert snap[COUNT_MIGRATION_SHARDS_MOVED] >= 1
+            # The final map never references the dead machine and still
+            # tiles the whole space (validate() enforces it).
+            final = controller.shard_map("s")
+            final.validate()
+            dead = {w for w, obj in cluster.workers.items() if obj.is_dead}
+            assert dead, "the chaos kill must have fired"
+            assert not (set(final.workers()) & dead)
+            # No key lost, none duplicated: worker-side union of shards ==
+            # the authoritative store contents for all synced ranges.
+            held = {}
+            for worker_id, worker in cluster.workers.items():
+                if worker.is_dead:
+                    continue
+                for k, v in worker.state_shard_items("s"):
+                    assert k not in held, f"key {k} hosted twice"
+                    held[k] = v
+            authoritative = dict(store.items())
+            for k, v in held.items():
+                assert authoritative[k] == v

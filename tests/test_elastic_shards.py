@@ -1,0 +1,201 @@
+"""Key-range shard layer: ranges, maps, partitioners, resize planning.
+
+The load-bearing property (hammered by Hypothesis below): for ANY
+sequence of scale-out/scale-in events, the union of migrated key-range
+shards equals the original keyspace — every map tiles ``[0, HASH_SPACE)``
+exactly, so no key is lost and none is duplicated.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.elastic.shards import (
+    HASH_SPACE,
+    KeyRange,
+    ShardMap,
+    ShardMove,
+    ShardRangePartitioner,
+    plan_resize,
+    shard_position,
+)
+
+
+class TestKeyRange:
+    def test_half_open_contains(self):
+        r = KeyRange(10, 20)
+        assert r.contains(10) and r.contains(19)
+        assert not r.contains(9) and not r.contains(20)
+        assert r.width == 10
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ConfigError):
+            KeyRange(5, 5)
+        with pytest.raises(ConfigError):
+            KeyRange(-1, 5)
+        with pytest.raises(ConfigError):
+            KeyRange(0, HASH_SPACE + 1)
+
+    def test_split(self):
+        left, right = KeyRange(0, 100).split(40)
+        assert left.as_tuple() == (0, 40) and right.as_tuple() == (40, 100)
+        with pytest.raises(ConfigError):
+            KeyRange(0, 100).split(0)
+
+    def test_contains_key_matches_shard_position(self):
+        r = KeyRange(0, HASH_SPACE)
+        for key in ["a", 7, ("x", 3), b"bytes"]:
+            assert r.contains_key(key)
+            assert 0 <= shard_position(key) < HASH_SPACE
+
+
+class TestShardMap:
+    def test_initial_tiles_and_round_robins(self):
+        m = ShardMap.initial(["w1", "w0"], shards_per_worker=4)
+        assert m.num_shards() == 8
+        assert m.workers() == ["w0", "w1"]
+        m.validate()  # exact tiling
+        # Round-robin: adjacent shards alternate owners.
+        owners = [o for _, o in m.assignments]
+        assert owners[0] != owners[1]
+
+    def test_gap_and_overlap_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardMap([(KeyRange(0, 10), "w0"), (KeyRange(20, HASH_SPACE), "w0")])
+        with pytest.raises(ConfigError):
+            ShardMap([(KeyRange(0, 20), "w0"), (KeyRange(10, HASH_SPACE), "w0")])
+
+    def test_owner_lookup_consistent_with_partitioner(self):
+        m = ShardMap.initial(["w0", "w1", "w2"], shards_per_worker=3)
+        p = m.partitioner()
+        for key in ["alpha", "beta", 42, ("t", 1)]:
+            idx = p.partition(key)
+            assert m.assignments[idx][1] == m.owner_of(key)
+
+    def test_partitioner_epoch_distinguishes_layouts(self):
+        m = ShardMap.initial(["w0", "w1"], shards_per_worker=2)
+        p0 = m.partitioner()
+        p_same = m.partitioner()
+        assert p0 == p_same and hash(p0) == hash(p_same)
+        bumped = ShardMap(m.assignments, epoch=m.epoch + 1)
+        assert bumped.partitioner() != p0  # same boundaries, new epoch
+
+    def test_partitioner_is_picklable(self):
+        p = ShardMap.initial(["w0", "w1"], 4).partitioner()
+        clone = pickle.loads(pickle.dumps(p))
+        assert clone == p
+        assert clone.partition("some-key") == p.partition("some-key")
+
+
+class TestPlanResize:
+    def test_same_worker_set_is_free(self):
+        m = ShardMap.initial(["w0", "w1"], 4)
+        target, moves = plan_resize(m, ["w1", "w0"])
+        assert target is m and moves == []
+
+    def test_scale_out_splits_not_reshuffles(self):
+        m = ShardMap.initial(["w0", "w1"], 4)
+        target, moves = plan_resize(m, ["w0", "w1", "w2"])
+        assert target.epoch == m.epoch + 1
+        # Only the joiner receives shards; survivors never exchange.
+        assert all(mv.dst == "w2" for mv in moves)
+        moved_width = sum(mv.range.width for mv in moves)
+        assert moved_width == target.load()["w2"]
+        # Roughly even thirds.
+        for w, width in target.load().items():
+            assert abs(width - HASH_SPACE // 3) <= HASH_SPACE // 8, (w, width)
+
+    def test_scale_in_moves_only_the_leaver(self):
+        m = ShardMap.initial(["w0", "w1", "w2"], 2)
+        target, moves = plan_resize(m, ["w0", "w1"])
+        leaving_width = m.load()["w2"]
+        assert sum(mv.range.width for mv in moves) == leaving_width
+        assert all(mv.src == "w2" for mv in moves)
+        assert "w2" not in target.load()
+
+    def test_lost_owner_gets_mirror_source(self):
+        m = ShardMap.initial(["w0", "w1"], 2)
+        target, moves = plan_resize(m, ["w0"], lost=["w1"])
+        assert moves and all(mv.src is None for mv in moves)
+        assert target.workers() == ["w0"]
+
+    def test_draining_owner_stays_a_source(self):
+        m = ShardMap.initial(["w0", "w1"], 2)
+        _, moves = plan_resize(m, ["w0"])
+        assert moves and all(mv.src == "w1" for mv in moves)
+
+
+# ----------------------------------------------------------------------
+# The Hypothesis property: any resize sequence preserves the keyspace.
+# ----------------------------------------------------------------------
+_EVENTS = st.lists(
+    st.sampled_from(["+1", "+2", "-1", "-2"]), min_size=1, max_size=8
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=_EVENTS, start=st.integers(min_value=1, max_value=4))
+def test_resize_sequences_preserve_keyspace(events, start):
+    """For any sequence of scale-out/scale-in events the union of migrated
+    shards equals the original keyspace: every intermediate map tiles
+    [0, HASH_SPACE) exactly (validate() enforces no-gap/no-overlap), moves
+    are disjoint, and every key's owner is always well-defined."""
+    workers = [f"w{i}" for i in range(start)]
+    seq = start
+    m = ShardMap.initial(workers, shards_per_worker=2)
+    probe_keys = [f"key-{i}" for i in range(50)]
+    for ev in events:
+        delta = int(ev)
+        if delta > 0:
+            new = workers + [f"w{seq + i}" for i in range(delta)]
+            seq += delta
+        else:
+            if len(workers) + delta < 1:
+                continue  # never scale below one machine
+            new = workers[: len(workers) + delta]
+        target, moves = plan_resize(m, new)
+        # validate() ran in the constructor: exact tiling, ergo no key
+        # lost and none duplicated.  Check move disjointness on top.
+        spans = sorted(mv.range.as_tuple() for mv in moves)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2, f"overlapping moves {(s1, e1)} and {(s2, e2)}"
+        # Moves land where the new map says, and only where owners changed.
+        for mv in moves:
+            idx = target.shard_index(mv.range.start)
+            assert target.assignments[idx][1] == mv.dst
+        # Every probe key has exactly one owner before and after.
+        for key in probe_keys:
+            assert m.owner_of(key) in m.workers()
+            assert target.owner_of(key) in target.workers()
+        # Keys whose owner is unchanged must not appear in any move.
+        for key in probe_keys:
+            if m.owner_of(key) == target.owner_of(key):
+                pos = shard_position(key)
+                assert not any(mv.range.contains(pos) for mv in moves)
+        workers, m = sorted(target.workers()), target
+
+    assert m.epoch <= len(events)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    boundaries=st.lists(
+        st.integers(min_value=1, max_value=HASH_SPACE - 1),
+        min_size=1,
+        max_size=12,
+        unique=True,
+    )
+)
+def test_arbitrary_tilings_partition_every_key(boundaries):
+    bounds = [0] + sorted(boundaries) + [HASH_SPACE]
+    assignments = [
+        (KeyRange(bounds[i], bounds[i + 1]), f"w{i % 3}")
+        for i in range(len(bounds) - 1)
+    ]
+    m = ShardMap(assignments)
+    p = m.partitioner()
+    for key in ["a", "b", 17, ("k", 2), b"z"]:
+        idx = p.partition(key)
+        assert m.assignments[idx][0].contains(shard_position(key))

@@ -15,6 +15,10 @@ CHECKS = {
     "batch_analytics.py": ["tree-reduced sum of squares", "partial-merge share"],
     "group_size_tuning.py": ["final group size", "tuner actions"],
     "adaptive_streaming.py": ["final reducer count", "elasticity decisions"],
+    "elastic_scaling.py": [
+        "counts identical to fixed-size run: True",
+        "shards migrated:",
+    ],
     "trace_telemetry.py": ["span totals agree with counters: True"],
     "network_cluster.py": [
         "shuffle result over tcp == reference: True",
