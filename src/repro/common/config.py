@@ -177,6 +177,27 @@ def _default_compression() -> str:
     return os.environ.get("REPRO_NET_COMPRESSION", "auto")
 
 
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() in ("1", "true", "on", "yes")
+
+
+def _default_record_blocks() -> bool:
+    # REPRO_RECORD_BLOCKS=1 turns on columnar record blocks for a whole
+    # pytest or bench run, mirroring REPRO_TEMPLATES / REPRO_TRANSPORT.
+    return _env_flag("REPRO_RECORD_BLOCKS")
+
+
+def _default_shm_shuffle() -> bool:
+    # REPRO_SHM_SHUFFLE=1 arms the shared-memory shuffle fast path.
+    return _env_flag("REPRO_SHM_SHUFFLE")
+
+
+def _default_async_io() -> bool:
+    # REPRO_NET_ASYNC=1 swaps the thread-per-connection MessageServer for
+    # the asyncio event-loop server (repro.net.aio).
+    return _env_flag("REPRO_NET_ASYNC")
+
+
 @dataclass
 class DataPlaneConf:
     """Wire-level data-plane knobs (see "Data plane" in
@@ -199,6 +220,17 @@ class DataPlaneConf:
     # Serialized stage closures cached per transport, keyed by content
     # digest; 0 disables the cache and ships full plans in every launch.
     stage_blob_cache_entries: int = 64
+    # Columnar record blocks (repro.data.blocks): shuffle buckets whose
+    # keys/values are uniform ints/floats travel and aggregate as typed
+    # arrays instead of List[tuple] — zero pickle on the fast shape.
+    record_blocks: bool = field(default_factory=_default_record_blocks)
+    # Shared-memory shuffle (repro.data.shm): co-located peers read map
+    # outputs from multiprocessing.shared_memory segments instead of a
+    # fetch_buckets RPC, falling back to the wire transparently.
+    shm_shuffle: bool = field(default_factory=_default_shm_shuffle)
+    # Event-loop server (repro.net.aio): one asyncio loop thread per
+    # transport instead of a thread per accepted connection.
+    async_io: bool = field(default_factory=_default_async_io)
 
     def validate(self) -> None:
         if self.max_concurrent_fetches < 1:

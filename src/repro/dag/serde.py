@@ -38,20 +38,46 @@ __all__ = ["dumps_closure", "loads_closure"]
 # Sentinel standing in for an empty (never-assigned) closure cell.
 _EMPTY_CELL = "__repro_empty_cell__"
 
+# Marshal-layer caches.  A streaming workload re-ships the same closure
+# *shapes* every batch — only the captured values change — so the
+# marshal bytes and the referenced-global name set of a given code
+# object recur across thousands of messages.  Code objects are
+# immutable, which makes both directions safely cacheable: the encode
+# side keys on the code object itself, the decode side on its marshal
+# bytes (rebuilt functions then share one code object, exactly as
+# sibling closures from one ``def`` do).  Bounded by wholesale clear —
+# entries are a few hundred bytes and recomputing is only ever a cost,
+# never a correctness issue.
+_CODE_CACHE_MAX = 512
+# code -> (marshal bytes, referenced co_names across nested code)
+_ENCODE_CACHE: Dict[types.CodeType, Tuple[bytes, Tuple[str, ...]]] = {}
+_DECODE_CACHE: Dict[bytes, types.CodeType] = {}
+
+
+def _code_entry(code: types.CodeType) -> Tuple[bytes, Tuple[str, ...]]:
+    entry = _ENCODE_CACHE.get(code)
+    if entry is None:
+        names = set()
+        stack = [code]
+        while stack:
+            c = stack.pop()
+            names.update(c.co_names)
+            for const in c.co_consts:
+                if isinstance(const, types.CodeType):
+                    stack.append(const)
+        if len(_ENCODE_CACHE) >= _CODE_CACHE_MAX:
+            _ENCODE_CACHE.clear()
+        entry = (marshal.dumps(code), tuple(names))
+        _ENCODE_CACHE[code] = entry
+    return entry
+
 
 def _referenced_globals(fn: types.FunctionType) -> Dict[str, Any]:
     """The subset of ``fn.__globals__`` its code (including nested code
     objects) can actually name.  ``co_names`` over-approximates — it also
     lists attribute names — but the intersection with the globals dict is
     exactly what a rebuilt function could look up."""
-    names = set()
-    stack = [fn.__code__]
-    while stack:
-        code = stack.pop()
-        names.update(code.co_names)
-        for const in code.co_consts:
-            if isinstance(const, types.CodeType):
-                stack.append(const)
+    _, names = _code_entry(fn.__code__)
     fn_globals = fn.__globals__
     return {name: fn_globals[name] for name in names if name in fn_globals}
 
@@ -91,7 +117,12 @@ def _rebuild_function(
     fn_globals: Dict[str, Any],
     fn_dict: Dict[str, Any],
 ) -> types.FunctionType:
-    code = marshal.loads(code_bytes)
+    code = _DECODE_CACHE.get(code_bytes)
+    if code is None:
+        if len(_DECODE_CACHE) >= _CODE_CACHE_MAX:
+            _DECODE_CACHE.clear()
+        code = marshal.loads(code_bytes)
+        _DECODE_CACHE[code_bytes] = code
     namespace = dict(fn_globals)
     namespace["__builtins__"] = __builtins__
     if module is not None:
@@ -118,7 +149,7 @@ def _reduce_function(fn: types.FunctionType) -> Tuple:
     return (
         _rebuild_function,
         (
-            marshal.dumps(fn.__code__),
+            _code_entry(fn.__code__)[0],
             fn.__name__,
             fn.__qualname__,
             fn.__module__,

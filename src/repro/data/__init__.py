@@ -1,0 +1,13 @@
+"""Columnar record containers and shared-memory block movement.
+
+``repro.data.blocks`` holds :class:`RecordBlock`, the columnar (key,
+value) container shuffle buckets travel in when
+``DataPlaneConf.record_blocks`` is on; ``repro.data.shm`` publishes
+encoded blocks as ``multiprocessing.shared_memory`` segments so
+co-located peers can skip the fetch RPC entirely (see "Raw speed" in
+``docs/networking.md``).
+"""
+
+from repro.data.blocks import RecordBlock, to_record_block
+
+__all__ = ["RecordBlock", "to_record_block"]

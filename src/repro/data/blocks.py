@@ -1,0 +1,261 @@
+"""Columnar record blocks for the shuffle hot path.
+
+A shuffle bucket in this engine is a list of ``(key, value)`` pairs.  On
+the wire and in the block store that layout costs one Python object per
+record plus one pickle op per element.  :class:`RecordBlock` stores the
+same pairs as two *columns*; when both columns are uniform machine
+shapes (64-bit ints or floats) they live in ``array.array`` typed
+storage and cross process/socket boundaries as a fixed header plus the
+raw column buffers — zero pickle on the fast shape.  Anything else
+falls back to plain object columns (pickled as usual), so a block can
+always hold whatever a list could.
+
+A ``RecordBlock`` iterates as ``(key, value)`` tuples in insertion
+order, which keeps every existing consumer (combiners, window merges,
+``list(bucket)`` copies) working unchanged — results are byte-identical
+with blocks on or off.
+"""
+
+from __future__ import annotations
+
+import struct
+from array import array
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
+
+# Column codes.  'q' / 'd' are array.array typecodes (int64 / float64);
+# 'O' marks a plain-list object column, pickled on encode.  '-' as a
+# *value* code marks a pairless block: the bucket held bare records (not
+# pairs), all of which live in the key column and iterate unzipped.
+_INT = "q"
+_FLOAT = "d"
+_OBJ = "O"
+_NONE = "-"
+
+# Encoded-block wire layout: magic, version, key code, value code,
+# record count, key-buffer length, value-buffer length, then the two
+# raw buffers.  Object columns ship pickled; typed columns ship their
+# machine representation verbatim.
+_MAGIC = b"RBLK"
+_HEADER = struct.Struct(">4sBBBQII")
+_VERSION = 1
+
+
+def _build_column(column) -> Tuple[str, Any]:
+    """Pick the densest storage a whole column fits in and build it.
+
+    ``set(map(type, ...))`` keeps the whole scan in C; exact types mean
+    ``bool`` (and every other int/float subclass) stays off the typed
+    path — it would round-trip as ``int`` and break byte-identical
+    results across the toggle.  Out-of-range ints are caught by the
+    ``array`` constructor itself rather than a per-element bounds check.
+    """
+    kinds = set(map(type, column))
+    if kinds == {int}:
+        try:
+            return _INT, array(_INT, column)
+        except OverflowError:
+            return _OBJ, column
+    if kinds == {float}:
+        return _FLOAT, array(_FLOAT, column)
+    return _OBJ, column
+
+
+def _pack_column(code: str, column: List[Any]) -> bytes:
+    if code == _OBJ:
+        import pickle
+
+        return pickle.dumps(column, protocol=pickle.HIGHEST_PROTOCOL)
+    return array(code, column).tobytes()
+
+
+def _unpack_column(code: str, buf: memoryview) -> Any:
+    if code == _OBJ:
+        import pickle
+
+        return pickle.loads(buf)
+    col = array(code)
+    col.frombytes(buf)
+    return col
+
+
+class RecordBlock:
+    """A columnar list of ``(key, value)`` pairs."""
+
+    __slots__ = ("kcode", "vcode", "keys", "values")
+
+    def __init__(self, kcode: str, vcode: str, keys: Any, values: Any):
+        self.kcode = kcode
+        self.vcode = vcode
+        self.keys = keys
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[Any, Any]]) -> "RecordBlock":
+        pairs = list(pairs) if not isinstance(pairs, list) else pairs
+        if not pairs:
+            return cls(_OBJ, _OBJ, [], [])
+        keys, values = zip(*pairs)
+        kcode, keys = _build_column(keys)
+        vcode, values = _build_column(values)
+        return cls(kcode, vcode, keys, values)
+
+    @classmethod
+    def from_records(cls, records: Iterable[Any]) -> "RecordBlock":
+        """Build a block from any bucket shape.
+
+        Buckets are usually ``(key, value)`` pairs, but unkeyed shuffles
+        (e.g. tree-reduce) move bare records.  Records that are not all
+        2-tuples go into a single *pairless* column and come back out
+        exactly as stored — a list of 2-element lists must not silently
+        turn into tuples, so only real tuples take the pair layout.
+        """
+        records = list(records) if not isinstance(records, list) else records
+        if not records:
+            return cls(_OBJ, _OBJ, [], [])
+        if set(map(type, records)) == {tuple}:
+            try:
+                # strict zip unpacked into exactly two columns == every
+                # record is a 2-tuple, without a per-record Python loop.
+                keys, values = zip(*records, strict=True)
+            except ValueError:
+                pass
+            else:
+                kcode, keys = _build_column(keys)
+                vcode, values = _build_column(values)
+                return cls(kcode, vcode, keys, values)
+        kcode, keys = _build_column(records)
+        return cls(kcode, _NONE, keys, None)
+
+    # ------------------------------------------------------------------
+    # List-like behaviour (everything the engine does to a bucket)
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Tuple[Any, Any]]:
+        if self.vcode == _NONE:
+            return iter(self.keys)
+        return zip(self.keys, self.values)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __getitem__(self, index):
+        if self.vcode == _NONE:
+            if isinstance(index, slice):
+                return list(self.keys[index])
+            return self.keys[index]
+        if isinstance(index, slice):
+            return list(zip(self.keys[index], self.values[index]))
+        return (self.keys[index], self.values[index])
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, (RecordBlock, list)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordBlock(n={len(self)}, kcode={self.kcode!r}, "
+            f"vcode={self.vcode!r})"
+        )
+
+    @property
+    def is_typed(self) -> bool:
+        """True when at least one column is in machine representation."""
+        return self.kcode != _OBJ or self.vcode not in (_OBJ, _NONE)
+
+    # ------------------------------------------------------------------
+    # Aggregation fast path
+    # ------------------------------------------------------------------
+    def reduce_into(self, out: Dict[Any, Any], fn, create=None) -> None:
+        """Fold this block into ``out`` with ``fn`` — the columnar twin
+        of the per-pair loops in ``merge_combiners_iter`` and
+        ``reduce_values_iter``.  ``create`` (when given) initialises the
+        combiner on a key's first value, as ``create_combiner`` does."""
+        get = out.get
+        missing = _MISSING
+        if create is None:
+            for k, v in zip(self.keys, self.values):
+                cur = get(k, missing)
+                out[k] = v if cur is missing else fn(cur, v)
+        else:
+            for k, v in zip(self.keys, self.values):
+                cur = get(k, missing)
+                out[k] = create(v) if cur is missing else fn(cur, v)
+
+    def group_into(self, out: Dict[Any, List[Any]]) -> None:
+        """Append each value onto ``out[key]`` — the columnar twin of
+        the loop in ``group_values_iter``."""
+        setdefault = out.setdefault
+        for k, v in zip(self.keys, self.values):
+            setdefault(k, []).append(v)
+
+    # ------------------------------------------------------------------
+    # Wire form: header + raw column buffers
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        kbuf = _pack_column(self.kcode, self.keys)
+        vbuf = b"" if self.vcode == _NONE else _pack_column(self.vcode, self.values)
+        header = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            ord(self.kcode),
+            ord(self.vcode),
+            len(self.keys),
+            len(kbuf),
+            len(vbuf),
+        )
+        return b"".join((header, kbuf, vbuf))
+
+    @classmethod
+    def decode(cls, buf) -> "RecordBlock":
+        """Rebuild a block from :meth:`encode` output.
+
+        ``buf`` may be ``bytes`` or any buffer (e.g. a memoryview into a
+        shared-memory segment); typed columns are copied out in one
+        ``frombytes`` memcpy, never element-by-element.
+        """
+        view = memoryview(buf)
+        magic, version, kc, vc, count, klen, vlen = _HEADER.unpack_from(view, 0)
+        if magic != _MAGIC:
+            raise ValueError(f"bad RecordBlock magic: {bytes(magic)!r}")
+        if version != _VERSION:
+            raise ValueError(f"unsupported RecordBlock version: {version}")
+        off = _HEADER.size
+        kcode, vcode = chr(kc), chr(vc)
+        keys = _unpack_column(kcode, view[off : off + klen])
+        if vcode == _NONE:
+            values = None
+        else:
+            values = _unpack_column(vcode, view[off + klen : off + klen + vlen])
+        if len(keys) != count or (values is not None and len(values) != count):
+            raise ValueError(
+                f"RecordBlock column length mismatch: header says {count}, "
+                f"got {len(keys)} keys"
+            )
+        return cls(kcode, vcode, keys, values)
+
+    def encoded_size(self) -> int:
+        """Exact byte length :meth:`encode` would produce (header included)."""
+        return len(self.encode())
+
+    # Pickling a RecordBlock routes through the columnar wire form, so a
+    # block inside any pickled payload (fetch_buckets responses, process
+    # executor boundaries) crosses as raw buffers, not per-pair objects.
+    def __reduce__(self):
+        return (RecordBlock.decode, (self.encode(),))
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def to_record_block(bucket: Iterable[Any]) -> RecordBlock:
+    """Convert a bucket (any record shape) to a block; idempotent."""
+    if isinstance(bucket, RecordBlock):
+        return bucket
+    return RecordBlock.from_records(bucket)

@@ -1,0 +1,383 @@
+"""Shared-memory shuffle segments (see "Raw speed" in docs/networking.md).
+
+When ``DataPlaneConf.shm_shuffle`` is on, a map task's
+:class:`~repro.engine.blocks.BlockStore` publishes each map output into
+``multiprocessing.shared_memory`` — all reduce buckets, encoded as
+:class:`~repro.data.blocks.RecordBlock` wire blobs behind a small index
+— and registers it in the process-global :class:`SegmentRegistry`.  A
+reduce task that needs that map output checks the registry before
+dialling the owner: a hit is served the publisher's decoded blocks by
+reference (a dict probe, no ``fetch_buckets`` round trip and no segment
+decode — the segment bytes stay the wire truth a cross-process reader
+would map); a miss — different process, different host, dropped block, stale epoch —
+falls back to the ordinary wire fetch.  The registry therefore *is* the
+co-location map: a peer you can find in it shares your address space by
+construction.
+
+Allocation is slabbed: ``shm_open`` + ``ftruncate`` + ``mmap`` + the
+resource-tracker round trip cost two orders of magnitude more than the
+memcpy that fills a segment, so ordinary map outputs are bump-pointer
+packed into a shared *slab* segment and a publication is just that
+memcpy.  A slab whose publications have all been retired is reset and
+reused (a small spare list bounds how many are kept); outputs too large
+to share a slab get a dedicated segment.
+
+Lifecycle: a publication lives exactly as long as its block.
+Overwrite, ``drop_job``, ``clear``, chaos block-deletes, and worker
+kills all retire it eagerly; :func:`live_segments` exposes the segments
+still backing at least one publication so the test-suite leak fixture
+can fail any test that leaves one behind.  Spare slabs are invisible to
+readers and are unlinked when the last attached
+:class:`~repro.engine.blocks.BlockStore` releases, on
+:meth:`SegmentRegistry.clear`, and at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import struct
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.blocks import RecordBlock, to_record_block
+
+try:  # pragma: no cover - import guard for minimal builds
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+
+# Segment layout: header, index, then concatenated RecordBlock blobs.
+# Offsets in index entries are relative to the end of the index.
+_HEADER = struct.Struct(">4sBqI")  # magic, version, epoch, n_entries
+_ENTRY = struct.Struct(">III")  # reduce_index, offset, length
+_MAGIC = b"RSHM"
+_VERSION = 1
+
+# (owner_worker_id, job_id, shuffle_id, map_index)
+SegmentKey = Tuple[str, int, int, int]
+
+# Slab sizing: one slab packs many ordinary map outputs; anything
+# bigger than a quarter slab gets its own dedicated segment so a single
+# huge output cannot evict slab locality.  A handful of reset slabs are
+# kept as spares for reuse.
+_SLAB_SIZE = 256 * 1024
+_DEDICATED_THRESHOLD = _SLAB_SIZE // 4
+_MAX_SPARE_SLABS = 8
+
+
+def encode_map_output(buckets: Dict[int, List], epoch: int) -> bytes:
+    """Flatten one map output (all reduce buckets) into segment bytes."""
+    blobs: List[Tuple[int, bytes]] = [
+        (reduce_index, to_record_block(bucket).encode())
+        for reduce_index, bucket in sorted(buckets.items())
+    ]
+    header = _HEADER.pack(_MAGIC, _VERSION, epoch, len(blobs))
+    index = bytearray()
+    offset = 0
+    for reduce_index, blob in blobs:
+        index += _ENTRY.pack(reduce_index, offset, len(blob))
+        offset += len(blob)
+    return b"".join([header, bytes(index)] + [blob for _, blob in blobs])
+
+
+def decode_bucket(buf, reduce_index: int) -> Optional[RecordBlock]:
+    """Read one reduce bucket out of segment bytes.
+
+    Returns an empty block when the map output holds nothing for
+    ``reduce_index`` (absence of a *bucket* is data; absence of the whole
+    *segment* is the caller's fallback signal).
+    """
+    view = memoryview(buf)
+    magic, version, _epoch, count = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC or version != _VERSION:
+        raise ValueError("bad shuffle segment header")
+    base = _HEADER.size
+    payload = base + count * _ENTRY.size
+    for i in range(count):
+        rid, offset, length = _ENTRY.unpack_from(view, base + i * _ENTRY.size)
+        if rid == reduce_index:
+            start = payload + offset
+            return RecordBlock.decode(view[start : start + length])
+    return RecordBlock.from_pairs([])
+
+
+class _Slab:
+    """One shared-memory segment packing many publications."""
+
+    __slots__ = ("seg", "capacity", "offset", "live", "sealed")
+
+    def __init__(self, seg, capacity: int):
+        self.seg = seg
+        self.capacity = capacity
+        self.offset = 0  # bump pointer
+        self.live = 0  # publications currently pointing into this slab
+        self.sealed = False  # True once it stops accepting new blobs
+
+
+# One publication: the slab it lives in, its byte range, its epoch, and
+# the decoded per-reduce blocks.  The segment bytes are the publication's
+# wire truth (what a cross-process reader would map); the block dict is
+# the zero-copy view same-process readers get — sharing the publisher's
+# objects directly, exactly as the inproc transport shares every payload.
+_Entry = Tuple[_Slab, int, int, int, Dict[int, RecordBlock]]
+
+
+class SegmentRegistry:
+    """Process-global directory of published shuffle segments."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._segments: Dict[SegmentKey, _Entry] = {}
+        self._current: Optional[_Slab] = None
+        self._spares: List[_Slab] = []
+        self._attached = 0
+        self._peers: Dict[str, object] = {}
+
+    @property
+    def available(self) -> bool:
+        return shared_memory is not None
+
+    # -- attach/detach ---------------------------------------------------
+    # Each BlockStore with the shm shuffle on attaches once; when the
+    # last one detaches nothing can publish any more, so the spare slabs
+    # are drained and their kernel objects unlinked.
+
+    def attach(self) -> None:
+        with self._lock:
+            self._attached += 1
+
+    def detach(self) -> None:
+        with self._lock:
+            self._attached = max(0, self._attached - 1)
+            drain = self._attached == 0
+        if drain:
+            self.drain_pool()
+
+    # -- co-located peer directory ---------------------------------------
+    # The registry already *is* the co-location map for data (a publisher
+    # you can find here shares your address space), so it also carries the
+    # control-plane corollary: workers running the shm shuffle register
+    # themselves, and shuffle *metadata* (notify_output) to a registered
+    # peer is delivered by direct call instead of a wire RPC.  A peer
+    # deregisters on kill/shutdown, so messages to a dead or remote worker
+    # take the ordinary transport path and keep its failure semantics.
+
+    def register_peer(self, worker_id: str, obj: object) -> None:
+        with self._lock:
+            self._peers[worker_id] = obj
+
+    def unregister_peer(self, worker_id: str) -> None:
+        with self._lock:
+            self._peers.pop(worker_id, None)
+
+    def peer(self, worker_id: str) -> Optional[object]:
+        with self._lock:
+            return self._peers.get(worker_id)
+
+    # -- slab allocation (lock held) ------------------------------------
+
+    def _alloc_locked(self, need: int) -> Optional[_Slab]:
+        """A slab with ``need`` contiguous free bytes at its bump
+        pointer, or None when shared memory cannot be allocated."""
+        if need > _DEDICATED_THRESHOLD:
+            seg = self._create(need)
+            if seg is None:
+                return None
+            slab = _Slab(seg, need)
+            slab.sealed = True  # dedicated: one publication, never current
+            return slab
+        slab = self._current
+        if slab is None or slab.capacity - slab.offset < need:
+            if slab is not None:
+                if slab.live == 0:
+                    # Fully retired: rewind the bump pointer and keep
+                    # packing into the same kernel object.
+                    slab.offset = 0
+                    return slab
+                slab.sealed = True
+            slab = self._spares.pop() if self._spares else None
+            if slab is None:
+                seg = self._create(_SLAB_SIZE)
+                if seg is None:
+                    return None
+                slab = _Slab(seg, _SLAB_SIZE)
+            self._current = slab
+        return slab
+
+    @staticmethod
+    def _create(size: int):
+        try:
+            return shared_memory.SharedMemory(create=True, size=max(size, 1))
+        except OSError:  # pragma: no cover - e.g. /dev/shm exhausted
+            return None
+
+    def _reset_locked(self, slab: _Slab) -> None:
+        """Make a fully-retired slab reusable (or unlink it when enough
+        spares exist).  Dedicated slabs always die."""
+        if slab.capacity != _SLAB_SIZE or len(self._spares) >= _MAX_SPARE_SLABS:
+            _destroy(slab.seg)
+            return
+        slab.offset = 0
+        slab.sealed = False
+        if slab is not self._current:
+            self._spares.append(slab)
+
+    def _release_entry_locked(self, entry: _Entry) -> None:
+        slab = entry[0]
+        slab.live -= 1
+        if slab.live == 0 and slab.sealed:
+            self._reset_locked(slab)
+
+    def drain_pool(self) -> int:
+        """Unlink every idle slab (spares plus an empty current slab);
+        returns how many died."""
+        with self._lock:
+            doomed = [slab.seg for slab in self._spares]
+            self._spares.clear()
+            if self._current is not None and self._current.live == 0:
+                doomed.append(self._current.seg)
+                self._current = None
+        for seg in doomed:
+            _destroy(seg)
+        return len(doomed)
+
+    # -- publications ----------------------------------------------------
+
+    def publish(
+        self,
+        owner: str,
+        job_id: int,
+        shuffle_id: int,
+        map_index: int,
+        buckets: Dict[int, List],
+        epoch: int = 0,
+    ) -> bool:
+        """Encode ``buckets`` into shared memory, replacing any prior
+        publication of the same block.  Returns False (and publishes
+        nothing) when shared memory is unavailable on this platform."""
+        if shared_memory is None:  # pragma: no cover
+            return False
+        payload = encode_map_output(buckets, epoch)
+        blocks = {
+            reduce_index: to_record_block(bucket)
+            for reduce_index, bucket in buckets.items()
+        }
+        need = len(payload)
+        key = (owner, job_id, shuffle_id, map_index)
+        with self._lock:
+            slab = self._alloc_locked(need)
+            if slab is None:
+                return False
+            offset = slab.offset
+            slab.seg.buf[offset : offset + need] = payload
+            slab.offset = offset + need
+            slab.live += 1
+            prior = self._segments.pop(key, None)
+            self._segments[key] = (slab, offset, need, epoch, blocks)
+            if prior is not None:
+                self._release_entry_locked(prior)
+        return True
+
+    def read_bucket(
+        self,
+        owner: str,
+        job_id: int,
+        shuffle_id: int,
+        map_index: int,
+        reduce_index: int,
+        min_epoch: int = 0,
+    ) -> Optional[RecordBlock]:
+        """The co-located fast path: the bucket, or None on any miss
+        (unpublished, stale epoch) — the caller then fetches over the
+        wire.  Served from the entry's decoded block dict by reference
+        (blocks are append-frozen after publish), so a hit costs a dict
+        probe instead of a segment decode."""
+        key = (owner, job_id, shuffle_id, map_index)
+        with self._lock:
+            entry = self._segments.get(key)
+            if entry is None:
+                return None
+            epoch, blocks = entry[3], entry[4]
+            if epoch < min_epoch:
+                return None
+            block = blocks.get(reduce_index)
+            return block if block is not None else RecordBlock.from_pairs([])
+
+    def unpublish(
+        self, owner: str, job_id: int, shuffle_id: int, map_index: int
+    ) -> bool:
+        with self._lock:
+            entry = self._segments.pop((owner, job_id, shuffle_id, map_index), None)
+            if entry is None:
+                return False
+            self._release_entry_locked(entry)
+        return True
+
+    def drop_job(self, owner: str, job_id: int) -> int:
+        """Retire every publication ``owner`` made for ``job_id``."""
+        with self._lock:
+            doomed = [
+                k for k in self._segments if k[0] == owner and k[1] == job_id
+            ]
+            for k in doomed:
+                self._release_entry_locked(self._segments.pop(k))
+        return len(doomed)
+
+    def drop_owner(self, owner: str) -> int:
+        """Retire everything ``owner`` published (worker kill/shutdown):
+        a dead machine's blocks must be unreachable so §3.3 recovery
+        triggers instead of reading ghost data."""
+        with self._lock:
+            doomed = [k for k in self._segments if k[0] == owner]
+            for k in doomed:
+                self._release_entry_locked(self._segments.pop(k))
+        return len(doomed)
+
+    def live_segments(self) -> List[str]:
+        """Names of every segment currently backing a publication in
+        this process (the conftest leak fixture fails tests that leave
+        any)."""
+        with self._lock:
+            return sorted(
+                {slab.seg.name for slab, *_ in self._segments.values()}  # type: ignore[attr-defined]
+            )
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._segments)
+            slabs = {id(slab): slab for slab, *_ in self._segments.values()}
+            for slab in self._spares:
+                slabs[id(slab)] = slab
+            if self._current is not None:
+                slabs[id(self._current)] = self._current
+            self._segments.clear()
+            self._spares.clear()
+            self._current = None
+        for slab in slabs.values():
+            _destroy(slab.seg)
+        return count
+
+
+def _destroy(seg) -> None:
+    try:
+        seg.close()
+        seg.unlink()
+    except OSError:  # pragma: no cover - already unlinked
+        pass
+
+
+# One registry per process: publication and lookup meet here, which makes
+# "found in the registry" the definition of co-located.
+_REGISTRY = SegmentRegistry()
+
+# Unlink idle slabs before the resource tracker would report them as
+# leaked at interpreter shutdown.
+atexit.register(_REGISTRY.drain_pool)
+
+
+def segment_registry() -> SegmentRegistry:
+    return _REGISTRY
+
+
+def live_segments() -> List[str]:
+    return _REGISTRY.live_segments()

@@ -5,16 +5,39 @@ store is an in-memory dict per worker.  Blocks are keyed by
 ``(job_id, shuffle_id, map_index)`` with one bucket list per reduce
 partition.  Losing a worker loses its store — exactly the failure mode the
 paper's recovery protocol handles.
+
+Two raw-speed options ride on top (see "Raw speed" in
+``docs/networking.md``):
+
+* ``record_blocks`` stores each bucket as a columnar
+  :class:`~repro.data.blocks.RecordBlock` instead of ``List[tuple]``, so
+  buckets cross process/socket boundaries as raw column buffers;
+* ``shm_shuffle`` additionally publishes every map output into a
+  ``multiprocessing.shared_memory`` segment via the process-global
+  :class:`~repro.data.shm.SegmentRegistry`, letting co-located reducers
+  skip the ``fetch_buckets`` RPC entirely.
+
+Every block also carries the *epoch* (producing task attempt) it was
+written under: a re-run of a map task publishes a higher epoch, and
+readers that require a minimum epoch treat older co-named blocks as
+missing rather than silently serving stale data.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.injector import chaos_hit
 from repro.chaos.plan import SITE_BLOCKS_FETCH
 from repro.common.errors import FetchFailed
+from repro.common.metrics import (
+    COUNT_BLOCKS_ENCODE_MS,
+    COUNT_BLOCKS_ENCODED,
+    MetricsRegistry,
+)
+from repro.data.blocks import RecordBlock, to_record_block
 
 BlockKey = Tuple[int, int, int]  # (job_id, shuffle_id, map_index)
 
@@ -27,65 +50,151 @@ BUCKET_MISSING = "missing"
 class BlockStore:
     """Thread-safe map-output storage for one worker."""
 
-    def __init__(self, worker_id: str):
+    def __init__(
+        self,
+        worker_id: str,
+        record_blocks: bool = False,
+        shm_shuffle: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         self.worker_id = worker_id
+        self.record_blocks = record_blocks
+        self.metrics = metrics
+        # Bound the hot-path counters once: put_map_output runs per task,
+        # and the name->counter lookup takes the registry lock each time.
+        self._c_encoded = (
+            metrics.counter(COUNT_BLOCKS_ENCODED) if metrics else None
+        )
+        self._c_encode_ms = (
+            metrics.counter(COUNT_BLOCKS_ENCODE_MS) if metrics else None
+        )
         self._blocks: Dict[BlockKey, Dict[int, List]] = {}
+        self._epochs: Dict[BlockKey, int] = {}
         self._records = 0
         self._lock = threading.Lock()
+        self._shm = None
+        if shm_shuffle:
+            from repro.data.shm import segment_registry
+
+            registry = segment_registry()
+            if registry.available:
+                self._shm = registry
+                registry.attach()
+
+    @property
+    def shm(self):
+        """The process-global segment registry, or None when the shm
+        shuffle is off (readers use this to probe for co-located blocks)."""
+        return self._shm
+
+    def release_shm(self) -> None:
+        """Unlink every segment this store published (worker kill or
+        shutdown): a dead machine's blocks must be unreachable so §3.3
+        recovery triggers instead of peers reading ghost data.  Detaching
+        the last store also drains the registry's free pool."""
+        if self._shm is not None:
+            registry, self._shm = self._shm, None
+            registry.drop_owner(self.worker_id)
+            registry.detach()
 
     @staticmethod
     def _block_records(buckets: Dict[int, List]) -> int:
         return sum(len(v) for v in buckets.values())
 
     def put_map_output(
-        self, job_id: int, shuffle_id: int, map_index: int, buckets: Dict[int, List]
+        self,
+        job_id: int,
+        shuffle_id: int,
+        map_index: int,
+        buckets: Dict[int, List],
+        epoch: int = 0,
     ) -> None:
+        if self.record_blocks and buckets:
+            start = time.perf_counter()
+            buckets = {
+                r: to_record_block(bucket) for r, bucket in buckets.items()
+            }
+            if self._c_encoded is not None:
+                self._c_encoded.add(
+                    sum(
+                        1
+                        for b in buckets.values()
+                        if isinstance(b, RecordBlock) and b.is_typed
+                    )
+                )
+                self._c_encode_ms.add((time.perf_counter() - start) * 1000.0)
         key = (job_id, shuffle_id, map_index)
         with self._lock:
             prior = self._blocks.get(key)
             if prior is not None:
                 self._records -= self._block_records(prior)
             self._blocks[key] = buckets
+            self._epochs[key] = epoch
             self._records += self._block_records(buckets)
+        if self._shm is not None:
+            start = time.perf_counter()
+            self._shm.publish(
+                self.worker_id, job_id, shuffle_id, map_index, buckets, epoch
+            )
+            if self._c_encode_ms is not None:
+                self._c_encode_ms.add((time.perf_counter() - start) * 1000.0)
 
-    def has_map_output(self, job_id: int, shuffle_id: int, map_index: int) -> bool:
+    def has_map_output(
+        self, job_id: int, shuffle_id: int, map_index: int, min_epoch: int = 0
+    ) -> bool:
+        key = (job_id, shuffle_id, map_index)
         with self._lock:
-            return (job_id, shuffle_id, map_index) in self._blocks
+            if key not in self._blocks:
+                return False
+            return self._epochs.get(key, 0) >= min_epoch
 
     def get_bucket(
-        self, job_id: int, shuffle_id: int, map_index: int, reduce_index: int
+        self,
+        job_id: int,
+        shuffle_id: int,
+        map_index: int,
+        reduce_index: int,
+        min_epoch: int = 0,
     ) -> List:
         """Fetch one reduce partition's slice of one map output.
 
-        Raises :class:`FetchFailed` when the block is absent (the caller
-        treats this like fetching from a crashed machine)."""
+        Raises :class:`FetchFailed` when the block is absent — or written
+        under an older epoch than required (a stale co-named block from a
+        superseded attempt is *missing*, not data).  The caller treats
+        this like fetching from a crashed machine."""
+        key = (job_id, shuffle_id, map_index)
         with self._lock:
-            self._maybe_drop_block_locked((job_id, shuffle_id, map_index))
-            block = self._blocks.get((job_id, shuffle_id, map_index))
-            if block is None:
+            self._maybe_drop_block_locked(key)
+            block = self._blocks.get(key)
+            if block is None or self._epochs.get(key, 0) < min_epoch:
                 raise FetchFailed(shuffle_id, map_index, self.worker_id)
             return block.get(reduce_index, [])
 
     def get_buckets(
-        self, job_id: int, requests: Sequence[Tuple[int, int, int]]
+        self, job_id: int, requests: Sequence[Tuple]
     ) -> List[Tuple[str, Optional[List]]]:
-        """Serve many ``(shuffle_id, map_index, reduce_index)`` lookups in
-        one consistent pass.
+        """Serve many ``(shuffle_id, map_index, reduce_index[,
+        min_epoch])`` lookups in one consistent pass.
 
         Returns one ``(BUCKET_OK, bucket)`` or ``(BUCKET_MISSING, None)``
         per request, in request order.  Unlike :meth:`get_bucket` this
         never raises for an absent block: the batched fetch path needs
         per-map-output partial-failure semantics, so absence is data —
         the caller raises :class:`FetchFailed` for exactly the missing
-        outputs (§3.3 recovery unchanged)."""
+        outputs (§3.3 recovery unchanged).  A block held at an older
+        epoch than a request's ``min_epoch`` is reported missing for the
+        same reason."""
         out: List[Tuple[str, Optional[List]]] = []
         with self._lock:
             if requests:
-                sid, mid, _ = requests[0]
+                sid, mid = requests[0][0], requests[0][1]
                 self._maybe_drop_block_locked((job_id, sid, mid))
-            for shuffle_id, map_index, reduce_index in requests:
-                block = self._blocks.get((job_id, shuffle_id, map_index))
-                if block is None:
+            for request in requests:
+                shuffle_id, map_index, reduce_index = request[:3]
+                min_epoch = request[3] if len(request) > 3 else 0
+                key = (job_id, shuffle_id, map_index)
+                block = self._blocks.get(key)
+                if block is None or self._epochs.get(key, 0) < min_epoch:
                     out.append((BUCKET_MISSING, None))
                 else:
                     out.append((BUCKET_OK, block.get(reduce_index, [])))
@@ -95,12 +204,16 @@ class BlockStore:
         """Chaos hook: delete the looked-up block so the caller observes a
         missing map output (the disk-loss failure mode of §3.3).  Called
         under ``self._lock``; the only scheduled kind at this site is
-        ``block_delete``."""
+        ``block_delete``.  The block's shared-memory segment is unlinked
+        too — the shm fast path must not serve a block chaos destroyed."""
         if chaos_hit(SITE_BLOCKS_FETCH, target=self.worker_id) is None:
             return
         buckets = self._blocks.pop(key, None)
+        self._epochs.pop(key, None)
         if buckets is not None:
             self._records -= self._block_records(buckets)
+            if self._shm is not None:
+                self._shm.unpublish(self.worker_id, *key)
 
     def bucket_sizes(
         self, job_id: int, shuffle_id: int, map_index: int
@@ -125,12 +238,18 @@ class BlockStore:
             for k in doomed:
                 self._records -= self._block_records(self._blocks[k])
                 del self._blocks[k]
-            return len(doomed)
+                self._epochs.pop(k, None)
+        if self._shm is not None:
+            self._shm.drop_job(self.worker_id, job_id)
+        return len(doomed)
 
     def clear(self) -> None:
         with self._lock:
             self._blocks.clear()
+            self._epochs.clear()
             self._records = 0
+        if self._shm is not None:
+            self._shm.drop_owner(self.worker_id)
 
     def __len__(self) -> int:
         with self._lock:

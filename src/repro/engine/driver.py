@@ -83,6 +83,10 @@ class JobState:
     pre_scheduled: bool
     stage_remaining: Dict[int, Set[int]] = field(default_factory=dict)
     map_status: Dict[DepKey, str] = field(default_factory=dict)
+    # Epoch (producing task attempt) each completed map output was written
+    # under — shipped beside map_status wherever locations travel, so no
+    # reader can be served a stale co-named block from an older attempt.
+    map_epochs: Dict[DepKey, int] = field(default_factory=dict)
     results: Dict[int, Any] = field(default_factory=dict)
     task_locations: Dict[Tuple[int, int], str] = field(default_factory=dict)
     attempts: Dict[Tuple[int, int], int] = field(default_factory=dict)
@@ -147,6 +151,10 @@ class Driver:
         self._last_heartbeat: Dict[str, float] = {}
         self._monitor: Optional[threading.Thread] = None
         self._stop_monitor = threading.Event()
+        # Lazily-created pool for concurrent per-worker launch RPCs —
+        # persistent because creating (and joining) a ThreadPoolExecutor
+        # per group launch costs more than the launches themselves.
+        self._launch_pool: Optional[ThreadPoolExecutor] = None
         self.tuner: Optional[GroupSizeTuner] = (
             GroupSizeTuner(conf.tuner, conf.group_size) if conf.tuner.enabled else None
         )
@@ -161,6 +169,18 @@ class Driver:
         # when TelemetryConf.enabled; heartbeat deltas land here.
         self.telemetry = None
         transport.register(DRIVER_ID, self)
+        if conf.transport.data_plane.shm_shuffle:
+            # Join the shm co-location directory (repro.data.shm): workers
+            # that share this address space hand completion reports over
+            # by direct call instead of a wire RPC — the control-plane
+            # analogue of reading a shuffle bucket out of the segment
+            # rather than fetching it.  Remote workers never see this
+            # entry and keep the transport path.
+            from repro.data.shm import segment_registry
+
+            registry = segment_registry()
+            if registry.available:
+                registry.register_peer(DRIVER_ID, self)
 
     # ------------------------------------------------------------------
     # Cluster membership
@@ -223,6 +243,13 @@ class Driver:
 
     def stop_monitor(self) -> None:
         self._stop_monitor.set()
+        if self._launch_pool is not None:
+            self._launch_pool.shutdown(wait=False)
+            self._launch_pool = None
+        if self.conf.transport.data_plane.shm_shuffle:
+            from repro.data.shm import segment_registry
+
+            segment_registry().unregister_peer(DRIVER_ID)
 
     def start_speculation(self) -> None:
         """Launch the straggler-mitigation monitor (SpeculationConf)."""
@@ -540,14 +567,16 @@ class Driver:
         for (shuffle_id, map_index), worker_id in prior.map_status.items():
             if worker_id not in self._alive:
                 continue
+            epoch = prior.map_epochs.get((shuffle_id, map_index), 0)
             if not self.transport.try_call(
-                worker_id, "has_map_output", job.job_id, shuffle_id, map_index
+                worker_id, "has_map_output", job.job_id, shuffle_id, map_index, epoch
             ):
                 continue
             producer_stage = job.producers.get(shuffle_id)
             if producer_stage is None:
                 continue
             job.map_status[(shuffle_id, map_index)] = worker_id
+            job.map_epochs[(shuffle_id, map_index)] = epoch
             job.stage_remaining[producer_stage].discard(map_index)
             job.task_locations[(producer_stage, map_index)] = worker_id
 
@@ -632,7 +661,8 @@ class Driver:
                 job_assignments[job.job_id] = assignments[shape]
             for job in jobs:
                 completed = [
-                    (dep, loc) for dep, loc in job.map_status.items()
+                    (dep, loc, job.map_epochs.get(dep, 0))
+                    for dep, loc in job.map_status.items()
                 ]
                 if completed:
                     prepopulate[job.job_id] = completed
@@ -771,13 +801,18 @@ class Driver:
                 if failure is not None:
                     lost[failure[0]] = failure[1]
             return lost
-        with ThreadPoolExecutor(
-            max_workers=min(max_conc, len(workers)),
-            thread_name_prefix="driver-launch",
-        ) as pool:
-            for failure in pool.map(launch, workers):
-                if failure is not None:
-                    lost[failure[0]] = failure[1]
+        pool = self._launch_pool
+        if pool is None:
+            pool = self._launch_pool = ThreadPoolExecutor(
+                max_workers=max_conc, thread_name_prefix="driver-launch"
+            )
+        try:
+            results = list(pool.map(launch, workers))
+        except RuntimeError:  # pool shut down mid-teardown: go sequential
+            results = [launch(worker_id) for worker_id in workers]
+        for failure in results:
+            if failure is not None:
+                lost[failure[0]] = failure[1]
         return lost
 
     def _build_prescheduled_tasks(self, job: JobState, assignment) -> List[
@@ -867,6 +902,7 @@ class Driver:
             pre_scheduled=False,
             deps=frozenset(),
             map_locations={d: job.map_status[d] for d in deps},
+            map_epochs={d: job.map_epochs.get(d, 0) for d in deps},
             trace_ctx=self._stage_ctx(job, stage_index),
         )
         job.task_locations[(stage_index, partition)] = worker_id
@@ -958,6 +994,7 @@ class Driver:
             if stage.output_shuffle is not None:
                 dep = (stage.output_shuffle.shuffle_id, partition)
                 job.map_status[dep] = report.worker_id
+                job.map_epochs[dep] = report.task_id.attempt
                 if job.pre_scheduled:
                     self._forward_to_relocated(job, stage, partition, report.worker_id)
                 else:
@@ -993,7 +1030,13 @@ class Driver:
                     where,
                     "pre_populate",
                     job.job_id,
-                    [((spec.shuffle_id, map_index), holder)],
+                    [
+                        (
+                            (spec.shuffle_id, map_index),
+                            holder,
+                            job.map_epochs.get((spec.shuffle_id, map_index), 0),
+                        )
+                    ],
                 )
 
     def _unblock_barrier_tasks(self, job: JobState) -> None:
@@ -1060,6 +1103,7 @@ class Driver:
         if dep not in job.map_status:
             return
         del job.map_status[dep]
+        job.map_epochs.pop(dep, None)
         producer = job.producers.get(shuffle_id)
         if producer is None:
             return
@@ -1126,6 +1170,7 @@ class Driver:
                 job.stage_remaining.get(consumer)
             )
             del job.map_status[(shuffle_id, map_index)]
+            job.map_epochs.pop((shuffle_id, map_index), None)
             if not still_needed:
                 continue
             producer = job.producers[shuffle_id]
@@ -1241,7 +1286,9 @@ class Driver:
             if desc.deps:
                 # Pre-populate dependencies already satisfied (§3.3).
                 completed = [
-                    (dep, loc) for dep, loc in job.map_status.items() if dep in desc.deps
+                    (dep, loc, job.map_epochs.get(dep, 0))
+                    for dep, loc in job.map_status.items()
+                    if dep in desc.deps
                 ]
                 if completed and not self.transport.try_call(
                     worker_id, "pre_populate", job.job_id, completed

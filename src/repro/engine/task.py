@@ -59,6 +59,10 @@ class TaskDescriptor:
     # Per-batch (barrier) reduce tasks: (shuffle_id, map_index) -> worker
     # holding that block, supplied by the driver after the barrier.
     map_locations: Dict[DepKey, str] = field(default_factory=dict)
+    # Minimum acceptable epoch (producing attempt) per dependency: a
+    # fetched block written under an older epoch is a stale leftover of a
+    # superseded attempt and is treated as missing, never as data.
+    map_epochs: Dict[DepKey, int] = field(default_factory=dict)
     # Trace context of the owning stage span: the driver -> worker half of
     # end-to-end trace propagation (None when tracing is disabled).
     trace_ctx: Optional[SpanContext] = None

@@ -32,6 +32,8 @@ from repro.common.config import EngineConf
 from repro.common.errors import FetchFailed, SerializationError, WorkerLost
 from repro.common.metrics import (
     COUNT_NET_FETCH_BATCHES,
+    COUNT_SHM_FALLBACKS,
+    COUNT_SHM_HITS,
     COUNT_TELEMETRY_RECORDS,
     COUNT_TELEMETRY_TASKS,
     GAUGE_TELEMETRY_BACKLOG,
@@ -108,7 +110,17 @@ class Worker:
         self.metrics = metrics
         self.clock = clock or WallClock()
         self.tracer = tracer if tracer is not None else NULL_RECORDER
-        self.blocks = BlockStore(worker_id)
+        data_plane = conf.transport.data_plane
+        self.blocks = BlockStore(
+            worker_id,
+            record_blocks=data_plane.record_blocks,
+            shm_shuffle=data_plane.shm_shuffle,
+            metrics=metrics,
+        )
+        # Reader half of the shm shuffle: the same process-global segment
+        # registry the peers' block stores publish into (None when the
+        # fast path is off or shared memory is unavailable).
+        self._shm = self.blocks.shm
         self.enable_heartbeats = (
             conf.monitor.enable_heartbeats
             if enable_heartbeats is None
@@ -116,11 +128,17 @@ class Worker:
         )
 
         self._backend = create_backend(conf, worker_id)
+        # Lazily-created pool for concurrent multi-peer fetches — kept
+        # for the worker's lifetime rather than built per fetch (pool
+        # construction costs more than a small fetch itself).
+        self._fetch_pool: Optional[ThreadPoolExecutor] = None
         self._lock = threading.Lock()
         self._pending: Dict[int, PendingTaskTable] = {}  # job_id -> table
         self._parked: Dict[Tuple[int, str], TaskDescriptor] = {}
-        # (job_id, shuffle_id, map_index) -> worker that holds the block.
-        self._dep_locations: Dict[Tuple[int, int, int], str] = {}
+        # (job_id, shuffle_id, map_index) -> (holder worker, epoch): which
+        # worker holds the block and the producing attempt it was written
+        # under (readers refuse older co-named blocks — see BlockStore).
+        self._dep_locations: Dict[Tuple[int, int, int], Tuple[str, int]] = {}
         self._dead = False
         self._hb_thread: Optional[threading.Thread] = None
         self._stop_hb = threading.Event()
@@ -162,6 +180,11 @@ class Worker:
     # ------------------------------------------------------------------
     def start(self) -> None:
         self.transport.register(self.worker_id, self)
+        if self._shm is not None:
+            # Join the co-location directory: shuffle metadata from peers
+            # in this process is delivered by direct call (see
+            # _notify_downstream) for as long as we stay registered.
+            self._shm.register_peer(self.worker_id, self)
         if self.enable_heartbeats:
             self._stop_hb.clear()
             self._hb_thread = threading.Thread(
@@ -188,14 +211,32 @@ class Worker:
             self._state_shards.clear()
         if self.templates is not None:
             self.templates.invalidate_all()
+        # A crashed machine's shared-memory segments must vanish with it:
+        # co-located readers fall back to the wire, observe WorkerLost,
+        # and §3.3 recovery proceeds exactly as without shm.  Leaving the
+        # peer directory first routes in-flight notifies to the transport,
+        # where they fail like any message to a dead machine.
+        if self._shm is not None:
+            self._shm.unregister_peer(self.worker_id)
+        self.blocks.release_shm()
         self._stop_hb.set()
         self._stop_tel.set()
+        if self._fetch_pool is not None:
+            self._fetch_pool.shutdown(wait=False)
         self.transport.mark_dead(self.worker_id)
 
     def shutdown(self) -> None:
         self._stop_hb.set()
         self._stop_tel.set()
+        if self._shm is not None:
+            self._shm.unregister_peer(self.worker_id)
         self._backend.shutdown(wait=True)
+        # Only after the backend drained: an in-flight task finishing
+        # during the wait would re-publish its map output into shared
+        # memory and leak the segment past the release.
+        self.blocks.release_shm()
+        if self._fetch_pool is not None:
+            self._fetch_pool.shutdown(wait=False)
 
     @property
     def is_dead(self) -> bool:
@@ -303,18 +344,23 @@ class Worker:
                 len(self._parked)
             )
 
-    def pre_populate(
-        self, job_id: int, completed: List[Tuple[DepKey, str]]
-    ) -> None:
+    def pre_populate(self, job_id: int, completed: List[Tuple]) -> None:
         """Driver-supplied already-completed dependencies with their block
-        locations (§3.3 recovery onto a new machine)."""
+        locations (§3.3 recovery onto a new machine).  Entries are
+        ``((shuffle_id, map_index), location)`` or, with the producing
+        attempt included, ``((shuffle_id, map_index), location, epoch)``."""
         to_run: List[TaskDescriptor] = []
         with self._lock:
             if self._dead:
                 return
             table = self._pending.setdefault(job_id, PendingTaskTable(self._template_epoch))
-            for (shuffle_id, map_index), location in completed:
-                self._dep_locations[(job_id, shuffle_id, map_index)] = location
+            for entry in completed:
+                (shuffle_id, map_index), location = entry[0], entry[1]
+                epoch = entry[2] if len(entry) > 2 else 0
+                self._dep_locations[(job_id, shuffle_id, map_index)] = (
+                    location,
+                    epoch,
+                )
                 for key in table.notify((shuffle_id, map_index)):
                     desc = self._parked.pop((job_id, key), None)
                     if desc is not None:
@@ -344,14 +390,24 @@ class Worker:
     # Worker -> worker RPCs
     # ------------------------------------------------------------------
     def notify_output(
-        self, job_id: int, shuffle_id: int, map_index: int, src_worker: str
+        self,
+        job_id: int,
+        shuffle_id: int,
+        map_index: int,
+        src_worker: str,
+        epoch: int = 0,
     ) -> None:
-        """An upstream map task finished; wake any now-ready local task."""
+        """An upstream map task finished; wake any now-ready local task.
+        ``epoch`` is the producing attempt — readers use it as the minimum
+        epoch a served block must carry (stale co-named blocks miss)."""
         to_run: List[TaskDescriptor] = []
         with self._lock:
             if self._dead:
                 return
-            self._dep_locations[(job_id, shuffle_id, map_index)] = src_worker
+            self._dep_locations[(job_id, shuffle_id, map_index)] = (
+                src_worker,
+                epoch,
+            )
             table = self._pending.setdefault(job_id, PendingTaskTable(self._template_epoch))
             for key in table.notify((shuffle_id, map_index)):
                 desc = self._parked.pop((job_id, key), None)
@@ -371,21 +427,26 @@ class Worker:
         return self.blocks.get_bucket(job_id, shuffle_id, map_index, reduce_index)
 
     def fetch_buckets(
-        self, job_id: int, requests: Sequence[Tuple[int, int, int]]
+        self, job_id: int, requests: Sequence[Tuple]
     ) -> List[Tuple[str, Optional[List]]]:
         """Serve every bucket a reduce task needs from this worker in one
         round trip: ``requests`` is ``[(shuffle_id, map_index,
-        reduce_index), ...]`` and the reply carries one ``("ok", bucket)``
-        or ``("missing", None)`` per request, in order — partial failure
-        stays per map output, so the caller raises :class:`FetchFailed`
-        for exactly the absent blocks (§3.3 recovery unchanged)."""
+        reduce_index[, min_epoch]), ...]`` and the reply carries one
+        ``("ok", bucket)`` or ``("missing", None)`` per request, in order
+        — partial failure stays per map output, so the caller raises
+        :class:`FetchFailed` for exactly the absent blocks (§3.3 recovery
+        unchanged).  A block held at an older epoch than a request's
+        ``min_epoch`` is served as missing: a re-run stage must never be
+        handed a stale co-named bucket."""
         if self.is_dead:
             raise WorkerLost(self.worker_id, "fetch from dead worker")
         return self.blocks.get_buckets(job_id, requests)
 
-    def has_map_output(self, job_id: int, shuffle_id: int, map_index: int) -> bool:
+    def has_map_output(
+        self, job_id: int, shuffle_id: int, map_index: int, min_epoch: int = 0
+    ) -> bool:
         return not self.is_dead and self.blocks.has_map_output(
-            job_id, shuffle_id, map_index
+            job_id, shuffle_id, map_index, min_epoch
         )
 
     # ------------------------------------------------------------------
@@ -601,6 +662,17 @@ class Worker:
         driver's deadline fires, so the worker spends a little effort
         before giving up.  Reports are idempotent driver-side, so a
         duplicate from a retry racing a slow first delivery is safe."""
+        shm = self.blocks.shm
+        if shm is not None and not self.is_dead:
+            peer = shm.peer(DRIVER_ID)
+            if peer is not None:
+                # Co-located driver (shm peer directory): hand the report
+                # over by direct call — no serde, no wire, and nothing to
+                # strip (a result that cannot be pickled is fine when it
+                # never crosses a process boundary, exactly as on the
+                # inproc transport).
+                peer.task_finished(report)  # type: ignore[attr-defined]
+                return
         for attempt in range(3):
             if self.is_dead:
                 return
@@ -671,8 +743,14 @@ class Worker:
             buckets = outcome.buckets or {}
             if self.is_dead:
                 raise WorkerLost(self.worker_id, "died mid-task")
-            self.blocks.put_map_output(job_id, spec.shuffle_id, partition, buckets)
-            self._notify_downstream(desc, spec.shuffle_id, partition)
+            # The block carries its producing attempt as an epoch, so a
+            # consumer requiring a newer re-run can never be served this
+            # one by name collision.
+            epoch = desc.task_id.attempt
+            self.blocks.put_map_output(
+                job_id, spec.shuffle_id, partition, buckets, epoch=epoch
+            )
+            self._notify_downstream(desc, spec.shuffle_id, partition, epoch)
             sizes = {r: len(v) for r, v in buckets.items()}
             return TaskReport(
                 task_id=desc.task_id,
@@ -689,17 +767,32 @@ class Worker:
         )
 
     def _notify_downstream(
-        self, desc: TaskDescriptor, shuffle_id: int, map_index: int
+        self, desc: TaskDescriptor, shuffle_id: int, map_index: int, epoch: int = 0
     ) -> None:
         """Push metadata directly to downstream workers (pre-scheduling),
         one message per distinct worker."""
         if not desc.downstream:
             return
         job_id = desc.task_id.job_id
+        shm = self.blocks.shm
         for target in sorted(set(desc.downstream.values())):
             if target == self.worker_id:
-                self.notify_output(job_id, shuffle_id, map_index, self.worker_id)
+                self.notify_output(
+                    job_id, shuffle_id, map_index, self.worker_id, epoch
+                )
             else:
+                if shm is not None:
+                    # Co-location short-circuit: the peer will read the
+                    # block straight out of shared memory, so the metadata
+                    # that wakes it need not cross the wire either.  A
+                    # dead or remote peer is not in the directory and
+                    # falls through to the transport path below.
+                    peer = shm.peer(target)
+                    if peer is not None and not peer.is_dead:  # type: ignore[attr-defined]
+                        peer.notify_output(  # type: ignore[attr-defined]
+                            job_id, shuffle_id, map_index, self.worker_id, epoch
+                        )
+                        continue
                 delivered = self.transport.try_call(
                     target,
                     "notify_output",
@@ -707,6 +800,7 @@ class Worker:
                     shuffle_id,
                     map_index,
                     self.worker_id,
+                    epoch,
                 )
                 if not delivered:
                     # §3.3: forward send failures to the centralized
@@ -756,20 +850,29 @@ class Worker:
                     order.append(dep)
         # Partition into local reads and per-peer remote batches.  A
         # co-located block is served from the own store even when the
-        # location tables are stale or silent about it.
+        # location tables are stale or silent about it — provided it was
+        # written at (or after) the epoch the block's producer announced:
+        # an older co-named block belongs to a superseded attempt and is
+        # treated as absent (fetched from the authoritative holder
+        # instead, or reported FetchFailed if that holder lost it too).
         local: List[DepKey] = []
         by_peer: Dict[str, List[DepKey]] = {}
+        min_epochs: Dict[DepKey, int] = {}
         for shuffle_id, map_index in order:
             dep = (shuffle_id, map_index)
-            if self.blocks.has_map_output(job_id, shuffle_id, map_index):
+            location = desc.map_locations.get(dep)
+            min_epoch = desc.map_epochs.get(dep, 0)
+            with self._lock:
+                learned = self._dep_locations.get((job_id, shuffle_id, map_index))
+            if learned is not None:
+                learned_loc, learned_epoch = learned
+                min_epoch = max(min_epoch, learned_epoch)
+                if location is None:
+                    location = learned_loc
+            min_epochs[dep] = min_epoch
+            if self.blocks.has_map_output(job_id, shuffle_id, map_index, min_epoch):
                 local.append(dep)
                 continue
-            location = desc.map_locations.get(dep)
-            if location is None:
-                with self._lock:
-                    location = self._dep_locations.get(
-                        (job_id, shuffle_id, map_index)
-                    )
             if location is None:
                 raise FetchFailed(shuffle_id, map_index, "<unknown>")
             if location == self.worker_id:
@@ -779,10 +882,47 @@ class Worker:
         buckets: Dict[DepKey, List] = {}
         for shuffle_id, map_index in local:
             buckets[(shuffle_id, map_index)] = self.blocks.get_bucket(
-                job_id, shuffle_id, map_index, partition
+                job_id,
+                shuffle_id,
+                map_index,
+                partition,
+                min_epochs[(shuffle_id, map_index)],
             )
+        shm_hits = 0
+        if by_peer and self._shm is not None:
+            # Shared-memory fast path: a peer whose segment registry entry
+            # is visible from this process is co-located by construction —
+            # read the bucket straight out of the mapped segment and skip
+            # the fetch RPC.  Any miss (not co-located, dropped block,
+            # stale epoch) falls through to the ordinary wire fetch.
+            for peer in list(by_peer):
+                still_remote: List[DepKey] = []
+                for dep in by_peer[peer]:
+                    shuffle_id, map_index = dep
+                    block = self._shm.read_bucket(
+                        peer,
+                        job_id,
+                        shuffle_id,
+                        map_index,
+                        partition,
+                        min_epochs[dep],
+                    )
+                    if block is None:
+                        still_remote.append(dep)
+                    else:
+                        buckets[dep] = block
+                        shm_hits += 1
+                if still_remote:
+                    self.metrics.counter(COUNT_SHM_FALLBACKS).add(len(still_remote))
+                    by_peer[peer] = still_remote
+                else:
+                    del by_peer[peer]
+            if shm_hits:
+                self.metrics.counter(COUNT_SHM_HITS).add(shm_hits)
         if by_peer:
-            for peer_buckets in self._fetch_remote(job_id, partition, by_peer):
+            for peer_buckets in self._fetch_remote(
+                job_id, partition, by_peer, min_epochs
+            ):
                 buckets.update(peer_buckets)
         # Reassemble in input-shuffle/map order.  A bucket consumed by
         # more than one input shuffle is copied after its first use:
@@ -811,7 +951,11 @@ class Worker:
         return fetched
 
     def _fetch_remote(
-        self, job_id: int, partition: int, by_peer: Dict[str, List[DepKey]]
+        self,
+        job_id: int,
+        partition: int,
+        by_peer: Dict[str, List[DepKey]],
+        min_epochs: Optional[Dict[DepKey, int]] = None,
     ) -> List[Dict[DepKey, List]]:
         """Issue one ``fetch_buckets`` call per peer, concurrently when
         there are several peers (bounded)."""
@@ -819,37 +963,63 @@ class Worker:
         peers = list(by_peer)
         if len(peers) == 1 or max_conc <= 1:
             return [
-                self._fetch_from_peer(job_id, partition, peer, by_peer[peer])
+                self._fetch_from_peer(
+                    job_id, partition, peer, by_peer[peer], min_epochs
+                )
                 for peer in peers
             ]
         results: List[Dict[DepKey, List]] = []
         first_err: Optional[BaseException] = None
-        with ThreadPoolExecutor(
-            max_workers=min(max_conc, len(peers)),
-            thread_name_prefix=f"{self.worker_id}-fetch",
-        ) as pool:
+        pool = self._fetch_pool
+        if pool is None:
+            pool = self._fetch_pool = ThreadPoolExecutor(
+                max_workers=max_conc,
+                thread_name_prefix=f"{self.worker_id}-fetch",
+            )
+        try:
             futures = [
                 pool.submit(
-                    self._fetch_from_peer, job_id, partition, peer, by_peer[peer]
+                    self._fetch_from_peer,
+                    job_id,
+                    partition,
+                    peer,
+                    by_peer[peer],
+                    min_epochs,
                 )
                 for peer in peers
             ]
-            for future in futures:
-                try:
-                    results.append(future.result())
-                except BaseException as err:  # noqa: BLE001 - surface the first
-                    if first_err is None:
-                        first_err = err
+        except RuntimeError:  # pool shut down mid-teardown: go sequential
+            return [
+                self._fetch_from_peer(
+                    job_id, partition, peer, by_peer[peer], min_epochs
+                )
+                for peer in peers
+            ]
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as err:  # noqa: BLE001 - surface the first
+                if first_err is None:
+                    first_err = err
         if first_err is not None:
             raise first_err
         return results
 
     def _fetch_from_peer(
-        self, job_id: int, partition: int, peer: str, deps: List[DepKey]
+        self,
+        job_id: int,
+        partition: int,
+        peer: str,
+        deps: List[DepKey],
+        min_epochs: Optional[Dict[DepKey, int]] = None,
     ) -> Dict[DepKey, List]:
-        """All buckets this task needs from one peer, one round trip."""
+        """All buckets this task needs from one peer, one round trip.
+        Each request names the minimum epoch an acceptable block must
+        carry, so the peer reports a stale co-named block as missing."""
+        min_epochs = min_epochs or {}
         requests = [
-            (shuffle_id, map_index, partition) for shuffle_id, map_index in deps
+            (shuffle_id, map_index, partition, min_epochs.get((shuffle_id, map_index), 0))
+            for shuffle_id, map_index in deps
         ]
         self.metrics.counter(COUNT_NET_FETCH_BATCHES).add(1)
         self.metrics.histogram(HIST_NET_BUCKETS_PER_FETCH).record(len(requests))

@@ -1,0 +1,319 @@
+"""Async event-loop socket server (see "Raw speed" in docs/networking.md).
+
+Drop-in replacement for :class:`~repro.net.server.MessageServer` behind
+``DataPlaneConf.async_io``: same framing, same chaos hooks, same
+byte-counter semantics, same crash model (closing tears down the
+listener and every connection so peers observe refused/reset —
+:class:`~repro.common.errors.WorkerLost` detection is untouched).  What
+changes is the threading model — connections are *parked* on one event
+loop while idle and *activated* onto a bounded thread pool when bytes
+arrive:
+
+* **Parked**: the loop watches the socket with ``add_reader``.  An idle
+  connection costs one fd and a selector entry, not a Python thread, so
+  the server holds thousands of open connections where the threaded
+  server's per-connection stacks pile up.
+* **Active**: the first readable byte hands the raw socket to a pool
+  thread, which runs the same blocking read/handle/reply loop as the
+  threaded server — the hot request path pays zero event-loop hops, so
+  a busy connection is served at per-connection-thread speed.  When the
+  connection goes quiet (or the pool is contended) the thread parks it
+  back on the loop and returns to the pool.
+
+Per-connection request ordering is preserved: exactly one pool thread
+owns a connection while it is active, and a parked connection is not
+read until it is activated again.  Handlers may block and make nested
+RPCs; they only ever run on pool threads, never on the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Set, Tuple
+
+from repro.chaos.injector import chaos_hit
+from repro.chaos.plan import KIND_SERVER_KILL, SITE_NET_SERVE
+from repro.common.metrics import (
+    COUNT_NET_BYTES_RECEIVED,
+    COUNT_NET_BYTES_SAVED_COMPRESSION,
+    COUNT_NET_BYTES_SENT,
+    GAUGE_NET_OPEN_CONNECTIONS,
+    MetricsRegistry,
+)
+from repro.net.framing import (
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    ConnectionClosed,
+    FrameError,
+    compress_payload,
+    encode_frame,
+    read_frame_ex,
+)
+from repro.net.server import _LIVE_SERVERS
+
+# Handler concurrency cap.  Handlers may make nested RPCs, so the pool
+# must comfortably exceed the realistic in-flight call depth of one
+# process-equivalent (driver threads + executor slots + monitor).
+_MAX_HANDLER_THREADS = 64
+
+# How long an active connection's pool thread lingers waiting for the
+# next request before parking the socket back on the loop.  Long enough
+# that a request/response exchange every few hundred microseconds stays
+# hot; short enough that a quiet connection frees its thread promptly.
+_ACTIVE_LINGER = 0.02
+
+# Above this many simultaneously active connections the linger is
+# skipped: threads go straight back to the pool after each response so
+# queued activations are never starved by idle-waiting threads.
+_LINGER_ACTIVE_LIMIT = _MAX_HANDLER_THREADS // 2
+
+# The event-loop transport is wakeup-latency-bound: every request crosses
+# at least two threads (client → server thread → client), and each
+# crossing waits for the GIL, which a compute-bound thread holds for up
+# to a full switch interval.  CPython's 5 ms default turns a ~30 µs
+# exchange into milliseconds whenever tasks are computing, so while any
+# async server is live the interval is lowered (never raised) to 1 ms
+# and restored when the last one closes.
+_SWITCH_INTERVAL = 0.001
+_gil_lock = threading.Lock()
+_gil_refs = 0
+_gil_saved: float | None = None
+
+
+def _gil_tuning_acquire() -> None:
+    global _gil_refs, _gil_saved
+    with _gil_lock:
+        _gil_refs += 1
+        if _gil_refs == 1 and sys.getswitchinterval() > _SWITCH_INTERVAL:
+            _gil_saved = sys.getswitchinterval()
+            sys.setswitchinterval(_SWITCH_INTERVAL)
+
+
+def _gil_tuning_release() -> None:
+    global _gil_refs, _gil_saved
+    with _gil_lock:
+        _gil_refs = max(0, _gil_refs - 1)
+        if _gil_refs == 0 and _gil_saved is not None:
+            sys.setswitchinterval(_gil_saved)
+            _gil_saved = None
+
+
+class AsyncMessageServer:
+    """Event-loop listener: idle connections parked on one loop thread,
+    active connections served by a bounded pool.  Public surface mirrors
+    :class:`MessageServer`."""
+
+    def __init__(
+        self,
+        handler: Callable[[bytes], bytes],
+        metrics: MetricsRegistry,
+        host: str = "127.0.0.1",
+        name: str = "net",
+        compression: str = "off",
+        compress_threshold: int = 4096,
+    ):
+        self._handler = handler
+        self.metrics = metrics
+        self._compression = compression
+        self._compress_threshold = compress_threshold
+        self._name = name
+        self._closed = False
+        self._lock = threading.Lock()
+        self._conns: Set[socket.socket] = set()
+        self._active = 0
+        self._pool = ThreadPoolExecutor(
+            max_workers=_MAX_HANDLER_THREADS, thread_name_prefix=f"{name}-handler"
+        )
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, 0))
+            self._listener.listen(1024)
+        except OSError:
+            self._listener.close()
+            self._pool.shutdown(wait=False)
+            raise
+        self._listener.setblocking(False)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._loop = asyncio.new_event_loop()
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run_loop, args=(ready,), name=f"{name}-aio", daemon=True
+        )
+        self._thread.start()
+        ready.wait()
+        _gil_tuning_acquire()
+        _LIVE_SERVERS.add(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Loop thread: accept + park/activate bookkeeping
+    # ------------------------------------------------------------------
+    def _run_loop(self, ready: threading.Event) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.add_reader(self._listener.fileno(), self._on_accept)
+        ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def _on_accept(self) -> None:
+        while True:
+            try:
+                conn, _peer = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed
+            with self._lock:
+                if self._closed:
+                    with contextlib.suppress(OSError):
+                        conn.close()
+                    return
+                self._conns.add(conn)
+            with contextlib.suppress(OSError):
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self.metrics.gauge(GAUGE_NET_OPEN_CONNECTIONS).add(1)
+            self._park(conn)
+
+    def _park(self, conn: socket.socket) -> None:
+        """Watch ``conn`` on the loop until it turns readable.  Runs on
+        the loop thread only."""
+        if self._closed:
+            self._drop(conn)
+            return
+        try:
+            self._loop.add_reader(conn.fileno(), self._activate, conn)
+        except (OSError, ValueError):  # conn died while being handed over
+            self._drop(conn)
+
+    def _activate(self, conn: socket.socket) -> None:
+        """First readable byte: hand the socket to a pool thread."""
+        with contextlib.suppress(OSError, ValueError):
+            self._loop.remove_reader(conn.fileno())
+        try:
+            self._pool.submit(self._serve_active, conn)
+        except RuntimeError:  # pool shut down: server is closing
+            self._drop(conn)
+
+    # ------------------------------------------------------------------
+    # Pool thread: the blocking serve loop (mirrors MessageServer)
+    # ------------------------------------------------------------------
+    def _serve_active(self, conn: socket.socket) -> None:
+        with self._lock:
+            self._active += 1
+            contended = self._active > _LINGER_ACTIVE_LIMIT
+        try:
+            while not self._closed:
+                # Wait (bounded) for the next frame's first byte without
+                # consuming it; MSG_PEEK keeps a timeout from ever
+                # splitting a frame.  On silence, trade the thread back
+                # to the loop and park the connection.
+                try:
+                    conn.settimeout(0.0 if contended else _ACTIVE_LINGER)
+                    probe = conn.recv(1, socket.MSG_PEEK)
+                except (TimeoutError, BlockingIOError, InterruptedError):
+                    try:
+                        self._loop.call_soon_threadsafe(self._park, conn)
+                    except RuntimeError:  # loop closed under us
+                        self._drop(conn)
+                    return
+                except OSError:
+                    self._drop(conn)
+                    return
+                if not probe:  # EOF
+                    self._drop(conn)
+                    return
+                try:
+                    conn.settimeout(None)
+                    kind, payload, _flags, wire_len = read_frame_ex(conn)
+                except (ConnectionClosed, FrameError, OSError):
+                    self._drop(conn)
+                    return
+                if kind != KIND_REQUEST:
+                    self._drop(conn)
+                    return  # protocol violation; drop the connection
+                # Byte counters are wire truth: the compressed size.
+                self.metrics.counter(COUNT_NET_BYTES_RECEIVED).add(wire_len)
+                if self._name != "driver":
+                    # The driver's server is exempt: killing it ends the
+                    # run rather than exercising §3.3 recovery.
+                    fault = chaos_hit(SITE_NET_SERVE, target=self._name)
+                    if fault is not None:
+                        if fault.kind == KIND_SERVER_KILL:
+                            self.close()
+                        # KIND_RESPONSE_DROP: the handler never runs, the
+                        # caller sees its connection reset mid-exchange.
+                        self._drop(conn)
+                        return
+                response = self._handler(payload)
+                wire, flags, saved = compress_payload(
+                    response, self._compression, self._compress_threshold
+                )
+                if saved:
+                    self.metrics.counter(
+                        COUNT_NET_BYTES_SAVED_COMPRESSION
+                    ).add(saved)
+                frame = encode_frame(KIND_RESPONSE, wire, flags)
+                try:
+                    conn.sendall(frame)
+                except OSError:
+                    self._drop(conn)
+                    return
+                self.metrics.counter(COUNT_NET_BYTES_SENT).add(len(frame))
+            self._drop(conn)
+        finally:
+            with self._lock:
+                self._active -= 1
+
+    def _drop(self, conn: socket.socket) -> None:
+        """Close one connection exactly once (any thread; the caller
+        guarantees the loop is no longer watching it)."""
+        with self._lock:
+            if conn not in self._conns:
+                return
+            self._conns.discard(conn)
+        self.metrics.gauge(GAUGE_NET_OPEN_CONNECTIONS).add(-1)
+        with contextlib.suppress(OSError):
+            conn.shutdown(socket.SHUT_RDWR)
+        with contextlib.suppress(OSError):
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the listener and every connection (the crash model:
+        peers see refused/reset from now on).  Safe to call from any
+        thread, including a pool thread via the chaos server-kill."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns = list(self._conns)
+
+        def _teardown() -> None:
+            with contextlib.suppress(OSError, ValueError):
+                self._loop.remove_reader(self._listener.fileno())
+            for conn in conns:
+                with contextlib.suppress(OSError, ValueError):
+                    self._loop.remove_reader(conn.fileno())
+            self._loop.stop()
+
+        with contextlib.suppress(RuntimeError):  # loop already closed
+            self._loop.call_soon_threadsafe(_teardown)
+        if threading.current_thread() is not self._thread:
+            self._thread.join(timeout=1.0)
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        for conn in conns:
+            self._drop(conn)
+        self._pool.shutdown(wait=False)
+        _gil_tuning_release()

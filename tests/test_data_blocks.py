@@ -1,0 +1,221 @@
+"""Columnar record blocks (repro.data.blocks): typed-column
+classification, wire encode/decode, list-compatible behaviour, the
+combiner fast paths, and end-to-end byte-identical results with the
+``record_blocks`` toggle on vs off."""
+
+import pickle
+import struct
+
+import pytest
+
+from repro.common.config import DataPlaneConf, EngineConf, TransportConf
+from repro.dag.dataset import parallelize
+from repro.data.blocks import RecordBlock, to_record_block
+from repro.dag.combiners import (
+    Aggregator,
+    group_values_iter,
+    merge_combiners_iter,
+    reduce_values_iter,
+)
+from repro.engine.cluster import LocalCluster
+
+
+class TestClassification:
+    def test_int_pairs_take_typed_columns(self):
+        block = RecordBlock.from_pairs([(1, 10), (2, 20), (3, 30)])
+        assert block.kcode == "q" and block.vcode == "q"
+        assert block.is_typed
+
+    def test_float_values_take_typed_columns(self):
+        block = RecordBlock.from_pairs([(1, 0.5), (2, 1.5)])
+        assert block.kcode == "q" and block.vcode == "d"
+
+    def test_strings_fall_back_to_object_columns(self):
+        block = RecordBlock.from_pairs([("a", 1), ("b", 2)])
+        assert block.kcode == "O" and block.vcode == "q"
+        assert block.is_typed  # one typed column is enough
+
+    def test_mixed_numeric_column_is_object(self):
+        block = RecordBlock.from_pairs([(1, 1), (2, 2.0)])
+        assert block.vcode == "O"
+
+    def test_bool_is_not_an_int(self):
+        # bool would round-trip as int and break byte-identical results.
+        block = RecordBlock.from_pairs([(1, True), (2, False)])
+        assert block.vcode == "O"
+        assert list(block) == [(1, True), (2, False)]
+
+    def test_int64_overflow_falls_back(self):
+        block = RecordBlock.from_pairs([(1, 2**63), (2, 5)])
+        assert block.vcode == "O"
+        assert list(block) == [(1, 2**63), (2, 5)]
+
+    def test_pairless_records_take_single_column(self):
+        block = RecordBlock.from_records([3, 1, 2])
+        assert block.vcode == "-" and block.kcode == "q"
+        assert list(block) == [3, 1, 2]
+
+    def test_two_element_lists_are_not_pairs(self):
+        # A list record must come back a list, never silently a tuple.
+        block = RecordBlock.from_records([[1, 2], [3, 4]])
+        assert block.vcode == "-"
+        assert list(block) == [[1, 2], [3, 4]]
+
+
+class TestListBehaviour:
+    PAIRS = [(3, 30), (1, 10), (3, 31)]
+
+    def test_iter_len_eq(self):
+        block = RecordBlock.from_pairs(self.PAIRS)
+        assert len(block) == 3
+        assert list(block) == self.PAIRS
+        assert block == self.PAIRS
+        assert block == RecordBlock.from_pairs(self.PAIRS)
+
+    def test_getitem_and_slice(self):
+        block = RecordBlock.from_pairs(self.PAIRS)
+        assert block[0] == (3, 30)
+        assert block[-1] == (3, 31)
+        assert block[1:] == self.PAIRS[1:]
+
+    def test_pairless_getitem_and_slice(self):
+        block = RecordBlock.from_records([5, 6, 7])
+        assert block[0] == 5
+        assert block[1:] == [6, 7]
+
+    def test_sorted_over_block(self):
+        block = RecordBlock.from_pairs(self.PAIRS)
+        assert sorted(block) == sorted(self.PAIRS)
+
+
+class TestWireForm:
+    def test_roundtrip_typed(self):
+        block = RecordBlock.from_pairs([(i, i * 2) for i in range(100)])
+        out = RecordBlock.decode(block.encode())
+        assert list(out) == list(block)
+        assert out.kcode == "q" and out.vcode == "q"
+
+    def test_roundtrip_object(self):
+        pairs = [("k" + str(i), {"n": i}) for i in range(10)]
+        out = RecordBlock.decode(RecordBlock.from_pairs(pairs).encode())
+        assert list(out) == pairs
+
+    def test_roundtrip_pairless(self):
+        out = RecordBlock.decode(RecordBlock.from_records([1.5, 2.5]).encode())
+        assert list(out) == [1.5, 2.5]
+
+    def test_golden_bytes_typed_shape(self):
+        # The fast shape on the wire: header + raw little-endian-native
+        # column buffers, no pickle anywhere.  Header is
+        # >4sBBBQII: magic, version, kcode, vcode, count, klen, vlen.
+        block = RecordBlock.from_pairs([(1, 10)])
+        encoded = block.encode()
+        expected_header = struct.pack(
+            ">4sBBBQII", b"RBLK", 1, ord("q"), ord("q"), 1, 8, 8
+        )
+        assert encoded[: len(expected_header)] == expected_header
+        import array
+
+        keys = array.array("q", [1])
+        values = array.array("q", [10])
+        assert encoded[len(expected_header) :] == keys.tobytes() + values.tobytes()
+
+    def test_decode_accepts_memoryview(self):
+        block = RecordBlock.from_pairs([(1, 2)])
+        out = RecordBlock.decode(memoryview(block.encode()))
+        assert list(out) == [(1, 2)]
+
+    def test_decode_rejects_bad_magic(self):
+        blob = bytearray(RecordBlock.from_pairs([(1, 2)]).encode())
+        blob[0] = 0
+        with pytest.raises(ValueError, match="magic"):
+            RecordBlock.decode(bytes(blob))
+
+    def test_encoded_size_is_exact(self):
+        block = RecordBlock.from_pairs([(i, str(i)) for i in range(7)])
+        assert block.encoded_size() == len(block.encode())
+
+    def test_pickle_roundtrips_via_columnar_form(self):
+        block = RecordBlock.from_pairs([(i, i + 0.5) for i in range(50)])
+        clone = pickle.loads(pickle.dumps(block))
+        assert isinstance(clone, RecordBlock)
+        assert list(clone) == list(block)
+        assert clone.kcode == "q" and clone.vcode == "d"
+
+    def test_to_record_block_idempotent(self):
+        block = RecordBlock.from_pairs([(1, 2)])
+        assert to_record_block(block) is block
+
+
+class TestAggregationFastPaths:
+    def _agg(self):
+        return Aggregator.from_reduce(lambda a, b: a + b)
+
+    def test_merge_combiners_block_matches_list(self):
+        streams_as_lists = [[(1, 10), (2, 20)], [(1, 1), (3, 3)]]
+        streams_as_blocks = [RecordBlock.from_pairs(s) for s in streams_as_lists]
+        expected = sorted(merge_combiners_iter(streams_as_lists, self._agg()))
+        assert sorted(merge_combiners_iter(streams_as_blocks, self._agg())) == expected
+
+    def test_reduce_values_block_matches_list(self):
+        agg = Aggregator.from_zero(lambda: 100, lambda z, v: z + v, lambda a, b: a + b)
+        streams = [[(1, 1), (1, 2)], [(1, 4), (2, 8)]]
+        expected = sorted(reduce_values_iter(streams, agg))
+        blocks = [RecordBlock.from_pairs(s) for s in streams]
+        assert sorted(reduce_values_iter(blocks, agg)) == expected
+        # create_combiner must fire exactly once per key.
+        assert dict(expected) == {1: 107, 2: 108}
+
+    def test_group_values_block_matches_list(self):
+        streams = [[(1, "a"), (2, "b")], [(1, "c")]]
+        expected = sorted(group_values_iter(streams))
+        blocks = [RecordBlock.from_pairs(s) for s in streams]
+        assert sorted(group_values_iter(blocks)) == expected
+
+    def test_reduce_into_empty_block(self):
+        out = {}
+        RecordBlock.from_pairs([]).reduce_into(out, lambda a, b: a + b)
+        assert out == {}
+
+
+class TestEndToEndEquivalence:
+    """Byte-identical job results with record_blocks on vs off (the
+    acceptance invariant for the columnar path)."""
+
+    def _run(self, record_blocks: bool, backend: str = "tcp"):
+        conf = EngineConf(
+            num_workers=3,
+            slots_per_worker=2,
+            transport=TransportConf(
+                backend=backend,
+                data_plane=DataPlaneConf(record_blocks=record_blocks),
+            ),
+        )
+        with LocalCluster(conf) as cluster:
+            data = parallelize([(i % 7, i) for i in range(200)], 6)
+            reduced = sorted(cluster.collect(data.reduce_by_key(lambda a, b: a + b)))
+            grouped = sorted(
+                (k, sorted(v))
+                for k, v in cluster.collect(data.group_by_key())
+            )
+            words = parallelize(
+                ["the quick brown fox the lazy dog the end"] * 5, 3
+            )
+            counts = sorted(
+                cluster.collect(
+                    words.flat_map(str.split)
+                    .map(lambda w: (w, 1))
+                    .reduce_by_key(lambda a, b: a + b)
+                )
+            )
+        return reduced, grouped, counts
+
+    def test_results_identical_across_toggle(self):
+        baseline = self._run(record_blocks=False)
+        columnar = self._run(record_blocks=True)
+        assert pickle.dumps(baseline) == pickle.dumps(columnar)
+
+    def test_results_identical_inproc_backend(self):
+        baseline = self._run(record_blocks=False, backend="inproc")
+        columnar = self._run(record_blocks=True, backend="inproc")
+        assert pickle.dumps(baseline) == pickle.dumps(columnar)

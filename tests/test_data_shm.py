@@ -1,0 +1,201 @@
+"""Shared-memory shuffle (repro.data.shm): segment encode/decode, the
+registry lifecycle (publish/replace/unpublish/drop/clear, epoch gating),
+and the end-to-end fast path — co-located reducers take shm hits,
+results match the wire path exactly, and no segment outlives its block."""
+
+import pickle
+
+import pytest
+
+from repro.common.config import DataPlaneConf, EngineConf, TransportConf
+from repro.common.metrics import (
+    COUNT_RPC_MESSAGES,
+    COUNT_SHM_FALLBACKS,
+    COUNT_SHM_HITS,
+    MetricsRegistry,
+)
+from repro.dag.dataset import parallelize
+from repro.data.blocks import RecordBlock
+from repro.data.shm import (
+    SegmentRegistry,
+    decode_bucket,
+    encode_map_output,
+    live_segments,
+    segment_registry,
+)
+from repro.engine.blocks import BlockStore
+from repro.engine.cluster import LocalCluster
+
+
+class TestSegmentCodec:
+    def test_roundtrip_all_buckets(self):
+        buckets = {0: [(1, 10), (2, 20)], 2: [(3, 30)]}
+        blob = encode_map_output(buckets, epoch=4)
+        assert list(decode_bucket(blob, 0)) == buckets[0]
+        assert list(decode_bucket(blob, 2)) == buckets[2]
+
+    def test_absent_bucket_is_empty_block(self):
+        # Absence of a bucket is data (that reducer got nothing);
+        # absence of the whole segment is the caller's fallback signal.
+        blob = encode_map_output({0: [(1, 10)]}, epoch=0)
+        empty = decode_bucket(blob, 7)
+        assert isinstance(empty, RecordBlock)
+        assert len(empty) == 0
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            decode_bucket(b"XXXX" + b"\x00" * 16, 0)
+
+
+class TestSegmentRegistry:
+    def _registry(self):
+        registry = SegmentRegistry()
+        if not registry.available:  # pragma: no cover - minimal platforms
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        return registry
+
+    def test_publish_read_unpublish(self):
+        registry = self._registry()
+        assert registry.publish("w0", 1, 2, 3, {0: [(1, 10)]}, epoch=0)
+        block = registry.read_bucket("w0", 1, 2, 3, 0)
+        assert list(block) == [(1, 10)]
+        assert len(registry.live_segments()) == 1
+        assert registry.unpublish("w0", 1, 2, 3)
+        assert registry.read_bucket("w0", 1, 2, 3, 0) is None
+        assert registry.live_segments() == []
+
+    def test_miss_on_unknown_key(self):
+        registry = self._registry()
+        assert registry.read_bucket("w0", 9, 9, 9, 0) is None
+
+    def test_stale_epoch_is_a_miss(self):
+        registry = self._registry()
+        registry.publish("w0", 1, 2, 3, {0: [(1, 10)]}, epoch=1)
+        assert registry.read_bucket("w0", 1, 2, 3, 0, min_epoch=2) is None
+        assert registry.read_bucket("w0", 1, 2, 3, 0, min_epoch=1) is not None
+        registry.clear()
+
+    def test_republish_replaces_publication(self):
+        registry = self._registry()
+        registry.publish("w0", 1, 2, 3, {0: [(1, 10)]}, epoch=0)
+        assert len(registry.live_segments()) == 1
+        registry.publish("w0", 1, 2, 3, {0: [(1, 99)]}, epoch=1)
+        # Still exactly one live publication, and readers only ever see
+        # the replacement (the retired bytes are unreachable).
+        assert len(registry.live_segments()) == 1
+        assert list(registry.read_bucket("w0", 1, 2, 3, 0)) == [(1, 99)]
+        registry.clear()
+
+    def test_slab_packs_many_publications(self):
+        # Ordinary map outputs share one slab segment: publishing many
+        # blocks must not open one kernel object per block.
+        registry = self._registry()
+        for i in range(32):
+            registry.publish("w0", 1, 2, i, {0: [(i, i)]}, epoch=0)
+        assert len(registry.live_segments()) == 1
+        for i in range(32):
+            assert list(registry.read_bucket("w0", 1, 2, i, 0)) == [(i, i)]
+        registry.clear()
+        assert registry.live_segments() == []
+
+    def test_drop_job_and_drop_owner(self):
+        registry = self._registry()
+        registry.publish("w0", 1, 2, 0, {0: [(1, 1)]})
+        registry.publish("w0", 2, 2, 0, {0: [(1, 1)]})
+        registry.publish("w1", 1, 2, 0, {0: [(1, 1)]})
+        assert registry.drop_job("w0", 1) == 1
+        assert registry.drop_owner("w0") == 1
+        assert len(registry.live_segments()) == 1
+        assert registry.drop_owner("w1") == 1
+        assert registry.live_segments() == []
+
+
+class TestBlockStoreShmIntegration:
+    def test_put_publishes_and_drop_unlinks(self):
+        if not segment_registry().available:  # pragma: no cover
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        store = BlockStore(
+            "w-shm-test",
+            record_blocks=True,
+            shm_shuffle=True,
+            metrics=MetricsRegistry(),
+        )
+        assert store.shm is not None
+        store.put_map_output(1, 2, 0, {0: [(1, 10)]}, epoch=0)
+        assert list(store.shm.read_bucket("w-shm-test", 1, 2, 0, 0)) == [(1, 10)]
+        store.drop_job(1)
+        assert store.shm.read_bucket("w-shm-test", 1, 2, 0, 0) is None
+        store.release_shm()
+
+    def test_clear_releases_segments(self):
+        if not segment_registry().available:  # pragma: no cover
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        store = BlockStore("w-shm-clear", shm_shuffle=True)
+        store.put_map_output(1, 2, 0, {0: [(1, 10)]})
+        before = len(live_segments())
+        store.clear()
+        assert len(live_segments()) == before - 1
+
+
+class TestEndToEndShmShuffle:
+    def _conf(self, shm: bool) -> EngineConf:
+        return EngineConf(
+            num_workers=3,
+            slots_per_worker=2,
+            transport=TransportConf(
+                backend="tcp",
+                data_plane=DataPlaneConf(record_blocks=True, shm_shuffle=shm),
+            ),
+        )
+
+    def _job(self, cluster):
+        data = parallelize([(i % 5, i) for i in range(200)], 6)
+        return sorted(cluster.collect(data.reduce_by_key(lambda a, b: a + b)))
+
+    def test_shm_hits_and_identical_results(self):
+        with LocalCluster(self._conf(shm=False)) as cluster:
+            baseline = self._job(cluster)
+        with LocalCluster(self._conf(shm=True)) as cluster:
+            shm_result = self._job(cluster)
+            hits = cluster.metrics.counter(COUNT_SHM_HITS).value
+            fallbacks = cluster.metrics.counter(COUNT_SHM_FALLBACKS).value
+        assert pickle.dumps(shm_result) == pickle.dumps(baseline)
+        # Everything is co-located in a LocalCluster, so the fast path
+        # should serve every remote bucket read.
+        assert hits > 0
+        assert fallbacks == 0
+        # Segment lifecycle: nothing published outlives its cluster.
+        assert live_segments() == []
+
+    def test_rpc_parity_when_shm_off(self):
+        """count.rpc_messages on the non-shm path is untouched by this
+        feature set (±0 parity): record_blocks changes payload layout,
+        never message count."""
+
+        def run(record_blocks: bool) -> float:
+            conf = EngineConf(
+                num_workers=3,
+                slots_per_worker=2,
+                transport=TransportConf(
+                    backend="tcp",
+                    data_plane=DataPlaneConf(record_blocks=record_blocks),
+                ),
+            )
+            with LocalCluster(conf) as cluster:
+                self._job(cluster)
+                return cluster.metrics.counter(COUNT_RPC_MESSAGES).value
+
+        assert run(record_blocks=False) == run(record_blocks=True)
+
+    def test_fallback_to_wire_when_segment_gone(self):
+        """Dropping every published segment mid-run must be invisible:
+        readers fall back to fetch_buckets transparently."""
+        conf = self._conf(shm=True)
+        with LocalCluster(conf) as cluster:
+            data = parallelize([(i % 5, i) for i in range(100)], 4)
+            plan_result_1 = self._job(cluster)
+            # Unlink everything published so far; the next job's reads
+            # that would have hit shm now miss and go over the wire.
+            segment_registry().clear()
+            plan_result_2 = self._job(cluster)
+            assert plan_result_1 == plan_result_2

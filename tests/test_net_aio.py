@@ -1,0 +1,229 @@
+"""Async event-loop server (repro.net.aio): frame interop against
+golden byte fixtures (v1 flagless and v2 compressed layouts), ordering
+and concurrency behaviour, connection-scaling without per-connection
+threads, the crash model on close, and a full TcpTransport cluster run
+with ``async_io`` on."""
+
+import socket
+import struct
+import threading
+import time
+import zlib
+
+import pytest
+
+from repro.common.config import DataPlaneConf, EngineConf, TransportConf
+from repro.common.metrics import GAUGE_NET_OPEN_CONNECTIONS, MetricsRegistry
+from repro.dag.dataset import parallelize
+from repro.engine.cluster import LocalCluster
+from repro.net.aio import AsyncMessageServer
+from repro.net.framing import (
+    FLAG_ZLIB,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    encode_frame,
+    read_frame,
+    read_frame_ex,
+)
+
+# ----------------------------------------------------------------------
+# Golden wire fixtures.  These byte strings are the protocol contract:
+# if either changes, old and new binaries stop interoperating.
+# ----------------------------------------------------------------------
+# Version-1 (flagless) request: magic, version=1, kind=request, length.
+GOLDEN_V1_REQUEST = b"RN\x01\x01\x00\x00\x00\x04ping"
+# Version-2 (flagged) request carrying a zlib payload: magic, version=2,
+# kind=request, flags=0x01, length, then the deflate stream.
+_V2_BODY = zlib.compress(b"ping", 1)
+GOLDEN_V2_ZLIB_REQUEST = (
+    b"RN\x02\x01\x01" + struct.pack(">I", len(_V2_BODY)) + _V2_BODY
+)
+
+
+def _echo_upper(payload: bytes) -> bytes:
+    return payload.upper()
+
+
+@pytest.fixture
+def aio_server():
+    server = AsyncMessageServer(_echo_upper, MetricsRegistry(), name="aio-test")
+    yield server
+    server.close()
+
+
+def _dial(server) -> socket.socket:
+    sock = socket.create_connection(server.address, timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+class TestGoldenFrames:
+    def test_golden_v1_fixture_matches_encoder(self):
+        assert encode_frame(KIND_REQUEST, b"ping") == GOLDEN_V1_REQUEST
+
+    def test_golden_v2_fixture_matches_encoder(self):
+        assert (
+            encode_frame(KIND_REQUEST, _V2_BODY, FLAG_ZLIB)
+            == GOLDEN_V2_ZLIB_REQUEST
+        )
+
+    def test_v1_request_through_async_server(self, aio_server):
+        with _dial(aio_server) as sock:
+            sock.sendall(GOLDEN_V1_REQUEST)
+            kind, payload, flags, _wire = read_frame_ex(sock)
+        assert (kind, payload, flags) == (KIND_RESPONSE, b"PING", 0)
+
+    def test_v1_response_bytes_are_flagless(self, aio_server):
+        # Compression off: the reply must be byte-identical to the v1
+        # protocol — magic, version=1, kind=response, length, payload.
+        with _dial(aio_server) as sock:
+            sock.sendall(GOLDEN_V1_REQUEST)
+            raw = b""
+            while len(raw) < 12:
+                raw += sock.recv(12 - len(raw))
+        assert raw == b"RN\x01\x02\x00\x00\x00\x04PING"
+
+    def test_v2_compressed_request_through_async_server(self, aio_server):
+        with _dial(aio_server) as sock:
+            sock.sendall(GOLDEN_V2_ZLIB_REQUEST)
+            kind, payload = read_frame(sock)
+        assert (kind, payload) == (KIND_RESPONSE, b"PING")
+
+    def test_compressed_response_when_enabled(self):
+        server = AsyncMessageServer(
+            lambda p: p * 400,
+            MetricsRegistry(),
+            name="aio-zip",
+            compression="auto",
+            compress_threshold=64,
+        )
+        try:
+            with _dial(server) as sock:
+                sock.sendall(encode_frame(KIND_REQUEST, b"abc"))
+                kind, payload, flags, wire_len = read_frame_ex(sock)
+            assert (kind, payload) == (KIND_RESPONSE, b"abc" * 400)
+            assert flags & FLAG_ZLIB
+            assert wire_len < len(payload)
+        finally:
+            server.close()
+
+    def test_bad_magic_drops_connection(self, aio_server):
+        with _dial(aio_server) as sock:
+            sock.sendall(b"XX" + GOLDEN_V1_REQUEST[2:])
+            assert sock.recv(1) == b""  # server closed the connection
+
+
+class TestServerBehaviour:
+    def test_sequential_requests_share_connection(self, aio_server):
+        with _dial(aio_server) as sock:
+            for word in (b"alpha", b"beta", b"gamma"):
+                sock.sendall(encode_frame(KIND_REQUEST, word))
+                _kind, payload = read_frame(sock)
+                assert payload == word.upper()
+
+    def test_concurrent_connections(self, aio_server):
+        results = {}
+
+        def exchange(i: int) -> None:
+            with _dial(aio_server) as sock:
+                word = f"word-{i}".encode()
+                sock.sendall(encode_frame(KIND_REQUEST, word))
+                _kind, payload = read_frame(sock)
+                results[i] = payload
+
+        threads = [
+            threading.Thread(target=exchange, args=(i,)) for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert results == {i: f"word-{i}".upper().encode() for i in range(16)}
+
+    def test_idle_connections_cost_no_threads(self):
+        """The scaling claim: hundreds of idle connections, thread count
+        flat (the threaded server would need one thread per socket)."""
+        metrics = MetricsRegistry()
+        server = AsyncMessageServer(_echo_upper, metrics, name="aio-scale")
+        socks = []
+        try:
+            threads_before = threading.active_count()
+            for _ in range(256):
+                socks.append(_dial(server))
+            # Every connection is live: the open-connections gauge
+            # reaches 256 without a single new thread per socket.
+            deadline = time.monotonic() + 5.0
+            gauge = metrics.gauge(GAUGE_NET_OPEN_CONNECTIONS)
+            while gauge.value < 256 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert gauge.value == 256
+            assert threading.active_count() - threads_before < 8
+            # And they all still serve requests.
+            for sock in (socks[0], socks[128], socks[255]):
+                sock.sendall(encode_frame(KIND_REQUEST, b"alive?"))
+                _kind, payload = read_frame(sock)
+                assert payload == b"ALIVE?"
+        finally:
+            for sock in socks:
+                sock.close()
+            server.close()
+
+    def test_close_refuses_new_connections(self):
+        server = AsyncMessageServer(_echo_upper, MetricsRegistry(), name="aio-close")
+        address = server.address
+        server.close()
+        assert server.closed
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=1.0)
+
+    def test_close_resets_open_connections(self):
+        server = AsyncMessageServer(_echo_upper, MetricsRegistry(), name="aio-reset")
+        sock = _dial(server)
+        try:
+            sock.sendall(encode_frame(KIND_REQUEST, b"x"))
+            read_frame(sock)
+            server.close()
+            # The peer observes EOF/reset — the WorkerLost crash model.
+            with pytest.raises((ConnectionError, OSError, Exception)):
+                sock.sendall(encode_frame(KIND_REQUEST, b"y"))
+                while True:
+                    if sock.recv(4096) == b"":
+                        raise ConnectionError("peer closed")
+        finally:
+            sock.close()
+            server.close()
+
+
+class TestTransportIntegration:
+    def test_cluster_run_with_async_io(self):
+        conf = EngineConf(
+            num_workers=3,
+            slots_per_worker=2,
+            transport=TransportConf(
+                backend="tcp",
+                data_plane=DataPlaneConf(async_io=True),
+            ),
+        )
+        with LocalCluster(conf) as cluster:
+            ds = parallelize([(i % 5, 1) for i in range(100)], 5).reduce_by_key(
+                lambda a, b: a + b
+            )
+            assert dict(cluster.collect(ds)) == {k: 20 for k in range(5)}
+
+    def test_all_raw_speed_toggles_together(self):
+        conf = EngineConf(
+            num_workers=3,
+            slots_per_worker=2,
+            transport=TransportConf(
+                backend="tcp",
+                data_plane=DataPlaneConf(
+                    record_blocks=True, shm_shuffle=True, async_io=True
+                ),
+            ),
+        )
+        with LocalCluster(conf) as cluster:
+            ds = parallelize(list(range(120)), 6).map(
+                lambda x: (x % 4, x)
+            ).reduce_by_key(lambda a, b: a + b)
+            out = dict(cluster.collect(ds))
+        assert out == {k: sum(x for x in range(120) if x % 4 == k) for k in range(4)}
