@@ -34,6 +34,7 @@ SITE_BLOCKS_FETCH = "blocks.fetch"  # BlockStore bucket lookup
 SITE_STREAM_CHECKPOINT = "streaming.checkpoint"  # StreamingContext.checkpoint
 SITE_STREAM_GROUP = "streaming.group"  # run_batches group boundary
 SITE_ELASTIC_RESIZE = "elastic.resize"  # MigrationExecutor, mid shard move
+SITE_DRIVER = "driver.control"  # StreamingContext driver-kill points (repro.ha)
 
 ALL_SITES = (
     SITE_NET_DIAL,
@@ -46,6 +47,7 @@ ALL_SITES = (
     SITE_STREAM_CHECKPOINT,
     SITE_STREAM_GROUP,
     SITE_ELASTIC_RESIZE,
+    SITE_DRIVER,
 )
 
 # ----------------------------------------------------------------------
@@ -65,9 +67,12 @@ KIND_EXEC_STRAGGLE = "exec_straggle"  # one task computes ``param`` s slower
 KIND_BLOCK_DELETE = "block_delete"  # a shuffle bucket vanishes -> FetchFailed
 KIND_CHECKPOINT_KILL = "checkpoint_kill"  # a worker dies during checkpoint
 KIND_FORCE_REPLAY = "force_replay"  # streaming restore_and_replay mid-run
+KIND_DRIVER_KILL = "driver_kill"  # the driver process dies (repro.ha recovers)
 
 # Kinds that take a machine out; the injector charges these against the
-# kill budget so a plan can never kill the last survivor.
+# kill budget so a plan can never kill the last survivor.  A driver kill
+# is deliberately NOT in this set: it takes out the control plane, not a
+# worker, and the WAL — not the kill budget — bounds its blast radius.
 KILL_KINDS = frozenset({KIND_SERVER_KILL, KIND_WORKER_KILL, KIND_CHECKPOINT_KILL})
 
 # (site, kind, weight) templates per profile.  Weights bias the sampler;
@@ -107,6 +112,16 @@ _ELASTIC_TEMPLATES: List[Tuple[str, str, float]] = [
     (SITE_STREAM_GROUP, KIND_FORCE_REPLAY, 1.0),
     (SITE_EXEC_COMPUTE, KIND_EXEC_STRAGGLE, 1.0),
 ]
+# The driver profile's signature fault is a control-plane crash.  The
+# streaming loop threads SITE_DRIVER through three distinct moments —
+# the group boundary (right after a group commit is journaled), mid
+# group (before the commit exists), and mid checkpoint — so one site
+# covers all three crash alignments the WAL must survive; the fault log
+# records which moment fired via the site's ``method`` tag.
+_DRIVER_TEMPLATES: List[Tuple[str, str, float]] = [
+    (SITE_DRIVER, KIND_DRIVER_KILL, 4.0),
+    (SITE_EXEC_COMPUTE, KIND_EXEC_STRAGGLE, 1.0),
+]
 
 # Guaranteed first event per profile: fired at a low hit count on a
 # high-traffic site so every armed run injects at least one fault.
@@ -135,13 +150,24 @@ _PROFILE_TEMPLATES: Dict[str, Dict[str, object]] = {
         "templates": _ELASTIC_TEMPLATES,
         "guaranteed": (SITE_ELASTIC_RESIZE, KIND_WORKER_KILL),
     },
+    "driver": {
+        "templates": _DRIVER_TEMPLATES,
+        "guaranteed": (SITE_DRIVER, KIND_DRIVER_KILL),
+    },
 }
 assert set(_PROFILE_TEMPLATES) == set(CHAOS_PROFILES)
 
 # Per-plan caps on kinds that burn bounded client budgets (dial retries,
 # launch attempts): too many of these in one schedule would turn a
 # recoverable fault into a predetermined job failure.
-_KIND_CAPS = {KIND_DIAL_REFUSE: 2, KIND_NET_DROP: 2, KIND_NET_GARBLE: 2}
+_KIND_CAPS = {
+    KIND_DIAL_REFUSE: 2,
+    KIND_NET_DROP: 2,
+    KIND_NET_GARBLE: 2,
+    # Each driver kill costs a full WAL recovery; two per plan keeps the
+    # soak wall time bounded while still covering a double-crash.
+    KIND_DRIVER_KILL: 2,
+}
 
 
 @dataclass(frozen=True)

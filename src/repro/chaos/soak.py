@@ -197,16 +197,119 @@ def _run_elastic(
     return canonical, injected, log
 
 
+def _run_driver(
+    conf: EngineConf, batches: List[List[str]]
+) -> Tuple[Any, int, List[str]]:
+    """Streaming wordcount whose chaos target is the *driver* itself.
+
+    The ``driver`` profile schedules :data:`KIND_DRIVER_KILL` faults at
+    the streaming loop's journaled transition points (group boundary,
+    mid-group, mid-checkpoint).  When one fires, this workload does what a
+    process supervisor would: tears the incarnation down, restarts from
+    the control-plane WAL via :meth:`LocalCluster.recover`, seeds the
+    epoch-fenced sink from the journal's committed-batch high-water mark,
+    and resumes from the last committed group.  The pass criterion is the
+    usual one — byte-identical state versus the fault-free run — plus,
+    implicitly, zero double-emissions (the fenced sink would diverge the
+    state reconstruction if recommits landed)."""
+    import copy
+    import os
+    import shutil
+    import tempfile
+
+    from repro.common.errors import DriverKilled
+    from repro.engine.cluster import LocalCluster
+    from repro.streaming.context import StreamingContext
+    from repro.streaming.sinks import EpochFencedSink
+    from repro.streaming.sources import FixedBatchSource
+
+    # CI points REPRO_SOAK_WAL_ROOT somewhere artifact-uploadable so a
+    # failing seed's journal survives the run; default is a temp dir.
+    wal_root = os.environ.get("REPRO_SOAK_WAL_ROOT") or None
+    if wal_root:
+        Path(wal_root).mkdir(parents=True, exist_ok=True)
+    wal_dir = tempfile.mkdtemp(prefix="soak-wal-", dir=wal_root)
+    conf.ha.enabled = True
+    conf.ha.wal_dir = wal_dir
+    sink = EpochFencedSink()
+    total = len(batches)
+    injected = 0
+    log: List[str] = []
+
+    def attach(cluster: "LocalCluster"):
+        ctx = StreamingContext(
+            cluster, FixedBatchSource(batches, 4), batch_interval_s=0.05
+        )
+        store = ctx.state_store("counts")
+        stream = (
+            ctx.stream().map(lambda w: (w, 1)).reduce_by_key(lambda a, b: a + b, 3)
+        )
+
+        def deliver(batch_id: int, records: List[Any]) -> None:
+            # State is applied unconditionally — replay after recovery
+            # must reconstruct it from the checkpoint forward.  Only the
+            # *external emission* dedups: a batch already in the sink's
+            # restored ledger commits as a no-op.
+            store.update_many(dict(records), lambda a, b: a + b)
+            sink.commit(batch_id, sorted(records), epoch=cluster.driver.session_epoch)
+
+        ctx.register_output(stream, deliver)
+        return ctx, store
+
+    cluster = LocalCluster(conf)
+    try:
+        while True:
+            ctx, store = attach(cluster)
+            recovered = cluster.recovered_state
+            if recovered is not None and recovered.session_epoch > 0:
+                sink.adopt_epoch(cluster.driver.session_epoch)
+                sink.restore_ledger(sorted(recovered.committed_batches))
+                ctx.restore_from_recovery(recovered)
+            try:
+                ctx.run_batches(total - ctx.next_batch)
+            except DriverKilled:
+                # Control plane "died".  Harvest the fault accounting from
+                # the doomed incarnation, then restart from the WAL with
+                # chaos disabled: the injector is process-global and the
+                # recovered driver is the subject under test, not a fresh
+                # target.
+                if cluster.chaos is not None:
+                    injected += cluster.chaos.injected_count
+                    log += cluster.chaos.fault_log()
+                cluster.shutdown()
+                recover_conf = copy.deepcopy(conf)
+                recover_conf.chaos = ChaosConf(enabled=False)
+                cluster = LocalCluster.recover(wal_dir, recover_conf)
+                continue
+            if cluster.chaos is not None:
+                injected += cluster.chaos.injected_count
+                log += cluster.chaos.fault_log()
+            return sorted(store.items()), injected, log
+    finally:
+        cluster.shutdown()
+        if not wal_root:
+            # Under REPRO_SOAK_WAL_ROOT the journal is kept for the CI
+            # artifact upload; the default temp dir is cleaned up.
+            shutil.rmtree(wal_dir, ignore_errors=True)
+
+
 WORKLOADS: Dict[str, Callable[[EngineConf, List[List[str]]], Tuple[Any, int, List[str]]]] = {
     "wordcount": _run_wordcount,
     "streaming": _run_streaming,
     "elastic": _run_elastic,
+    "driver": _run_driver,
 }
 
 # The streaming workload defaults to the streaming fault profile (its
 # checkpoint/replay sites see no traffic under plain wordcount); the
-# elastic workload to the resize-racing kill profile for the same reason.
-DEFAULT_PROFILE = {"wordcount": "mixed", "streaming": "streaming", "elastic": "elastic"}
+# elastic workload to the resize-racing kill profile, and the driver
+# workload to the driver-kill profile, for the same reason.
+DEFAULT_PROFILE = {
+    "wordcount": "mixed",
+    "streaming": "streaming",
+    "elastic": "elastic",
+    "driver": "driver",
+}
 
 
 def run_soak(
@@ -215,11 +318,18 @@ def run_soak(
     seed_base: int = 0,
     out_dir: Optional[str] = None,
     echo: Callable[[str], None] = print,
+    keep_going: bool = False,
 ) -> Dict[str, Any]:
     """Run ``seeds`` seeded iterations; returns a JSON-able summary with
     ``ok`` true iff every run matched the fault-free baseline AND injected
-    at least one fault."""
+    at least one fault.
+
+    By default the loop stops at the first failing seed (fail fast: a CI
+    job surfaces the failure minutes earlier).  With ``keep_going`` every
+    seed runs regardless, so one flaky seed does not mask how the rest of
+    the range behaves."""
     workload = WORKLOADS[settings.workload]
+    soak_start = time.monotonic()
     batches = _word_batches(settings.workers * 1000 + settings.batches, settings.batches)
     out_path = Path(out_dir) if out_dir else None
     if out_path is not None:
@@ -275,18 +385,27 @@ def run_soak(
             _report_failure(
                 settings, seed, chaos, expected, got, error, fault_log, out_path, echo
             )
+            if not keep_going:
+                echo(
+                    f"soak: stopping after failing seed {seed} "
+                    "(pass --keep-going to run every seed)"
+                )
+                break
 
     summary = {
-        "ok": all(r.ok for r in results),
+        "ok": all(r.ok for r in results) and len(results) == seeds,
         "seeds": seeds,
         "seed_base": seed_base,
+        "attempted": len(results),
+        "keep_going": keep_going,
+        "wall_time_s": round(time.monotonic() - soak_start, 3),
         "settings": asdict(settings),
         "results": [asdict(r) for r in results],
     }
     if out_path is not None:
         (out_path / "soak-summary.json").write_text(json.dumps(summary, indent=2))
     passed = sum(1 for r in results if r.ok)
-    echo(f"soak: {passed}/{seeds} seed(s) passed")
+    echo(f"soak: {passed}/{seeds} seed(s) passed ({len(results)} attempted)")
     return summary
 
 
@@ -361,6 +480,11 @@ def _build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--intensity", type=float, default=1.0)
     soak.add_argument("--stage-timeout", type=float, default=30.0)
     soak.add_argument("--out", default=None, help="directory for summary/failure JSON")
+    soak.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="run every seed even after a failure (default: stop at the first)",
+    )
 
     plan = sub.add_parser("plan", help="print the fault plan for one seed")
     plan.add_argument("--seed", type=int, default=0)
@@ -392,7 +516,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         stage_timeout_s=args.stage_timeout,
     )
     summary = run_soak(
-        settings, seeds=args.seeds, seed_base=args.seed_base, out_dir=args.out
+        settings,
+        seeds=args.seeds,
+        seed_base=args.seed_base,
+        out_dir=args.out,
+        keep_going=args.keep_going,
     )
     return 0 if summary["ok"] else 1
 

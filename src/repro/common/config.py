@@ -368,7 +368,7 @@ class MonitorConf:
 # live in repro.chaos.plan (which imports this tuple to stay in sync);
 # validation happens here so a bad profile fails at conf time, before a
 # cluster exists.
-CHAOS_PROFILES = ("net", "workers", "storage", "streaming", "mixed", "elastic")
+CHAOS_PROFILES = ("net", "workers", "storage", "streaming", "mixed", "elastic", "driver")
 
 
 def _default_chaos_enabled() -> bool:
@@ -519,6 +519,45 @@ class ElasticConf:
             raise ConfigError("elastic shards_per_worker must be >= 1")
 
 
+def _default_ha_enabled() -> bool:
+    # REPRO_HA=1 arms the driver WAL for a whole pytest or soak run,
+    # mirroring REPRO_TEMPLATES / REPRO_TELEMETRY.
+    return _env_flag("REPRO_HA")
+
+
+@dataclass
+class HaConf:
+    """Driver fault tolerance (:mod:`repro.ha`).
+
+    When enabled, the driver journals control-plane transitions — session
+    epochs, membership, group commits, streaming checkpoint metadata and
+    sink high-water marks — to an append-only, CRC-framed write-ahead log
+    at group boundaries (the paper's natural commit points, §3.3).  A
+    crashed driver restarts via :meth:`LocalCluster.recover`, which
+    replays snapshot + tail and resumes from the last committed group;
+    the session epoch stamped into worker-bound messages fences off a
+    zombie driver that lost the restart race.
+    """
+
+    enabled: bool = field(default_factory=_default_ha_enabled)
+    # Directory holding wal.log + snapshot.bin; None lets the cluster
+    # create a per-run temporary directory (useful for tests, useless for
+    # an actual crash-restart — production runs should pin this).
+    wal_dir: Optional[str] = None
+    # fsync after every N appended records (1 = every record).  Group
+    # commits and session records always force a sync regardless.
+    fsync_every_n: int = 8
+    # Compact the journal into a snapshot every N group-commit records so
+    # replay cost stays O(live state), not O(history).
+    snapshot_every_n_groups: int = 4
+
+    def validate(self) -> None:
+        if self.fsync_every_n < 1:
+            raise ConfigError("ha fsync_every_n must be >= 1")
+        if self.snapshot_every_n_groups < 1:
+            raise ConfigError("ha snapshot_every_n_groups must be >= 1")
+
+
 @dataclass
 class EngineConf:
     """Configuration for the local BSP engine and the simulator."""
@@ -548,6 +587,7 @@ class EngineConf:
     telemetry: TelemetryConf = field(default_factory=TelemetryConf)
     templates: TemplateConf = field(default_factory=TemplateConf)
     elastic: ElasticConf = field(default_factory=ElasticConf)
+    ha: HaConf = field(default_factory=HaConf)
     # Deadline for one stage (and for wait_job when no explicit timeout is
     # given): a stalled stage raises a descriptive StageTimeout naming the
     # pending tasks and their workers instead of blocking forever.  None
@@ -601,6 +641,7 @@ class EngineConf:
         self.telemetry.validate()
         self.templates.validate()
         self.elastic.validate()
+        self.ha.validate()
         if (
             self.scheduling_mode is SchedulingMode.PER_BATCH
             and self.group_size != 1

@@ -150,6 +150,40 @@ class CheckpointError(ReproError):
     """A checkpoint could not be written or restored."""
 
 
+class DriverKilled(ReproError):
+    """The chaos layer simulated a driver crash (``SITE_DRIVER``).
+
+    Raised out of the streaming loop at the injection point so the
+    workload can tear the cluster down exactly as an abrupt driver exit
+    would — the WAL on disk is whatever was durably journaled before the
+    kill — and then exercise :meth:`LocalCluster.recover`.
+    """
+
+    def __init__(self, where: str = "group_boundary"):
+        super().__init__(f"driver killed by chaos injection at {where}")
+        self.where = where
+
+    def __reduce__(self):
+        return (DriverKilled, (self.where,))
+
+
+class StaleDriverEpoch(ReproError):
+    """A worker fenced off a message stamped with an old driver session
+    epoch (a zombie driver that lost a crash-restart race, §3.3-style
+    control-plane fencing)."""
+
+    def __init__(self, seen_epoch: int, adopted_epoch: int):
+        super().__init__(
+            f"stale driver epoch {seen_epoch} (worker adopted epoch "
+            f"{adopted_epoch}); refusing zombie-driver message"
+        )
+        self.seen_epoch = seen_epoch
+        self.adopted_epoch = adopted_epoch
+
+    def __reduce__(self):
+        return (StaleDriverEpoch, (self.seen_epoch, self.adopted_epoch))
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator detected an internal inconsistency."""
 

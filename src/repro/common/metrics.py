@@ -377,3 +377,21 @@ COUNT_MIGRATION_KEYS_MOVED = "migration.keys_moved"
 COUNT_MIGRATION_ABORTS = "migration.aborts"
 COUNT_MIGRATION_RETRIES = "migration.retries"
 HIST_MIGRATION_WALL = "migration.wall_s"
+# Re-established connections: a dial to an address whose previous
+# connection was actually established before (net.redials also counts
+# attempts that never connected; net.reconnects counts only dials that
+# succeeded after a prior success — the wire-level "came back" signal).
+COUNT_NET_RECONNECTS = "net.reconnects"
+# Driver fault tolerance (repro.ha): control-plane WAL traffic, replay
+# work done by recovery, and the fencing/parking behaviour of workers
+# while a driver is down.  ha.wal_lag gauges records appended since the
+# last fsync (0 = everything journaled is durable).
+COUNT_HA_WAL_APPENDS = "ha.wal_appends"
+COUNT_HA_WAL_FSYNCS = "ha.wal_fsyncs"
+COUNT_HA_WAL_REPLAYS = "ha.wal_replays"
+COUNT_HA_WAL_BYTES = "ha.wal_bytes"
+COUNT_HA_WAL_SNAPSHOTS = "ha.wal_snapshots"
+COUNT_HA_FENCED = "ha.fenced"
+COUNT_HA_PARKED_REPORTS = "ha.parked_reports"
+COUNT_HA_RECOVERIES = "ha.recoveries"
+GAUGE_HA_WAL_LAG = "ha.wal_lag"

@@ -9,6 +9,7 @@ correctness, API examples, and fault-injection tests; use
 
 from __future__ import annotations
 
+import tempfile
 import threading
 import warnings
 from typing import Any, List, Optional, Sequence
@@ -23,6 +24,7 @@ from repro.dag.plan import Action, PhysicalPlan, collect_action, compile_plan
 from repro.engine.driver import Driver
 from repro.engine.rpc import BaseTransport, Transport
 from repro.engine.worker import Worker
+from repro.ha.journal import ControlJournal, RecoveredState
 from repro.obs.export import write_jsonl, write_perfetto
 from repro.obs.live import ClusterTelemetry
 from repro.obs.trace import NULL_RECORDER, Recorder, TraceRecorder
@@ -100,6 +102,25 @@ class LocalCluster:
                 stale_after_s=stale_after,
             )
             self.driver.telemetry = self.telemetry
+        # Control-plane WAL (repro.ha): opened before any worker joins so
+        # the first membership record already lands in the journal, and a
+        # session epoch is claimed durably before any fenced message goes
+        # out.  ``recovered_state`` is what the *previous* incarnation's
+        # journal said the world looked like — LocalCluster.recover and
+        # the streaming context read it to resume.
+        self.journal: Optional[ControlJournal] = None
+        self.recovered_state: Optional[RecoveredState] = None
+        if self.conf.ha.enabled:
+            wal_dir = self.conf.ha.wal_dir or tempfile.mkdtemp(prefix="repro-wal-")
+            self.journal = ControlJournal(
+                wal_dir,
+                fsync_every_n=self.conf.ha.fsync_every_n,
+                snapshot_every_n_groups=self.conf.ha.snapshot_every_n_groups,
+                metrics=self.metrics,
+            )
+            self.recovered_state = self.journal.recovered
+            self.driver.journal = self.journal
+            self.driver.session_epoch = self.journal.open_session()
         self.workers: dict[str, Worker] = {}
         self._worker_seq = 0
         self._lock = threading.Lock()
@@ -135,6 +156,28 @@ class LocalCluster:
                 telemetry=self.telemetry,
             )
             install(self.chaos)
+
+    @classmethod
+    def recover(
+        cls,
+        wal_dir: str,
+        conf: Optional[EngineConf] = None,
+        clock: Optional[Clock] = None,
+    ) -> "LocalCluster":
+        """Restart a crashed driver from its control-plane WAL.
+
+        Builds a fresh cluster against the journal in ``wal_dir``: the
+        :class:`ControlJournal` constructor replays snapshot + tail, the
+        new session claims the next (fenced) epoch, and the folded prior
+        world is exposed as ``recovered_state`` for the caller — e.g.
+        ``StreamingContext.restore_from_recovery`` — to resume from the
+        last committed group.  Workers re-announce through the hub as they
+        start, exactly as on first boot; uncommitted groups re-execute via
+        ordinary §3.3 lineage recovery."""
+        conf = conf or EngineConf()
+        conf.ha.enabled = True
+        conf.ha.wal_dir = wal_dir
+        return cls(conf, clock=clock)
 
     def _make_transport(self, name: str) -> BaseTransport:
         if self.conf.transport.backend == "tcp":
@@ -197,6 +240,9 @@ class LocalCluster:
 
     def decommission_worker(self, worker_id: str) -> None:
         self.driver.decommission_worker(worker_id)
+        # Drop the discovery-directory entry too: a decommissioned worker
+        # must not be resolvable by peers forever (stale-address bugfix).
+        self.transport.evict(worker_id)
 
     def alive_workers(self) -> List[str]:
         return self.driver.alive_workers()
@@ -289,6 +335,12 @@ class LocalCluster:
         self.driver.stop_monitor()
         for worker in self.workers.values():
             worker.shutdown()
+        if self.journal is not None:
+            # A clean close fsyncs the tail; replay of a clean journal is
+            # a strict superset of replay after a torn tail.
+            self.journal.close()
+            self.journal = None
+            self.driver.journal = None
         # Close transports last: worker shutdown may still flush reports.
         for transport in reversed(self._transports):
             transport.close()

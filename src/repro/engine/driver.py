@@ -168,6 +168,12 @@ class Driver:
         # Live telemetry store (repro.obs.live), wired by LocalCluster
         # when TelemetryConf.enabled; heartbeat deltas land here.
         self.telemetry = None
+        # Driver fault tolerance (repro.ha), wired by LocalCluster when
+        # HaConf.enabled: the control-plane journal, and this driver
+        # incarnation's session epoch.  Epoch 0 means HA is off — no
+        # journaling, no fencing stamp, byte-identical non-HA behaviour.
+        self.journal = None
+        self.session_epoch = 0
         transport.register(DRIVER_ID, self)
         if conf.transport.data_plane.shm_shuffle:
             # Join the shm co-location directory (repro.data.shm): workers
@@ -192,6 +198,7 @@ class Driver:
             self._last_heartbeat[worker_id] = self.clock.now()
             self._bump_template_epoch()
         self._annotate_scale_event(worker_id, "join", "worker added")
+        self._journal_membership()
 
     def decommission_worker(self, worker_id: str) -> None:
         """Graceful removal: excluded from future placement; running tasks
@@ -200,6 +207,21 @@ class Driver:
             self._draining.add(worker_id)
             self._bump_template_epoch()
         self._annotate_scale_event(worker_id, "leave", "decommissioned")
+        self._journal_membership()
+
+    def _journal_membership(self) -> None:
+        if self.journal is not None:
+            with self._lock:
+                workers = sorted(self._alive - self._draining)
+                epoch = self._template_epoch
+            self.journal.record_membership(workers, template_epoch=epoch)
+
+    def _epoch_kwargs(self) -> Dict[str, int]:
+        """The fencing stamp for worker-bound messages; empty when HA is
+        off, so non-HA wire traffic stays byte-identical."""
+        if self.session_epoch > 0:
+            return {"driver_epoch": self.session_epoch}
+        return {}
 
     def _annotate_scale_event(self, worker_id: str, action: str, reason: str) -> None:
         if self.telemetry is not None:
@@ -361,7 +383,11 @@ class Driver:
             return
         for _ in range(3):
             if self.transport.try_call(
-                target, "pre_populate", job_id, [((shuffle_id, map_index), src)]
+                target,
+                "pre_populate",
+                job_id,
+                [((shuffle_id, map_index), src)],
+                **self._epoch_kwargs(),
             ):
                 return
         self.on_worker_lost(
@@ -489,7 +515,9 @@ class Driver:
                 self._job_ids_by_key.pop(job.job_key, None)
             workers = list(self._alive)
         for worker_id in workers:
-            self.transport.try_call(worker_id, "drop_job", job_id)
+            self.transport.try_call(
+                worker_id, "drop_job", job_id, **self._epoch_kwargs()
+            )
 
     # ------------------------------------------------------------------
     # Job registration (shared)
@@ -506,7 +534,9 @@ class Driver:
                 job_id = prior.job_id
                 # Clear any parked tasks left over from the prior attempt.
                 for worker_id in list(self._alive):
-                    self.transport.try_call(worker_id, "cancel_job", job_id)
+                    self.transport.try_call(
+                        worker_id, "cancel_job", job_id, **self._epoch_kwargs()
+                    )
             else:
                 job_id = self._next_job_id
                 self._next_job_id += 1
@@ -527,6 +557,7 @@ class Driver:
             self.jobs[job_id] = job
             if job_key is not None:
                 self._job_ids_by_key[job_key] = job_id
+            self._journal_job("submitted", job)
             if self.tracer.enabled:
                 if prior is not None:
                     self._finish_job_spans(prior, superseded=True)
@@ -721,14 +752,17 @@ class Driver:
                         f"failed={sorted(lost)} survived={survived}"
                     ),
                 )
+        ek = self._epoch_kwargs()
         for job_id, completed in prepopulate.items():
             for worker_id in self.alive_workers():
                 if not self.transport.try_call(
-                    worker_id, "pre_populate", job_id, completed
+                    worker_id, "pre_populate", job_id, completed, **ek
                 ):
                     # One retry: losing this message silently parks the
                     # worker's reduce tasks until the stage deadline.
-                    self.transport.try_call(worker_id, "pre_populate", job_id, completed)
+                    self.transport.try_call(
+                        worker_id, "pre_populate", job_id, completed, **ek
+                    )
         xfer_end = self.clock.now()
         self.metrics.counter(TIME_TASK_TRANSFER).add(xfer_end - xfer_start)
         if self.tracer.enabled:
@@ -772,12 +806,14 @@ class Driver:
         lost: Dict[str, str] = {}
         meta = template_meta or {}
 
+        ek = self._epoch_kwargs()
+
         def launch(worker_id: str) -> Optional[Tuple[str, str]]:
             try:
                 worker_meta = meta.get(worker_id)
                 if worker_meta is None:
                     self.transport.call(
-                        worker_id, "launch_tasks", per_worker[worker_id]
+                        worker_id, "launch_tasks", per_worker[worker_id], **ek
                     )
                 else:
                     self.transport.call(
@@ -785,6 +821,7 @@ class Driver:
                         "launch_tasks",
                         per_worker[worker_id],
                         worker_meta,
+                        **ek,
                     )
                 return None
             except WorkerLost as err:
@@ -924,7 +961,9 @@ class Driver:
             )
         xfer_start = self.clock.now()
         try:
-            self.transport.call(worker_id, "launch_tasks", [desc])
+            self.transport.call(
+                worker_id, "launch_tasks", [desc], **self._epoch_kwargs()
+            )
         finally:
             # WorkerLost propagates; the monitor path retries the task.
             xfer_end = self.clock.now()
@@ -1037,6 +1076,7 @@ class Driver:
                             job.map_epochs.get((spec.shuffle_id, map_index), 0),
                         )
                     ],
+                    **self._epoch_kwargs(),
                 )
 
     def _unblock_barrier_tasks(self, job: JobState) -> None:
@@ -1046,14 +1086,22 @@ class Driver:
             if all(d in job.map_status for d in deps):
                 self._launch_barrier_task(job, stage_index, partition)
 
+    def _journal_job(self, event: str, job: JobState) -> None:
+        if self.journal is not None:
+            self.journal.record_job(event, job.job_id, key=job.job_key)
+
     def _check_job_done(self, job: JobState) -> None:
         if job.error is not None:
-            job.done.set()
-            self._finish_job_spans(job)
+            if not job.done.is_set():
+                job.done.set()
+                self._finish_job_spans(job)
+                self._journal_job("completed", job)
             return
         if all(not rem for rem in job.stage_remaining.values()):
-            job.done.set()
-            self._finish_job_spans(job)
+            if not job.done.is_set():
+                job.done.set()
+                self._finish_job_spans(job)
+                self._journal_job("completed", job)
 
     def _handle_task_failure(self, job: JobState, report: TaskReport) -> None:
         err = report.error
@@ -1130,6 +1178,11 @@ class Driver:
         self.transport.mark_dead(worker_id)
         self._bump_template_epoch()
         self._annotate_scale_event(worker_id, "lost", reason)
+        if self.journal is not None:
+            self.journal.record_membership(
+                sorted(self._alive - self._draining),
+                template_epoch=self._template_epoch,
+            )
         for job in self.jobs.values():
             if not job.is_finished():
                 self._note_fault(job, f"worker {worker_id} lost: {reason}")
@@ -1264,7 +1317,9 @@ class Driver:
             job.relocated.add((stage_index, partition))
             self.metrics.counter(COUNT_TASKS_LAUNCHED).add(1)
             self.metrics.counter(COUNT_LAUNCH_RPCS).add(1)
-            delivered = self.transport.try_call(worker_id, "launch_tasks", [desc])
+            delivered = self.transport.try_call(
+                worker_id, "launch_tasks", [desc], **self._epoch_kwargs()
+            )
             if not delivered:
                 # A recovery launch that silently vanishes wedges the task
                 # forever.  One lost message is not proof the worker died
@@ -1291,10 +1346,18 @@ class Driver:
                     if dep in desc.deps
                 ]
                 if completed and not self.transport.try_call(
-                    worker_id, "pre_populate", job.job_id, completed
+                    worker_id,
+                    "pre_populate",
+                    job.job_id,
+                    completed,
+                    **self._epoch_kwargs(),
                 ):
                     if not self.transport.try_call(
-                        worker_id, "pre_populate", job.job_id, completed
+                        worker_id,
+                        "pre_populate",
+                        job.job_id,
+                        completed,
+                        **self._epoch_kwargs(),
                     ):
                         # Task delivered but its dependency seed was not:
                         # it would park forever.  Same remedy as a failed

@@ -111,6 +111,11 @@ class BaseTransport:
         transport overrides this.  Returns how many were dropped."""
         return 0
 
+    def evict(self, endpoint_id: str) -> None:
+        """Remove a decommissioned endpoint from the discovery directory so
+        ``__resolve__`` stops serving its stale address.  The in-process
+        transport has no directory; the tcp transport overrides this."""
+
     def close(self) -> None:
         """Release transport resources (sockets, pools); no-op in-process."""
 

@@ -16,6 +16,7 @@ reduce task pulls the actual buckets (push-metadata, pull-data).
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -29,8 +30,15 @@ from repro.chaos.plan import (
 )
 from repro.common.clock import Clock, WallClock
 from repro.common.config import EngineConf
-from repro.common.errors import FetchFailed, SerializationError, WorkerLost
+from repro.common.errors import (
+    FetchFailed,
+    SerializationError,
+    StaleDriverEpoch,
+    WorkerLost,
+)
 from repro.common.metrics import (
+    COUNT_HA_FENCED,
+    COUNT_HA_PARKED_REPORTS,
     COUNT_NET_FETCH_BATCHES,
     COUNT_SHM_FALLBACKS,
     COUNT_SHM_HITS,
@@ -167,6 +175,12 @@ class Worker:
             else None
         )
         self._template_epoch = 0
+        # Driver session-epoch fencing (repro.ha): the highest epoch seen
+        # on any driver message.  A message stamped with a *lower* epoch
+        # comes from a zombie — a driver believed dead whose restart
+        # already claimed a newer epoch — and is refused.  0 = unfenced
+        # (HA off): stamps never arrive and every message passes.
+        self._adopted_epoch = 0
         # Key-range state shards hosted for the elastic migration plane
         # (repro.elastic): per store, the owned hash ranges, their merged
         # key->value contents, and the partitioning epoch they arrived
@@ -272,10 +286,26 @@ class Worker:
     # ------------------------------------------------------------------
     # Driver -> worker RPCs
     # ------------------------------------------------------------------
+    def _fence(self, driver_epoch: Optional[int]) -> None:
+        """Adopt or refuse a driver session epoch (repro.ha fencing).
+
+        Raises :class:`StaleDriverEpoch` when the stamp is *older* than
+        one already adopted: only a restarted driver can have bumped the
+        epoch, so the sender is a zombie and must not mutate this worker.
+        Unstamped messages (``None`` — HA off, or plumbing) always pass."""
+        if driver_epoch is None:
+            return
+        with self._lock:
+            if driver_epoch < self._adopted_epoch:
+                self.metrics.counter(COUNT_HA_FENCED).add(1)
+                raise StaleDriverEpoch(driver_epoch, self._adopted_epoch)
+            self._adopted_epoch = driver_epoch
+
     def launch_tasks(
         self,
         descriptors: List[TaskDescriptor],
         template: Optional[Tuple[str, List[int], int]] = None,
+        driver_epoch: Optional[int] = None,
     ) -> None:
         """Receive a batch of tasks in one message.  Under group scheduling
         this batch spans every micro-batch in the group (§3.1).
@@ -284,6 +314,7 @@ class Worker:
         template-eligible group launch: cache this batch as an execution
         template so the next launch of the same shape can arrive as
         :meth:`instantiate_template` instead of a full payload."""
+        self._fence(driver_epoch)
         if template is not None and self.templates is not None:
             template_id, batch_ids, epoch = template
             if self.templates.install(template_id, epoch, descriptors, batch_ids):
@@ -292,13 +323,18 @@ class Worker:
             self._accept(desc)
 
     def instantiate_template(
-        self, template_id: str, batch_ids: List[int], epoch: int
+        self,
+        template_id: str,
+        batch_ids: List[int],
+        epoch: int,
+        driver_epoch: Optional[int] = None,
     ) -> bool:
         """Re-run a cached execution template with fresh batch (job) ids —
         the steady-state group launch.  Returns False when the template is
         absent, stale (older membership epoch), or shaped for a different
         group size; the transport surfaces that as ``template_miss`` and
         the driver falls back to a full launch."""
+        self._fence(driver_epoch)
         if self.templates is None:
             return False
         descriptors = self.templates.instantiate(template_id, batch_ids, epoch)
@@ -344,11 +380,17 @@ class Worker:
                 len(self._parked)
             )
 
-    def pre_populate(self, job_id: int, completed: List[Tuple]) -> None:
+    def pre_populate(
+        self,
+        job_id: int,
+        completed: List[Tuple],
+        driver_epoch: Optional[int] = None,
+    ) -> None:
         """Driver-supplied already-completed dependencies with their block
         locations (§3.3 recovery onto a new machine).  Entries are
         ``((shuffle_id, map_index), location)`` or, with the producing
         attempt included, ``((shuffle_id, map_index), location, epoch)``."""
+        self._fence(driver_epoch)
         to_run: List[TaskDescriptor] = []
         with self._lock:
             if self._dead:
@@ -370,7 +412,8 @@ class Worker:
         for desc in to_run:
             self._backend.submit(self._run_task, desc)
 
-    def cancel_job(self, job_id: int) -> None:
+    def cancel_job(self, job_id: int, driver_epoch: Optional[int] = None) -> None:
+        self._fence(driver_epoch)
         with self._lock:
             self._pending.pop(job_id, None)
             doomed = [k for k in self._parked if k[0] == job_id]
@@ -379,7 +422,8 @@ class Worker:
             if doomed:
                 self._tel_note_backlog()
 
-    def drop_job(self, job_id: int) -> None:
+    def drop_job(self, job_id: int, driver_epoch: Optional[int] = None) -> None:
+        self._fence(driver_epoch)
         self.blocks.drop_job(job_id)
         with self._lock:
             self._dep_locations = {
@@ -661,7 +705,16 @@ class Worker:
         a few times: losing a report silently wedges the stage until the
         driver's deadline fires, so the worker spends a little effort
         before giving up.  Reports are idempotent driver-side, so a
-        duplicate from a retry racing a slow first delivery is safe."""
+        duplicate from a retry racing a slow first delivery is safe.
+
+        When every quick attempt fails the driver itself may be down (the
+        crash-restart window, repro.ha): the report is *parked* and
+        retried with jittered backoff for a bounded window rather than
+        discarded, so a driver that restarts quickly receives completed
+        work instead of re-running it.  The window is short — a worker
+        must never wedge its executor thread (or ``shutdown(wait=True)``)
+        behind a driver that stays dead; past it, lineage re-execution
+        covers the loss exactly as before."""
         shm = self.blocks.shm
         if shm is not None and not self.is_dead:
             peer = shm.peer(DRIVER_ID)
@@ -690,6 +743,25 @@ class Worker:
                 )
                 continue  # the stripped report is picklable; retry with it
             time.sleep(0.02 * (attempt + 1))
+        self._park_report(report)
+
+    def _park_report(self, report: TaskReport) -> None:
+        """Bounded jittered redelivery of a report the driver never took."""
+        self.metrics.counter(COUNT_HA_PARKED_REPORTS).add(1)
+        deadline = time.monotonic() + 1.5
+        delay = 0.05
+        while time.monotonic() < deadline:
+            if self.is_dead:
+                return
+            # Jitter in [0.5, 1.5)x: parked workers must not stampede a
+            # freshly rebound driver listener in lockstep.
+            time.sleep(delay * (0.5 + random.random()))
+            try:
+                if self.transport.try_call(DRIVER_ID, "task_finished", report):
+                    return
+            except SerializationError:
+                return  # already stripped once; nothing further to shed
+            delay = min(delay * 2, 0.4)
 
     def _execute(self, desc: TaskDescriptor) -> TaskReport:
         """Run one task attempt, split into the backend-facing protocol:

@@ -1,0 +1,251 @@
+"""The control-plane journal: what the driver must remember to restart.
+
+Every record folds deterministically into one live-state dict, so the
+journal IS the fold — replay applies the same ``_fold`` the writer used,
+and compaction just persists the folded dict.  Journaled transitions
+(the §3.3 group-boundary commit points, per ISSUE 10):
+
+* ``session`` — a new driver session epoch (always fsynced: the epoch is
+  the fencing token, it must never be resurrected lower).
+* ``membership`` — the live worker set + template epoch after a
+  join/decommission.
+* ``job`` — job submission/completion bookkeeping.
+* ``group_commit`` — one committed streaming group: batch ids, a digest
+  of map-output locations, and the sink high-water mark (always
+  fsynced: this is the recovery line).
+* ``checkpoint`` — streaming checkpoint metadata plus the state-store
+  snapshots needed to resume without re-running history.
+* ``shard_map`` — a key-range shard-map flip at an elastic boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.common.metrics import COUNT_HA_RECOVERIES
+from repro.ha.wal import WalRecord, WriteAheadLog, load_wal
+
+
+def _initial_state() -> Dict[str, Any]:
+    return {
+        "epoch": 0,
+        "workers": [],
+        "template_epoch": 0,
+        "jobs": {"submitted": 0, "completed": 0, "open": []},
+        "committed_batches": set(),
+        "last_group": None,
+        "checkpoint": None,
+        "shard_map": None,
+    }
+
+
+def _fold(state: Dict[str, Any], record: WalRecord) -> None:
+    """Apply one journal record to the live-state dict (writer and
+    replayer share this, so they cannot disagree)."""
+    payload = record.payload
+    rtype = record.record_type
+    if rtype == "session":
+        state["epoch"] = max(state["epoch"], int(payload["epoch"]))
+    elif rtype == "membership":
+        state["workers"] = list(payload["workers"])
+        state["template_epoch"] = int(payload.get("template_epoch", 0))
+    elif rtype == "job":
+        jobs = state["jobs"]
+        key = payload.get("key")
+        if payload["event"] == "submitted":
+            jobs["submitted"] += 1
+            if key is not None and key not in jobs["open"]:
+                jobs["open"].append(key)
+        elif payload["event"] == "completed":
+            jobs["completed"] += 1
+            if key in jobs["open"]:
+                jobs["open"].remove(key)
+    elif rtype == "group_commit":
+        state["committed_batches"].update(payload["batch_ids"])
+        state["last_group"] = {
+            "batch_ids": list(payload["batch_ids"]),
+            "locations_digest": payload.get("locations_digest", ""),
+            "sink_hwm": sorted(payload.get("sink_hwm") or payload["batch_ids"]),
+        }
+        # A committed group retires the jobs it carried.
+        jobs = state["jobs"]
+        jobs["open"] = [
+            k for k in jobs["open"] if k not in set(payload.get("job_keys", []))
+        ]
+    elif rtype == "checkpoint":
+        state["checkpoint"] = {
+            "batch_index": int(payload["batch_index"]),
+            "next_batch": int(payload["next_batch"]),
+            "state_snapshots": payload.get("state_snapshots", {}),
+            "extra": payload.get("extra", {}),
+        }
+    elif rtype == "shard_map":
+        state["shard_map"] = payload.get("shard_map")
+    # Unknown record types fold to nothing: an old reader replaying a
+    # newer journal skips what it does not understand.
+
+
+def _fold_all(
+    snapshot: Optional[Dict[str, Any]], tail: List[WalRecord]
+) -> Dict[str, Any]:
+    state = _initial_state()
+    if snapshot is not None:
+        state.update(snapshot)
+        # Sets pickle fine but a hand-edited snapshot may carry a list.
+        state["committed_batches"] = set(state.get("committed_batches") or ())
+    for record in tail:
+        _fold(state, record)
+    return state
+
+
+@dataclass
+class RecoveredState:
+    """What a crashed driver's journal says the world looked like."""
+
+    session_epoch: int
+    workers: List[str]
+    template_epoch: int
+    committed_batches: frozenset
+    checkpoint: Optional[Dict[str, Any]]
+    shard_map: Any
+    jobs: Dict[str, Any]
+    replay_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def next_batch(self) -> int:
+        """First batch the restarted streaming loop should run."""
+        if self.checkpoint is not None:
+            return int(self.checkpoint.get("next_batch", 0))
+        return 0
+
+
+def _recovered_from(state: Dict[str, Any], stats: Dict[str, int]) -> RecoveredState:
+    return RecoveredState(
+        session_epoch=int(state["epoch"]),
+        workers=list(state["workers"]),
+        template_epoch=int(state["template_epoch"]),
+        committed_batches=frozenset(state["committed_batches"]),
+        checkpoint=state["checkpoint"],
+        shard_map=state["shard_map"],
+        jobs=dict(state["jobs"]),
+        replay_stats=dict(stats),
+    )
+
+
+class ControlJournal:
+    """Drives the WAL on behalf of the driver/streaming control plane.
+
+    Thread-safe: the driver journals membership and job events from its
+    own lock while the streaming loop journals group commits.
+    """
+
+    def __init__(
+        self,
+        wal_dir: str,
+        fsync_every_n: int = 8,
+        snapshot_every_n_groups: int = 4,
+        metrics=None,
+    ):
+        self.wal = WriteAheadLog(wal_dir, fsync_every_n=fsync_every_n, metrics=metrics)
+        self.snapshot_every_n_groups = max(1, snapshot_every_n_groups)
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        snapshot, tail, stats = self.wal.load()
+        self._state = _fold_all(snapshot, tail)
+        # The world as the previous incarnation left it, before this
+        # session touches anything; LocalCluster.recover reads this.
+        self.recovered = _recovered_from(self._state, stats)
+        self._groups_since_compact = 0
+
+    @property
+    def wal_dir(self) -> str:
+        return self.wal.wal_dir
+
+    def open_session(self) -> int:
+        """Claim the next driver session epoch (fenced, durable)."""
+        with self._lock:
+            epoch = int(self._state["epoch"]) + 1
+            self._state["epoch"] = epoch
+            self.wal.append("session", {"epoch": epoch}, force_sync=True)
+            return epoch
+
+    def _append(self, record_type: str, payload: Dict[str, Any], force_sync: bool):
+        record = WalRecord(record_type, payload)
+        _fold(self._state, record)
+        self.wal.append(record_type, payload, force_sync=force_sync)
+
+    def record_membership(self, workers, template_epoch: int = 0) -> None:
+        with self._lock:
+            self._append(
+                "membership",
+                {"workers": sorted(workers), "template_epoch": template_epoch},
+                force_sync=False,
+            )
+
+    def record_job(self, event: str, job_id: int, key: Any = None) -> None:
+        with self._lock:
+            self._append(
+                "job", {"event": event, "job_id": job_id, "key": key}, force_sync=False
+            )
+
+    def record_group_commit(
+        self,
+        batch_ids,
+        locations_digest: str = "",
+        sink_hwm=None,
+        job_keys=None,
+    ) -> None:
+        """One streaming group committed — the durable recovery line."""
+        with self._lock:
+            self._append(
+                "group_commit",
+                {
+                    "batch_ids": list(batch_ids),
+                    "locations_digest": locations_digest,
+                    "sink_hwm": sorted(sink_hwm) if sink_hwm is not None else None,
+                    "job_keys": list(job_keys or ()),
+                },
+                force_sync=True,
+            )
+            self._groups_since_compact += 1
+            if self._groups_since_compact >= self.snapshot_every_n_groups:
+                self.wal.compact(self._state)
+                self._groups_since_compact = 0
+
+    def record_checkpoint(
+        self, batch_index: int, next_batch: int, state_snapshots, extra=None
+    ) -> None:
+        with self._lock:
+            self._append(
+                "checkpoint",
+                {
+                    "batch_index": batch_index,
+                    "next_batch": next_batch,
+                    "state_snapshots": state_snapshots,
+                    "extra": dict(extra or {}),
+                },
+                force_sync=True,
+            )
+
+    def record_shard_map(self, shard_map) -> None:
+        with self._lock:
+            self._append("shard_map", {"shard_map": shard_map}, force_sync=False)
+
+    def sync(self) -> None:
+        with self._lock:
+            self.wal.sync()
+
+    def close(self) -> None:
+        with self._lock:
+            self.wal.close()
+
+    @staticmethod
+    def recover(wal_dir: str, metrics=None) -> RecoveredState:
+        """Read-only replay of a WAL directory into a RecoveredState."""
+        snapshot, tail, stats = load_wal(wal_dir, metrics=metrics)
+        state = _fold_all(snapshot, tail)
+        if metrics is not None:
+            metrics.counter(COUNT_HA_RECOVERIES).add(1)
+        return _recovered_from(state, stats)

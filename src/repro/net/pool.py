@@ -30,6 +30,7 @@ from repro.common.errors import ReproError
 from repro.common.metrics import (
     COUNT_NET_CONNECT_RETRIES,
     COUNT_NET_CONNECTIONS,
+    COUNT_NET_RECONNECTS,
     COUNT_NET_REDIALS,
     MetricsRegistry,
 )
@@ -103,6 +104,11 @@ class ConnectionPool:
             sock.settimeout(self.call_timeout_s)
             self.metrics.counter(COUNT_NET_CONNECTIONS).add(1)
             with self._lock:
+                if addr in self._dialed:
+                    # A redial that actually *connected*: the peer (or its
+                    # reborn successor) came back — the recovery signal a
+                    # dashboard wants, as opposed to redial attempts.
+                    self.metrics.counter(COUNT_NET_RECONNECTS).add(1)
                 self._dialed.add(addr)
             return sock
         raise ConnectFailed(

@@ -92,6 +92,10 @@ from repro.obs.trace import Recorder
 ANNOUNCE = "__announce__"
 RESOLVE = "__resolve__"
 PING = "__ping__"
+# Directory eviction for decommissioned endpoints: plumbing like
+# ANNOUNCE/RESOLVE — without it the hub serves a decommissioned worker's
+# stale address forever (the ISSUE 10 satellite bugfix).
+EVICT = "__evict__"
 # Telemetry-delta shipping (repro.obs.live) when heartbeats are off:
 # plumbing like the three above, so ±0 message-count parity holds.
 METRICS = "__metrics__"
@@ -258,6 +262,34 @@ class TcpTransport(BaseTransport):
         if local and all_local_dead:
             self.close()
 
+    def evict(self, endpoint_id: str) -> None:
+        """Decommission an endpoint from discovery: the hub drops its
+        directory entry (plus per-peer caches) so ``__resolve__`` stops
+        serving a stale address; a non-hub transport forwards the
+        eviction to the hub as uncounted plumbing."""
+        self._forget_addr(endpoint_id)
+        if self.is_hub:
+            self._evict_entry(endpoint_id)
+            return
+        try:
+            self._internal_call(
+                self._hub_addr, Envelope("<hub>", EVICT, None), (endpoint_id,)
+            )
+        except WorkerLost:
+            pass  # hub gone: there is no directory left to evict from
+
+    def _evict_entry(self, endpoint_id: str) -> None:
+        with self._lock:
+            prior = self._directory.pop(endpoint_id, None)
+            self._addr_cache.pop(endpoint_id, None)
+        if prior is not None:
+            self.pool.invalidate(prior)
+        if self._stage_sender is not None:
+            self._stage_sender.forget_peer(endpoint_id)
+        dropped = self._template_sender.forget_peer(endpoint_id)
+        if dropped:
+            self.metrics.counter(COUNT_TEMPLATE_INVALIDATED).add(dropped)
+
     def is_alive(self, endpoint_id: str) -> bool:
         with self._lock:
             if endpoint_id in self._dead:
@@ -381,10 +413,13 @@ class TcpTransport(BaseTransport):
             envelope.method == LAUNCH_TASKS
             and self._stage_sender is not None
             and 1 <= len(args) <= 2
-            and not kwargs
+            and (not kwargs or set(kwargs) == {"driver_epoch"})
         ):
+            # The HA fencing stamp (driver_epoch) is the one kwarg the
+            # tokenized launch path carries through; anything else falls
+            # back to the plain exchange below.
             template_meta = args[1] if len(args) == 2 else None
-            return self._launch_exchange(addr, envelope, args[0], template_meta)
+            return self._launch_exchange(addr, envelope, args[0], template_meta, kwargs)
         return self._internal_call(addr, envelope, args, kwargs)
 
     def _launch_exchange(
@@ -393,6 +428,7 @@ class TcpTransport(BaseTransport):
         envelope: Envelope,
         descriptors: Any,
         template_meta: Optional[Tuple[str, Tuple[int, ...], int]] = None,
+        kwargs: Optional[Dict[str, Any]] = None,
     ) -> Tuple[str, Any]:
         """Send a launch with plans tokenized; re-ship blobs on
         ``stage_miss`` until the receiver can decode (bounded).
@@ -417,7 +453,7 @@ class TcpTransport(BaseTransport):
                     addr,
                     Envelope(dst, INSTANTIATE_TEMPLATE, envelope.trace_ctx),
                     (instantiate,),
-                    None,
+                    kwargs,
                 )
                 launch_bytes.add(sent)
                 if status == _TEMPLATE_MISS:
@@ -449,7 +485,7 @@ class TcpTransport(BaseTransport):
                     launch, template_meta[0], list(template_meta[1]), template_meta[2]
                 )
             status, value, sent = self._internal_call_ex(
-                addr, envelope, (payload,), None
+                addr, envelope, (payload,), kwargs
             )
             launch_bytes.add(sent)
             if status == _STAGE_MISS:
@@ -641,6 +677,10 @@ class TcpTransport(BaseTransport):
                     return (_OK, None)
                 addr = self._directory.get(endpoint_id)
             return (_OK, None if addr is None else (addr[0], addr[1]))
+        if method == EVICT:
+            (endpoint_id,) = args
+            self._evict_entry(endpoint_id)
+            return (_OK, None)
         if method == PING:
             with self._lock:
                 alive = (
@@ -701,6 +741,7 @@ class TcpTransport(BaseTransport):
                     instantiate.template_id,
                     list(instantiate.batch_ids),
                     instantiate.epoch,
+                    **kwargs,
                 )
             except BaseException as err:  # noqa: BLE001 - surfaced caller-side
                 return (_ERR, err)

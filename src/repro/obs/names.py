@@ -23,6 +23,14 @@ from repro.common.metrics import (
     COUNT_ELASTIC_WORKERS_ADDED,
     COUNT_ELASTIC_WORKERS_REMOVED,
     COUNT_GROUPS_SCHEDULED,
+    COUNT_HA_FENCED,
+    COUNT_HA_PARKED_REPORTS,
+    COUNT_HA_RECOVERIES,
+    COUNT_HA_WAL_APPENDS,
+    COUNT_HA_WAL_BYTES,
+    COUNT_HA_WAL_FSYNCS,
+    COUNT_HA_WAL_REPLAYS,
+    COUNT_HA_WAL_SNAPSHOTS,
     COUNT_LAUNCH_RPCS,
     COUNT_MIGRATION_ABORTS,
     COUNT_MIGRATION_KEYS_MOVED,
@@ -35,6 +43,7 @@ from repro.common.metrics import (
     COUNT_NET_CONNECTIONS,
     COUNT_NET_FETCH_BATCHES,
     COUNT_NET_LAUNCH_BYTES_SENT,
+    COUNT_NET_RECONNECTS,
     COUNT_NET_REDIALS,
     COUNT_NET_TEMPLATE_BYTES_SAVED,
     COUNT_RECOVERIES,
@@ -52,6 +61,7 @@ from repro.common.metrics import (
     COUNT_TEMPLATE_MISS,
     COUNT_TELEMETRY_RECORDS,
     COUNT_TELEMETRY_TASKS,
+    GAUGE_HA_WAL_LAG,
     GAUGE_NET_OPEN_CONNECTIONS,
     GAUGE_TELEMETRY_BACKLOG,
     GAUGE_TELEMETRY_STREAM_BACKLOG,
@@ -156,6 +166,7 @@ METRIC_NAMES = frozenset(
         COUNT_NET_CONNECT_RETRIES,
         COUNT_NET_FETCH_BATCHES,
         COUNT_NET_REDIALS,
+        COUNT_NET_RECONNECTS,
         HIST_NET_BUCKETS_PER_FETCH,
         COUNT_NET_BYTES_SAVED_COMPRESSION,
         COUNT_STAGE_CACHE_HIT,
@@ -190,6 +201,15 @@ METRIC_NAMES = frozenset(
         COUNT_MIGRATION_ABORTS,
         COUNT_MIGRATION_RETRIES,
         HIST_MIGRATION_WALL,
+        COUNT_HA_WAL_APPENDS,
+        COUNT_HA_WAL_FSYNCS,
+        COUNT_HA_WAL_REPLAYS,
+        COUNT_HA_WAL_BYTES,
+        COUNT_HA_WAL_SNAPSHOTS,
+        COUNT_HA_FENCED,
+        COUNT_HA_PARKED_REPORTS,
+        COUNT_HA_RECOVERIES,
+        GAUGE_HA_WAL_LAG,
     }
 )
 

@@ -107,6 +107,25 @@ def render_dashboard(telemetry: ClusterTelemetry) -> str:
             "  fault rates /s     "
             + "  ".join(f"{k[:-6]}={v:.2f}" for k, v in sorted(rates.items()) if v)
         )
+    # Control-plane WAL health (repro.ha): shown only when HA is armed —
+    # the driver registry carries ha.* counters then.
+    driver_state = rollup["workers"].get(DRIVER_TIMELINE) or {}
+    ha_counters = {
+        k: v
+        for k, v in (driver_state.get("counters") or {}).items()
+        if k.startswith("ha.")
+    }
+    if ha_counters:
+        lag = (driver_state.get("gauges") or {}).get("ha.wal_lag", 0)
+        lines.append(
+            "  ha wal             "
+            f"appends={ha_counters.get('ha.wal_appends', 0):g}"
+            f" fsyncs={ha_counters.get('ha.wal_fsyncs', 0):g}"
+            f" snapshots={ha_counters.get('ha.wal_snapshots', 0):g}"
+            f" lag={lag:g}B"
+            f" replays={ha_counters.get('ha.wal_replays', 0):g}"
+            f" fenced={ha_counters.get('ha.fenced', 0):g}"
+        )
     lines.append("")
 
     lines.append("workers")

@@ -14,7 +14,7 @@ from repro.streaming.reoptimizer import (
     attach_adaptive_output,
 )
 from repro.streaming.sliding import SlidingWindowAggregator, attach_sliding_window
-from repro.streaming.sinks import AppendSink, IdempotentSink, Sink
+from repro.streaming.sinks import AppendSink, EpochFencedSink, IdempotentSink, Sink
 from repro.streaming.sources import (
     BatchRange,
     FixedBatchSource,
@@ -41,6 +41,7 @@ __all__ = [
     "DStream",
     "SourceDStream",
     "AppendSink",
+    "EpochFencedSink",
     "IdempotentSink",
     "Sink",
     "BatchRange",

@@ -14,6 +14,7 @@ outputs are not recomputed (lineage reuse).
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
@@ -21,12 +22,14 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.chaos.injector import chaos_hit
 from repro.chaos.plan import (
     KIND_CHECKPOINT_KILL,
+    KIND_DRIVER_KILL,
+    SITE_DRIVER,
     SITE_STREAM_CHECKPOINT,
     SITE_STREAM_GROUP,
 )
 from repro.common.clock import Clock, WallClock
-from repro.common.errors import StreamingError
-from repro.common.metrics import COUNT_CHECKPOINTS
+from repro.common.errors import DriverKilled, StreamingError
+from repro.common.metrics import COUNT_CHECKPOINTS, COUNT_HA_RECOVERIES
 from repro.dag.plan import PhysicalPlan, collect_action, compile_plan
 from repro.engine.cluster import LocalCluster
 from repro.obs.names import SPAN_CHECKPOINT, SPAN_RECOVERY
@@ -172,9 +175,12 @@ class StreamingContext:
         remaining = n
         while remaining > 0:
             group_size = max(1, min(self.driver.current_group_size, remaining))
-            self._run_group(range(self.next_batch, self.next_batch + group_size))
+            batch_indices = range(self.next_batch, self.next_batch + group_size)
+            self._run_group(batch_indices)
             self.next_batch += group_size
             remaining -= group_size
+            self._journal_group_commit(batch_indices)
+            self._driver_chaos("boundary")
             telemetry = getattr(self.cluster, "telemetry", None)
             if telemetry is not None:
                 telemetry.observe_stream_backlog(remaining)
@@ -193,7 +199,50 @@ class StreamingContext:
             if self._elasticity is not None:
                 self._elasticity.at_group_boundary(self.batch_stats)
 
+    def _driver_chaos(self, where: str) -> None:
+        """A scheduled driver kill (repro.ha chaos): raise out of the
+        batch loop *as if the driver process died here*.  Placement
+        matters — ``mid_group`` fires before the group's commit is
+        journaled and ``mid_checkpoint`` before the checkpoint record, so
+        the WAL's contents match what a real crash at that point leaves."""
+        fault = chaos_hit(SITE_DRIVER, method=where)
+        if fault is not None and fault.kind == KIND_DRIVER_KILL:
+            raise DriverKilled(where)
+
+    def _journal_group_commit(self, batch_indices: range) -> None:
+        """Journal one committed group — the durable recovery line (§3.3
+        group boundary): the batch ids it carried, which output jobs they
+        retired, a digest of where their map outputs live, and the sink
+        high-water mark implied by the in-order callbacks having run."""
+        journal = getattr(self.cluster, "journal", None)
+        if journal is None:
+            return
+        job_keys = [
+            (op.index, batch_index)
+            for batch_index in batch_indices
+            for op in self.output_ops
+        ]
+        journal.record_group_commit(
+            list(batch_indices),
+            locations_digest=self._locations_digest(job_keys),
+            sink_hwm=list(batch_indices),
+            job_keys=job_keys,
+        )
+
+    def _locations_digest(self, job_keys: List[Any]) -> str:
+        """Stable digest of the group's map-output locations, journaled so
+        a recovering driver can tell whether worker-held shuffle state
+        still matches what the committed group produced."""
+        items: List[Any] = []
+        for key in job_keys:
+            job_id = self.driver._job_ids_by_key.get(key)
+            job = self.driver.jobs.get(job_id) if job_id is not None else None
+            if job is not None:
+                items.append((key, sorted(job.map_status.items())))
+        return hashlib.sha1(repr(items).encode()).hexdigest()
+
     def _run_group(self, batch_indices: range, reuse: bool = True) -> None:
+        self._driver_chaos("mid_group")
         start = self.clock.now()
         plans: List[PhysicalPlan] = []
         keys: List[Any] = []
@@ -239,6 +288,7 @@ class StreamingContext:
     # ------------------------------------------------------------------
     def checkpoint(self) -> Checkpoint:
         """Synchronous checkpoint at a group boundary."""
+        self._driver_chaos("mid_checkpoint")
         fault = chaos_hit(SITE_STREAM_CHECKPOINT)
         if fault is not None and fault.kind == KIND_CHECKPOINT_KILL:
             # A machine dies while the checkpoint is being taken; the
@@ -258,6 +308,14 @@ class StreamingContext:
                 extra={"next_batch": self.next_batch},
             )
             self.checkpoints.save(cp)
+            journal = getattr(self.cluster, "journal", None)
+            if journal is not None:
+                journal.record_checkpoint(
+                    cp.batch_index,
+                    self.next_batch,
+                    cp.state_snapshots,
+                    extra=cp.extra,
+                )
             self._batches_since_checkpoint = 0
             self.cluster.metrics.counter(COUNT_CHECKPOINTS).add(1)
             # Shuffle data at or before the checkpoint is no longer needed
@@ -303,3 +361,46 @@ class StreamingContext:
                 replayed=last - first_replay + 1,
             )
         return last - first_replay + 1
+
+    def restore_from_recovery(self, state) -> int:
+        """Resume this (rebuilt) context from a crashed driver's journal.
+
+        ``state`` is the :class:`repro.ha.RecoveredState` a
+        ``LocalCluster.recover(wal_dir)`` exposes.  State stores are
+        restored from the last *journaled* checkpoint's snapshots, the
+        source is rolled back to it, and ``next_batch`` is set so the
+        batch loop re-runs exactly the suffix the journal never saw
+        commit.  Returns the first batch the resumed loop will run.
+        Callers must have rebuilt the pipeline (outputs + state stores
+        under the same names) against the recovered cluster first."""
+        with self.tracer.start_span(
+            SPAN_RECOVERY, root=True, actor="driver", kind="restore_from_recovery"
+        ) as span:
+            cp_data = state.checkpoint
+            if cp_data is not None:
+                snapshots = cp_data.get("state_snapshots", {})
+                for name, store in self.state_stores.items():
+                    store.restore(dict(snapshots.get(name, {})))
+                # Seed the journal's checkpoint into the in-memory store so
+                # a later restore_and_replay rolls back to it, not to zero.
+                self.checkpoints.save(
+                    Checkpoint(
+                        batch_index=int(cp_data["batch_index"]),
+                        state_snapshots=snapshots,
+                        extra=dict(cp_data.get("extra", {})),
+                    )
+                )
+                self.next_batch = int(cp_data["next_batch"])
+            else:
+                for store in self.state_stores.values():
+                    store.restore({})
+                self.next_batch = 0
+            if isinstance(self.source, LogSource):
+                self.source.forget_after(self.next_batch - 1)
+            self._batches_since_checkpoint = 0
+            self.cluster.metrics.counter(COUNT_HA_RECOVERIES).add(1)
+            span.annotate(
+                next_batch=self.next_batch,
+                committed=len(state.committed_batches),
+            )
+        return self.next_batch

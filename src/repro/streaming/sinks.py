@@ -54,6 +54,55 @@ class IdempotentSink(Sink):
             return out
 
 
+class EpochFencedSink(IdempotentSink):
+    """Idempotent sink with driver session-epoch fencing (repro.ha).
+
+    Two extensions over :class:`IdempotentSink`, both for the
+    crash-restart window:
+
+    * ``restore_ledger(batch_ids)`` — seed the dedup ledger from the
+      journal's committed-batch high-water mark, so a restarted driver
+      re-running the suffix cannot double-emit a batch whose commit the
+      crashed incarnation already delivered (re-commits return False and
+      count as duplicates, exactly as for an in-memory replay).
+    * ``adopt_epoch(epoch)`` / epoch-stamped commits — a commit from a
+      session epoch *older* than the newest adopted one comes from a
+      zombie driver and is refused outright (not recorded, not counted
+      as a duplicate): only the restarted driver's output lands.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._epoch = 0
+        self.fenced_commits = 0
+
+    def adopt_epoch(self, epoch: int) -> None:
+        with self._lock:
+            self._epoch = max(self._epoch, int(epoch))
+
+    def restore_ledger(self, batch_ids: Sequence[int]) -> None:
+        """Mark ``batch_ids`` as already committed (records unknown —
+        they were delivered by the previous incarnation)."""
+        with self._lock:
+            for batch_id in batch_ids:
+                self._by_batch.setdefault(int(batch_id), [])
+
+    def commit(
+        self, batch_id: int, records: Sequence[Any], epoch: int = 0
+    ) -> bool:
+        with self._lock:
+            if epoch:
+                if epoch < self._epoch:
+                    self.fenced_commits += 1
+                    return False
+                self._epoch = max(self._epoch, epoch)
+            if batch_id in self._by_batch:
+                self.duplicate_commits += 1
+                return False
+            self._by_batch[batch_id] = list(records)
+            return True
+
+
 class AppendSink(Sink):
     """No dedup: replayed batches append duplicates (at-least-once)."""
 

@@ -11,6 +11,7 @@ from repro.chaos.plan import (
     KIND_NET_GARBLE,
     KIND_WORKER_KILL,
     SITE_BLOCKS_FETCH,
+    SITE_DRIVER,
     SITE_ELASTIC_RESIZE,
     SITE_EXEC_COMPUTE,
     SITE_NET_CALL,
@@ -45,7 +46,9 @@ _PROFILE_SITES = {
         SITE_STREAM_GROUP,
         SITE_EXEC_COMPUTE,
     },
-    "mixed": set(ALL_SITES) - {SITE_STREAM_CHECKPOINT, SITE_STREAM_GROUP, SITE_ELASTIC_RESIZE},
+    "driver": {SITE_DRIVER, SITE_EXEC_COMPUTE},
+    "mixed": set(ALL_SITES)
+    - {SITE_STREAM_CHECKPOINT, SITE_STREAM_GROUP, SITE_ELASTIC_RESIZE, SITE_DRIVER},
 }
 
 

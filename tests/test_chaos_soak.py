@@ -78,6 +78,53 @@ class TestRunSoak:
         # The printed repro command pins the failing seed.
         assert any("--seed-base 5" in line for line in lines)
 
+    def test_driver_workload_survives_driver_kills(self, tmp_path):
+        """The ISSUE 10 acceptance loop in miniature: the driver profile
+        kills the driver at journaled transition points and the workload
+        recovers from the WAL to the chaos-free baseline."""
+        summary = run_soak(
+            fast_settings(workload="driver", profile="driver", batches=4),
+            seeds=1,
+            out_dir=str(tmp_path),
+            echo=lambda _: None,
+        )
+        assert summary["ok"] is True
+        result = summary["results"][0]
+        assert result["injected"] >= 1
+        assert any("driver_kill" in line for line in result["fault_log"])
+
+    def test_keep_going_attempts_every_seed(self, tmp_path, monkeypatch):
+        """Default is fail-fast (first mismatch stops the run); with
+        keep_going the soak attempts every seed and still reports failure."""
+
+        def lying_workload(conf, batches):
+            if conf.chaos.enabled:
+                return [["wrong"]], 1, ["worker_kill @ worker.task hit 1"]
+            return [["right"]], 0, []
+
+        monkeypatch.setitem(soak.WORKLOADS, "lying", lying_workload)
+        fast = run_soak(
+            fast_settings(workload="lying"),
+            seeds=3,
+            out_dir=str(tmp_path / "fast"),
+            echo=lambda _: None,
+        )
+        assert fast["ok"] is False
+        assert fast["attempted"] == 1  # stopped at the first failure
+        thorough = run_soak(
+            fast_settings(workload="lying"),
+            seeds=3,
+            out_dir=str(tmp_path / "all"),
+            echo=lambda _: None,
+            keep_going=True,
+        )
+        assert thorough["ok"] is False
+        assert thorough["attempted"] == 3
+        assert thorough["keep_going"] is True
+        assert thorough["wall_time_s"] >= 0
+        for result in thorough["results"]:
+            assert result["duration_s"] >= 0
+
     def test_zero_injected_faults_is_a_failure(self, monkeypatch):
         # Matching output is not enough: an armed run that injected
         # nothing proves nothing, and the soak must say so.
@@ -121,5 +168,5 @@ class TestCli:
     def test_profiles_subcommand(self, capsys):
         assert main(["profiles"]) == 0
         out = capsys.readouterr().out
-        for profile in ("net", "workers", "storage", "streaming", "mixed"):
+        for profile in ("net", "workers", "storage", "streaming", "mixed", "driver"):
             assert profile in out

@@ -1,0 +1,221 @@
+"""Tests for the control-plane WAL (repro.ha.wal) and journal fold.
+
+The properties that matter for crash recovery:
+
+* append → read roundtrip preserves records in order;
+* a torn tail (truncated or corrupted final record) is dropped cleanly —
+  the intact prefix replays, nothing raises (property-tested over every
+  truncation point and random corruptions);
+* snapshot compaction keeps replay O(live state): after compaction the
+  log is empty and the snapshot alone reproduces the folded state;
+* fsync batching syncs every N appends, and force_sync always syncs.
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro.common.metrics import (
+    COUNT_HA_WAL_APPENDS,
+    COUNT_HA_WAL_FSYNCS,
+    COUNT_HA_WAL_SNAPSHOTS,
+    MetricsRegistry,
+)
+from repro.ha.journal import ControlJournal
+from repro.ha.wal import (
+    HEADER,
+    LOG_NAME,
+    WriteAheadLog,
+    encode_record,
+    load_wal,
+    read_wal_records,
+)
+
+
+class TestWalRoundtrip:
+    def test_append_read_roundtrip(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append("session", {"epoch": 1})
+        wal.append("membership", {"workers": ["w0", "w1"]})
+        wal.append("group_commit", {"batch_ids": [0, 1, 2]}, force_sync=True)
+        wal.close()
+        records, dropped = read_wal_records(str(tmp_path / LOG_NAME))
+        assert dropped == 0
+        assert [(r.record_type, r.payload) for r in records] == [
+            ("session", {"epoch": 1}),
+            ("membership", {"workers": ["w0", "w1"]}),
+            ("group_commit", {"batch_ids": [0, 1, 2]}),
+        ]
+
+    def test_missing_log_is_empty_not_error(self, tmp_path):
+        assert read_wal_records(str(tmp_path / "absent.log")) == ([], 0)
+        snapshot, tail, stats = load_wal(str(tmp_path / "nowhere"))
+        assert snapshot is None and tail == []
+        assert stats["records_replayed"] == 0
+
+    def test_fsync_batching_and_force_sync(self, tmp_path):
+        metrics = MetricsRegistry()
+        wal = WriteAheadLog(str(tmp_path), fsync_every_n=3, metrics=metrics)
+        wal.append("job", {"event": "submitted", "job_id": 1})
+        wal.append("job", {"event": "submitted", "job_id": 2})
+        assert metrics.counter(COUNT_HA_WAL_FSYNCS).value == 0
+        wal.append("job", {"event": "submitted", "job_id": 3})  # 3rd: batch sync
+        assert metrics.counter(COUNT_HA_WAL_FSYNCS).value == 1
+        wal.append("group_commit", {"batch_ids": [0]}, force_sync=True)
+        assert metrics.counter(COUNT_HA_WAL_FSYNCS).value == 2
+        assert metrics.counter(COUNT_HA_WAL_APPENDS).value == 4
+        wal.close()
+
+    def test_compaction_truncates_log_and_persists_state(self, tmp_path):
+        metrics = MetricsRegistry()
+        wal = WriteAheadLog(str(tmp_path), metrics=metrics)
+        for i in range(4):
+            wal.append("job", {"event": "submitted", "job_id": i})
+        wal.compact({"jobs": 4, "committed_batches": {0, 1}})
+        assert (tmp_path / LOG_NAME).stat().st_size == 0
+        assert metrics.counter(COUNT_HA_WAL_SNAPSHOTS).value == 1
+        wal.append("job", {"event": "submitted", "job_id": 9}, force_sync=True)
+        wal.close()
+        snapshot, tail, _stats = load_wal(str(tmp_path))
+        assert snapshot == {"jobs": 4, "committed_batches": {0, 1}}
+        assert [r.payload["job_id"] for r in tail] == [9]
+
+
+class TestTornTail:
+    def _write_log(self, tmp_path, n=5):
+        wal = WriteAheadLog(str(tmp_path))
+        for i in range(n):
+            wal.append("group_commit", {"batch_ids": [i], "pad": "x" * 40})
+        wal.close()
+        return tmp_path / LOG_NAME
+
+    def test_every_truncation_point_drops_only_the_tail(self, tmp_path):
+        """Property: for EVERY prefix length of a valid log, decode yields
+        some prefix of the records and never raises — a torn final record
+        cannot poison replay."""
+        log = self._write_log(tmp_path)
+        data = log.read_bytes()
+        # Record boundaries, for checking how many records must survive.
+        boundaries = [0]
+        off = 0
+        while off < len(data):
+            _m, _v, _t, length, _c = HEADER.unpack_from(data, off)
+            off += HEADER.size + length
+            boundaries.append(off)
+        for cut in range(len(data) + 1):
+            log.write_bytes(data[:cut])
+            records, dropped = read_wal_records(str(log))
+            complete = sum(1 for b in boundaries[1:] if b <= cut)
+            assert len(records) == complete, f"cut at {cut}"
+            assert [r.payload["batch_ids"] for r in records] == [
+                [i] for i in range(complete)
+            ]
+            if cut != boundaries[complete]:
+                assert dropped > 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_corruption_in_final_record_is_dropped(self, tmp_path, seed):
+        log = self._write_log(tmp_path)
+        data = bytearray(log.read_bytes())
+        rng = random.Random(seed)
+        # Flip one byte inside the final record (header or payload).
+        off = 0
+        while True:
+            _m, _v, _t, length, _c = HEADER.unpack_from(data, off)
+            nxt = off + HEADER.size + length
+            if nxt >= len(data):
+                break
+            off = nxt
+        pos = rng.randrange(off, len(data))
+        data[pos] ^= 0xFF
+        log.write_bytes(bytes(data))
+        records, _dropped = read_wal_records(str(log))
+        # At least the intact prefix; never more than written; no raise.
+        assert 4 <= len(records) <= 5
+        assert [r.payload["batch_ids"] for r in records[:4]] == [[i] for i in range(4)]
+
+    def test_garbage_length_does_not_overread(self, tmp_path):
+        log = tmp_path / LOG_NAME
+        framed = encode_record("session", {"epoch": 1})
+        # A header claiming a huge payload with nothing behind it.
+        bogus = HEADER.pack(b"RW", 1, 1, 1 << 29, 0)
+        log.write_bytes(framed + bogus)
+        records, dropped = read_wal_records(str(log))
+        assert len(records) == 1
+        assert dropped == len(bogus)
+
+    def test_torn_tail_then_journal_replay(self, tmp_path):
+        """The journal folds the intact prefix and a new session can be
+        opened on top of a torn log."""
+        journal = ControlJournal(str(tmp_path))
+        epoch = journal.open_session()
+        journal.record_membership(["w0"])
+        journal.record_group_commit([0, 1], job_keys=[(0, 0), (0, 1)])
+        journal.close()
+        log = tmp_path / LOG_NAME
+        data = log.read_bytes()
+        log.write_bytes(data[:-7])  # tear mid-final-record
+        reopened = ControlJournal(str(tmp_path))
+        assert reopened.recovered.session_epoch == epoch
+        assert reopened.open_session() == epoch + 1
+        reopened.close()
+
+    def test_oversized_record_rejected_at_encode(self):
+        from repro.common.errors import CheckpointError
+
+        with pytest.raises(CheckpointError):
+            encode_record("blob", {"data": b"x" * ((1 << 30) + 1)})
+
+
+class TestJournalFold:
+    def test_fold_reproduces_control_state(self, tmp_path):
+        journal = ControlJournal(str(tmp_path), snapshot_every_n_groups=100)
+        journal.open_session()
+        journal.record_membership(["w0", "w1"], template_epoch=3)
+        journal.record_job("submitted", 1, key=(0, 0))
+        journal.record_job("submitted", 2, key=(0, 1))
+        journal.record_group_commit([0, 1], job_keys=[(0, 0), (0, 1)])
+        journal.record_checkpoint(1, 2, {"counts": {"a": 4}}, extra={"next_batch": 2})
+        journal.record_shard_map({"counts": [[0, 64]]})
+        journal.close()
+
+        state = ControlJournal.recover(str(tmp_path))
+        assert state.session_epoch == 1
+        assert state.workers == ["w0", "w1"]
+        assert state.template_epoch == 3
+        assert state.committed_batches == frozenset({0, 1})
+        assert state.jobs["open"] == []  # committed group retired them
+        assert state.checkpoint["state_snapshots"] == {"counts": {"a": 4}}
+        assert state.next_batch == 2
+        assert state.shard_map == {"counts": [[0, 64]]}
+
+    def test_compaction_preserves_fold(self, tmp_path):
+        journal = ControlJournal(str(tmp_path), snapshot_every_n_groups=2)
+        journal.open_session()
+        journal.record_membership(["w0"])
+        for g in range(5):  # compacts at groups 2 and 4
+            journal.record_group_commit([g])
+        journal.close()
+        state = ControlJournal.recover(str(tmp_path))
+        assert state.committed_batches == frozenset(range(5))
+        assert state.workers == ["w0"]
+        # Replay cost is O(live state): the tail holds at most the records
+        # since the last compaction, not the full history.
+        assert state.replay_stats["records_replayed"] <= 2
+
+    def test_unknown_record_type_is_skipped(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path))
+        wal.append("session", {"epoch": 2})
+        wal.append("from_the_future", {"anything": True})
+        wal.close()
+        state = ControlJournal.recover(str(tmp_path))
+        assert state.session_epoch == 2
+
+    def test_epoch_monotonic_across_sessions(self, tmp_path):
+        epochs = []
+        for _ in range(3):
+            journal = ControlJournal(str(tmp_path))
+            epochs.append(journal.open_session())
+            journal.close()
+        assert epochs == [1, 2, 3]

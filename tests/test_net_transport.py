@@ -319,6 +319,49 @@ class TestTcpTransport:
             hub.call("worker", "add", 1, 1)
         assert hub.metrics.counter(COUNT_NET_CONNECT_RETRIES).value == before
 
+    def test_evicted_endpoint_is_forgotten_by_the_hub(self, hub, peer):
+        """Decommission regression (ISSUE 10 satellite): without eviction
+        the hub's directory serves a decommissioned worker's stale address
+        forever.  Eviction is plumbing — it must not count as an engine
+        message."""
+        peer.register("worker", _Endpoint())
+        assert hub.call("worker", "add", 1, 1) == 2
+        before = hub.metrics.counter(COUNT_RPC_MESSAGES).value
+        hub.evict("worker")
+        assert hub.metrics.counter(COUNT_RPC_MESSAGES).value == before
+        with pytest.raises(WorkerLost, match="unknown"):
+            hub.call("worker", "add", 1, 1)
+
+    def test_peer_side_evict_propagates_to_hub(self, hub, peer):
+        """A non-hub transport's evict() forwards to the hub, so every
+        member of the cluster stops resolving the stale entry — not just
+        the caller."""
+        peer.register("worker", _Endpoint())
+        other = TcpTransport(
+            MetricsRegistry(), conf=_fast_conf(), hub_addr=hub.address, name="other"
+        )
+        try:
+            assert other.call("worker", "add", 2, 2) == 4
+            other.evict("worker")
+            # The caller's own cache is cleared and the hub no longer
+            # resolves the entry, so a fresh lookup fails too.
+            with pytest.raises(WorkerLost):
+                other.call("worker", "add", 1, 1)
+            with pytest.raises(WorkerLost, match="unknown"):
+                hub.call("worker", "add", 1, 1)
+        finally:
+            other.close()
+
+    def test_reannounce_after_evict_restores_resolution(self, hub, peer):
+        """Eviction is not death: a re-registered endpoint (same name, new
+        incarnation) supersedes the eviction instead of staying dark."""
+        peer.register("worker", _Endpoint())
+        hub.evict("worker")
+        with pytest.raises(WorkerLost):
+            hub.call("worker", "add", 1, 1)
+        peer.register("worker", _Endpoint())
+        assert hub.call("worker", "add", 3, 4) == 7
+
     def test_call_timeout_is_worker_lost(self, hub):
         slow_peer = TcpTransport(
             MetricsRegistry(),
